@@ -1,0 +1,63 @@
+"""E9 (§2.2): aggregate caching in index pages.
+
+Claims (the paper's direction, quantified by our implementation): a warm
+repeat of a range aggregate does (near-)zero heap fetches, and the leaf
+aggregates survive until the leaf's entry set actually changes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.btree.keycodec import UIntKey
+from repro.core.index_cache.agg_cache import AggregateCachingReader
+from repro.experiments.runner import print_table
+from repro.query.database import Database
+from repro.util.rng import DeterministicRng
+from repro.workload.wikipedia import REVISION_SCHEMA, WikipediaConfig, generate
+
+KC = UIntKey(4)
+
+
+@pytest.fixture(scope="module")
+def reader():
+    data = generate(
+        WikipediaConfig(n_pages=500, revisions_per_page_mean=10, seed=0)
+    )
+    db = Database(data_pool_pages=100_000, seed=0)
+    table = db.create_table("revision", REVISION_SCHEMA)
+    index = db.create_index("revision", "rev_pk", ("rev_id",))
+    for row in data.revision_rows:
+        table.insert(row)
+    return AggregateCachingReader(
+        index.tree, table.heap, REVISION_SCHEMA, "rev_len",
+        rng=DeterministicRng(1),
+    )
+
+
+def bench_agg_cache_regenerate(reader, run_check):
+    def body():
+        count, total = reader.range_aggregate()
+        cold = reader.stats.heap_fetches
+        count2, total2 = reader.range_aggregate()
+        warm = reader.stats.heap_fetches - cold
+        assert (count, total) == (count2, total2)
+        print_table(
+            ["pass", "heap fetches", "leaves from cache"],
+            [("cold", cold, 0),
+             ("warm", warm, reader.stats.leaves_from_cache)],
+            title="E9: Sec 2.2 aggregate caching (SUM over 5000 rows)",
+        )
+        assert cold >= count  # one fetch per row on the cold pass
+        assert warm <= 0.05 * cold
+
+    run_check(body)
+
+
+def bench_agg_cache_warm_timing(benchmark, reader):
+    """Timed unit: the warm aggregate path (cache-served leaves)."""
+    reader.range_aggregate()  # ensure warm
+    result = benchmark.pedantic(
+        reader.range_aggregate, rounds=3, iterations=1
+    )
+    assert result[0] > 0

@@ -1,0 +1,92 @@
+"""Figure 2(a): hit rate vs cache size, Swap vs Shrink.
+
+Shape claims asserted (see EXPERIMENTS.md for the α-parameterization
+note):
+
+* hit rate rises monotonically with cache size for both scenarios;
+* Swap tracks the clairvoyant oracle closely;
+* Shrink loses only a few points relative to Swap ("swapping effectively
+  moves hot items towards the middle");
+* at a heavy-tailed skew, Swap exceeds 90% with a cache of 25% of items
+  (the paper's headline point).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig2a
+from repro.experiments.runner import print_table
+from repro.workload.trace import run_swap_scenario
+
+N_ITEMS = 10_000
+N_LOOKUPS = 100_000
+
+
+@pytest.fixture(scope="module")
+def curves():
+    return {
+        alpha: fig2a.run(
+            n_items=N_ITEMS, n_lookups=N_LOOKUPS, alpha=alpha, seed=0
+        )
+        for alpha in (0.5, 1.0, 1.5)
+    }
+
+
+def bench_fig2a_regenerate_and_assert_shape(curves, run_check):
+    def body():
+        for alpha, points in curves.items():
+            print_table(
+                ["cache %", "Swap", "Shrink", "oracle"],
+                [(p.cache_pct, p.swap_hit_rate, p.shrink_hit_rate,
+                  p.oracle_hit_rate) for p in points],
+                title=f"Figure 2(a) @ zipf alpha={alpha}",
+            )
+            swap_rates = [p.swap_hit_rate for p in points]
+            for lo, hi in zip(swap_rates, swap_rates[1:]):
+                assert hi >= lo - 0.02  # monotone rise (small jitter ok)
+            for p in points:
+                assert p.shrink_hit_rate <= p.swap_hit_rate + 0.02
+                assert p.swap_hit_rate <= p.oracle_hit_rate + 0.05
+
+    run_check(body)
+
+
+def bench_fig2a_swap_close_to_oracle(curves, run_check):
+    def body():
+        for points in (curves[1.0], curves[1.5]):
+            for p in points:
+                assert p.swap_hit_rate >= p.oracle_hit_rate - 0.15
+
+    run_check(body)
+
+
+def bench_fig2a_shrink_penalty_small_at_operating_point(curves, run_check):
+    """Paper: 'Shrink only reduces the hit rate by 5%'."""
+
+    def body():
+        p25 = next(p for p in curves[1.0] if p.cache_pct == 25)
+        assert p25.shrink_penalty == pytest.approx(0.05, abs=0.05)
+
+    run_check(body)
+
+
+def bench_fig2a_90pct_at_quarter_cache_heavy_tail(curves, run_check):
+    """Paper: 'Swap exceeds 90% hit rate when the cache size is only 25%'."""
+
+    def body():
+        p25 = next(p for p in curves[1.5] if p.cache_pct == 25)
+        assert p25.swap_hit_rate > 0.9
+
+    run_check(body)
+
+
+def bench_fig2a_swap_scenario_timing(benchmark):
+    """Timed unit: one 20k-lookup swap run at the paper's α."""
+    result = benchmark.pedantic(
+        run_swap_scenario,
+        kwargs=dict(n_items=N_ITEMS, capacity=N_ITEMS // 4,
+                    n_lookups=20_000, alpha=0.5, seed=1),
+        rounds=3, iterations=1,
+    )
+    assert 0 < result.hit_rate < 1

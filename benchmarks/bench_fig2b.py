@@ -1,0 +1,95 @@
+"""Figure 2(b): cost/lookup vs cache hit rate × buffer-pool hit rate.
+
+Shape claims:
+
+* at a 0% cache hit rate the buffer-pool lines span orders of magnitude;
+* every line decreases monotonically with cache hit rate;
+* at a 100% cache hit rate all lines collapse to the same floor (a cache
+  hit touches neither the pool nor the disk);
+* the monte-carlo simulation agrees with the closed form.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig2b
+from repro.experiments.runner import print_table
+
+
+@pytest.fixture(scope="module")
+def points():
+    return fig2b.run(lookups_per_point=10_000, seed=0)
+
+
+def _lines(points):
+    lines: dict[float, list] = {}
+    for p in points:
+        lines.setdefault(p.bp_hit_rate, []).append(p)
+    for line in lines.values():
+        line.sort(key=lambda p: p.cache_hit_rate)
+    return lines
+
+
+def bench_fig2b_regenerate(points, run_check):
+    def body():
+        lines = _lines(points)
+        headers = ["cache %"] + [f"bp={int(b*100)}%" for b in sorted(lines)]
+        rows = []
+        xs = [p.cache_hit_rate for p in lines[0.0]]
+        for i, x in enumerate(xs):
+            rows.append([int(x * 100)] + [
+                lines[b][i].cost_ms_simulated for b in sorted(lines)
+            ])
+        print_table(headers, rows, title="Figure 2(b), cost/lookup (ms)")
+
+    run_check(body)
+
+
+def bench_fig2b_orders_of_magnitude_between_lines(points, run_check):
+    def body():
+        lines = _lines(points)
+        at_zero = {b: line[0].cost_ms_analytic for b, line in lines.items()}
+        assert at_zero[0.0] > 1000 * at_zero[1.0]
+        assert at_zero[0.0] > at_zero[0.6] > at_zero[0.9] \
+            > at_zero[0.96] > at_zero[1.0]
+
+    run_check(body)
+
+
+def bench_fig2b_lines_decrease_monotonically(points, run_check):
+    def body():
+        for line in _lines(points).values():
+            costs = [p.cost_ms_analytic for p in line]
+            assert costs == sorted(costs, reverse=True)
+
+    run_check(body)
+
+
+def bench_fig2b_lines_collapse_at_full_cache_hit(points, run_check):
+    def body():
+        finals = [line[-1].cost_ms_analytic for line in _lines(points).values()]
+        assert max(finals) == pytest.approx(min(finals))
+
+    run_check(body)
+
+
+def bench_fig2b_simulation_matches_closed_form(points, run_check):
+    def body():
+        for p in points:
+            assert p.cost_ms_simulated == pytest.approx(
+                p.cost_ms_analytic, rel=0.15, abs=0.0005
+            )
+
+    run_check(body)
+
+
+def bench_fig2b_monte_carlo_timing(benchmark):
+    result = benchmark.pedantic(
+        fig2b.run,
+        kwargs=dict(lookups_per_point=2_000, seed=1,
+                    bp_hit_rates=(0.0, 1.0),
+                    cache_hit_rates=(0.0, 0.5, 1.0)),
+        rounds=3, iterations=1,
+    )
+    assert len(result) == 6

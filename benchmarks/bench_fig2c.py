@@ -1,0 +1,104 @@
+"""Figure 2(c): caching overhead with everything RAM-resident.
+
+The paper's three headline numbers, asserted directly:
+
+* probe overhead at a 0% hit rate: ~0.3 µs;
+* crossover where caching starts winning: ~35% hit rate;
+* speedup at a 100% hit rate: ~2.7×;
+
+plus the real-engine validation: a CachedBTree over a fully-resident
+buffer pool must land on the analytic curve at its natural hit rate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig2c
+from repro.experiments.runner import print_table
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return fig2c.run()
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return fig2c.run_engine(n_rows=4_000, n_lookups=30_000, seed=0)
+
+
+def bench_fig2c_regenerate(sweep, run_check):
+    def body():
+        points, summary = sweep
+        print_table(
+            ["cache hit %", "cache (us)", "nocache (us)"],
+            [(int(p.cache_hit_rate * 100), p.cache_cost_us, p.nocache_cost_us)
+             for p in points],
+            title="Figure 2(c)",
+        )
+        print(
+            f"overhead {summary.overhead_at_zero_us:.2f} us, crossover "
+            f"{summary.crossover_hit_rate:.0%}, speedup "
+            f"{summary.speedup_at_full:.2f}x"
+        )
+
+    run_check(body)
+
+
+def bench_fig2c_overhead_is_point3_us(sweep, run_check):
+    def body():
+        _, summary = sweep
+        assert summary.overhead_at_zero_us == pytest.approx(0.3, abs=0.02)
+
+    run_check(body)
+
+
+def bench_fig2c_crossover_near_35_pct(sweep, run_check):
+    def body():
+        _, summary = sweep
+        assert 0.30 <= summary.crossover_hit_rate <= 0.40
+
+    run_check(body)
+
+
+def bench_fig2c_speedup_2_7x_at_full_hit(sweep, run_check):
+    def body():
+        _, summary = sweep
+        assert summary.speedup_at_full == pytest.approx(2.7, abs=0.1)
+
+    run_check(body)
+
+
+def bench_fig2c_nocache_line_flat(sweep, run_check):
+    def body():
+        points, _ = sweep
+        assert len({p.nocache_cost_us for p in points}) == 1
+
+    run_check(body)
+
+
+def bench_fig2c_engine_validation(engine, run_check):
+    def body():
+        print(
+            f"engine: hit rate {engine.natural_hit_rate:.1%}, "
+            f"{engine.cache_cost_us:.3f} vs {engine.nocache_cost_us:.3f} us "
+            f"-> {engine.speedup:.2f}x"
+        )
+        assert engine.natural_hit_rate > 0.9
+        assert engine.cache_cost_us == pytest.approx(
+            engine.predicted_cache_cost_us, rel=0.05
+        )
+        assert engine.speedup > 2.0
+
+    run_check(body)
+
+
+def bench_fig2c_engine_timing(benchmark):
+    """Timed unit: the real cached-lookup hot path."""
+    result = benchmark.pedantic(
+        fig2c.run_engine,
+        kwargs=dict(n_rows=1_000, n_lookups=5_000, seed=1),
+        rounds=1, iterations=1,
+    )
+    assert result.speedup > 1.0

@@ -1,0 +1,93 @@
+"""Figure 3: clustering/partitioning query cost on the revision table.
+
+Shape claims (paper: 1.8× / 2.15× / 8.4×, index 27.1 GB → 1.4 GB ≈ 19×):
+
+* strict cost ordering: baseline > 54% clustered > 100% clustered >
+  partitioned;
+* clustering speedups land in the paper's low-single-digit band;
+* partitioning wins by roughly an order of magnitude;
+* the hot-partition index is ~20× smaller than the full index.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig3
+from repro.experiments.runner import print_table
+
+
+def bench_fig3_regenerate(fig3_rows, run_check):
+    def body():
+        print_table(
+            ["config", "ms/lookup", "disk reads/lookup", "index KiB",
+             "speedup"],
+            [(r.label, r.cost_ms_per_lookup, r.disk_reads_per_lookup,
+              r.index_bytes // 1024, f"{r.speedup:.2f}x") for r in fig3_rows],
+            title="Figure 3",
+        )
+        assert len(fig3_rows) == 4
+
+    run_check(body)
+
+
+def bench_fig3_cost_ordering(fig3_rows, run_check):
+    def body():
+        base, half, full, part = fig3_rows
+        assert base.cost_ms_per_lookup > half.cost_ms_per_lookup
+        assert half.cost_ms_per_lookup > full.cost_ms_per_lookup
+        assert full.cost_ms_per_lookup > part.cost_ms_per_lookup
+
+    run_check(body)
+
+
+def bench_fig3_clustering_speedups_in_band(fig3_rows, run_check):
+    def body():
+        _, half, full, _ = fig3_rows
+        # paper: 1.8x at 54%, 2.15x at 100%
+        assert 1.1 <= half.speedup <= 3.5
+        assert 1.5 <= full.speedup <= 6.0
+        assert full.speedup > half.speedup
+
+    run_check(body)
+
+
+def bench_fig3_partition_speedup_order_of_magnitude(fig3_rows, run_check):
+    def body():
+        part = fig3_rows[-1]
+        assert 4.0 <= part.speedup <= 40.0  # paper: 8.4x
+
+    run_check(body)
+
+
+def bench_fig3_disk_reads_explain_ordering(fig3_rows, run_check):
+    def body():
+        reads = [r.disk_reads_per_lookup for r in fig3_rows]
+        assert reads == sorted(reads, reverse=True)
+        assert fig3_rows[-1].disk_reads_per_lookup < 0.05
+
+    run_check(body)
+
+
+def bench_fig3_index_shrink_near_19x(fig3_rows, run_check):
+    def body():
+        base, part = fig3_rows[0], fig3_rows[-1]
+        shrink = base.index_bytes / part.index_bytes
+        print(f"index shrink: {shrink:.1f}x (paper: 19x)")
+        assert 10.0 <= shrink <= 30.0
+
+    run_check(body)
+
+
+def bench_fig3_small_timing(benchmark):
+    """Timed unit: a small end-to-end clustered-lookup workload."""
+
+    def run_small():
+        return fig3.run(
+            fig3.Fig3Config(
+                n_pages=150, revisions_per_page_mean=6, n_lookups=800,
+                warmup_lookups=300, pool_pages=24, seed=2,
+            ),
+            cluster_fractions=(0.0,),
+        )
+
+    rows = benchmark.pedantic(run_small, rounds=1, iterations=1)
+    assert rows[0].cost_ms_per_lookup > 0

@@ -1,0 +1,59 @@
+"""§2 fill factors: textbook 68% and CarTel's churn-driven 45%."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fill_factor
+from repro.experiments.runner import print_table
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fill_factor.run(n_keys=20_000, churn_ops=20_000, seed=0)
+
+
+def bench_fill_regenerate(result, run_check):
+    def body():
+        print_table(
+            ["regime", "fill"],
+            [("random inserts", result.random_insert_fill),
+             ("bulk @0.68", result.bulk_load_fill),
+             ("churn before", result.churn_initial_fill),
+             ("churn after", result.churn_final_fill)],
+            title="Fill factors",
+        )
+
+    run_check(body)
+
+
+def bench_fill_random_inserts_near_textbook(result, run_check):
+    def body():
+        assert 0.62 <= result.random_insert_fill <= 0.80
+
+    run_check(body)
+
+
+def bench_fill_bulk_load_hits_68(result, run_check):
+    def body():
+        assert result.bulk_load_fill == pytest.approx(0.68, abs=0.03)
+
+    run_check(body)
+
+
+def bench_fill_churn_decays_toward_cartel(result, run_check):
+    def body():
+        assert result.churn_initial_fill > 0.65
+        assert result.churn_final_fill == pytest.approx(0.45, abs=0.15)
+        assert result.churn_final_fill < result.churn_initial_fill - 0.2
+
+    run_check(body)
+
+
+def bench_fill_churn_timing(benchmark):
+    result = benchmark.pedantic(
+        fill_factor.run,
+        kwargs=dict(n_keys=4_000, churn_ops=4_000, seed=1),
+        rounds=1, iterations=1,
+    )
+    assert result.churn_final_fill > 0

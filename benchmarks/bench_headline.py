@@ -1,0 +1,62 @@
+"""§1 headline claims: memory ÷ up-to-17.8×, queries × up-to-8.
+
+Our measured counterparts: ~20× memory (partition + re-encode) and the
+Figure-3 partition speedup.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import headline
+from repro.experiments.runner import print_table
+from repro.util.units import fmt_bytes
+
+
+@pytest.fixture(scope="module")
+def memory():
+    return headline.run(
+        n_pages=1_000, revisions_per_page=20, seed=0,
+        measure_query_speedup=False,
+    )
+
+
+def bench_headline_regenerate(memory, fig3_rows, run_check):
+    def body():
+        speedup = fig3_rows[-1].speedup
+        print_table(
+            ["quantity", "value"],
+            [("working set before", fmt_bytes(memory.baseline_ram_bytes)),
+             ("working set after", fmt_bytes(memory.optimized_ram_bytes)),
+             ("memory reduction",
+              f"{memory.memory_reduction:.1f}x (paper 17.8x)"),
+             ("query speedup", f"{speedup:.1f}x (paper 8x)")],
+            title="Headline claims",
+        )
+
+    run_check(body)
+
+
+def bench_headline_memory_reduction_in_band(memory, run_check):
+    def body():
+        # paper: "up to 17.8x"; partition + re-encode lands nearby
+        assert 10.0 <= memory.memory_reduction <= 35.0
+
+    run_check(body)
+
+
+def bench_headline_query_speedup_in_band(fig3_rows, run_check):
+    def body():
+        assert 4.0 <= fig3_rows[-1].speedup <= 40.0
+
+    run_check(body)
+
+
+def bench_headline_memory_timing(benchmark):
+    result = benchmark.pedantic(
+        headline.run,
+        kwargs=dict(n_pages=150, revisions_per_page=8, seed=1,
+                    measure_query_speedup=False),
+        rounds=1, iterations=1,
+    )
+    assert result.memory_reduction > 1

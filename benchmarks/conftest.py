@@ -1,0 +1,45 @@
+"""Benchmark-suite fixtures.
+
+Heavy experiment results are computed once per session and shared across
+the benchmark's shape assertions, so ``pytest benchmarks/`` stays within
+minutes while still regenerating every figure at meaningful scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig3
+
+
+@pytest.fixture
+def run_check(benchmark, capfd):
+    """Run a shape-assertion body as a (one-shot) benchmark.
+
+    The benchmark suite's job is twofold: time representative units AND
+    regenerate/assert every figure.  Routing assertion bodies through the
+    benchmark fixture keeps both behind the single
+    ``pytest benchmarks/ --benchmark-only`` command; capture is disabled
+    so the regenerated tables reach the terminal (and any tee'd log).
+    """
+
+    def _run(body):
+        with capfd.disabled():
+            return benchmark.pedantic(body, rounds=1, iterations=1)
+
+    return _run
+
+
+@pytest.fixture(scope="session")
+def fig3_rows():
+    """One full Figure-3 run (the most expensive experiment)."""
+    return fig3.run(
+        fig3.Fig3Config(
+            n_pages=1_000,
+            revisions_per_page_mean=20,
+            n_lookups=8_000,
+            warmup_lookups=3_000,
+            pool_pages=64,
+            seed=0,
+        )
+    )

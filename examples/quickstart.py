@@ -1,0 +1,69 @@
+"""Quickstart: create a database, a table, a cached index, and query it.
+
+Run with::
+
+    python examples/quickstart.py
+
+Demonstrates the public API end to end: DDL through :class:`repro.Database`,
+inserts/lookups/updates through :class:`repro.Table`, and the §2.1 index
+cache answering repeat lookups without touching the heap.
+"""
+
+from __future__ import annotations
+
+from repro import Database, Schema, UINT32, UINT64, char
+
+
+def main() -> None:
+    db = Database(data_pool_pages=256, seed=42)
+
+    schema = Schema.of(
+        ("user_id", UINT64),
+        ("username", char(16)),
+        ("karma", UINT32),
+        ("posts", UINT32),
+    )
+    users = db.create_table("users", schema)
+    db.create_index("users", "users_pk", ("user_id",))
+    db.create_cached_index(
+        "users", "users_by_name", ("username",),
+        cached_fields=("karma", "posts"),
+    )
+
+    for i in range(1_000):
+        users.insert(
+            {
+                "user_id": i,
+                "username": f"user{i:04d}",
+                "karma": (i * 7) % 500,
+                "posts": i % 40,
+            }
+        )
+    print(f"inserted {users.num_rows} rows "
+          f"({users.heap.num_pages} heap pages)")
+
+    # Point lookup through the primary key.
+    result = users.lookup("users_pk", 123)
+    print(f"pk lookup     : {result.values}")
+
+    # First name-index lookup fills the leaf cache; the second is answered
+    # from the index page itself — no heap access.
+    first = users.lookup("users_by_name", "user0123", ("username", "karma"))
+    second = users.lookup("users_by_name", "user0123", ("username", "karma"))
+    print(f"name lookup   : {second.values} "
+          f"(from_cache={second.from_cache}, first={first.from_cache})")
+
+    # Updates invalidate the cached copy through the §2.1.2 predicate log.
+    users.update("users_pk", 123, {"karma": 9999})
+    refreshed = users.lookup("users_by_name", "user0123", ("karma",))
+    print(f"after update  : {refreshed.values}")
+
+    index = users.index("users_by_name")
+    print(
+        f"cache stats   : {index.stats.answered_from_cache} of "
+        f"{index.stats.found} found lookups answered from the index cache"
+    )
+
+
+if __name__ == "__main__":
+    main()

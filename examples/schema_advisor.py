@@ -1,0 +1,79 @@
+"""The §4.1 scenario: treating declared types as hints.
+
+Run with::
+
+    python examples/schema_advisor.py
+
+Profiles the synthetic MediaWiki-declared revision table, prints the
+waste report, rewrites the schema to its minimal physical types, and
+round-trips a row through real codecs to prove the savings are real.
+"""
+
+from __future__ import annotations
+
+from repro.core.encoding.codecs import (
+    BitPackedIntCodec,
+    BooleanBitmapCodec,
+    Timestamp14Codec,
+)
+from repro.core.encoding.inference import optimize_schema
+from repro.core.encoding.report import analyze_table_waste, format_waste_report
+from repro.workload.wikipedia import (
+    REVISION_SCHEMA_DECLARED,
+    WikipediaConfig,
+    declared_revision_row,
+    generate,
+)
+
+
+def main() -> None:
+    data = generate(
+        WikipediaConfig(n_pages=500, revisions_per_page_mean=5, seed=0)
+    )
+    rows = [declared_revision_row(r) for r in data.revision_rows]
+    columns = {
+        name: [row[name] for row in rows]
+        for name in REVISION_SCHEMA_DECLARED.names
+    }
+
+    report = analyze_table_waste(
+        "wikipedia.revision", REVISION_SCHEMA_DECLARED, columns
+    )
+    print(format_waste_report(report))
+
+    optimized, recommendations = optimize_schema(
+        REVISION_SCHEMA_DECLARED, columns
+    )
+    print(
+        f"\nrecord size: {REVISION_SCHEMA_DECLARED.record_size} B declared "
+        f"-> {optimized.record_size} B optimized "
+        f"({1 - optimized.record_size / REVISION_SCHEMA_DECLARED.record_size:.0%} saved)"
+    )
+    print("\noptimized physical schema (declared types kept as hints):")
+    print(optimized.describe())
+
+    # Prove the flagship rewrites with real codecs.
+    ts_codec = Timestamp14Codec()
+    sample_ts = columns["rev_timestamp"][:1000]
+    packed = ts_codec.encode(sample_ts)  # type: ignore[arg-type]
+    assert ts_codec.decode(packed, len(sample_ts)) == sample_ts
+    print(
+        f"\nrev_timestamp: {14 * len(sample_ts)} B as strings -> "
+        f"{len(packed)} B packed (round-trip verified)"
+    )
+
+    flags = [bool(v) for v in columns["rev_minor_edit"][:1000]]
+    bitmap = BooleanBitmapCodec().encode(flags)
+    print(f"rev_minor_edit: {8 * len(flags)} B as INT64 -> {len(bitmap)} B bitmap")
+
+    lens = columns["rev_len"][:1000]
+    int_codec = BitPackedIntCodec.for_range(min(lens), max(lens))  # type: ignore[arg-type]
+    packed_lens = int_codec.encode(lens)  # type: ignore[arg-type]
+    print(
+        f"rev_len: {8 * len(lens)} B as INT64 -> {len(packed_lens)} B at "
+        f"{int_codec.bit_width} bits/value"
+    )
+
+
+if __name__ == "__main__":
+    main()

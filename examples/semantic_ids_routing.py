@@ -1,0 +1,81 @@
+"""The §4.2 scenario: semantic IDs — elide them or make them route.
+
+Run with::
+
+    python examples/semantic_ids_routing.py
+
+Part 1 drops an AUTO_INCREMENT id in favour of the tuple's physical
+address (RID proxy).  Part 2 embeds partition numbers in id values and
+compares routing state against an explicit per-tuple routing table (the
+Schism-style bottleneck the paper calls out).
+"""
+
+from __future__ import annotations
+
+from repro.core.semantic_ids.embedding import EmbeddedId, plan_reassignment
+from repro.core.semantic_ids.reduction import RidProxyTable, id_elision_savings
+from repro.core.semantic_ids.routing import compare_routers
+from repro.schema.schema import Schema
+from repro.schema.types import UINT32, UINT64, char
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.disk import SimulatedDisk
+from repro.storage.heap import HeapFile
+from repro.util.rng import DeterministicRng
+from repro.util.units import fmt_bytes
+
+
+def rid_proxy_demo() -> None:
+    schema = Schema.of(
+        ("comment_id", UINT64),   # AUTO_INCREMENT, value meaningless
+        ("author", char(12)),
+        ("likes", UINT32),
+    )
+    pool = BufferPool(SimulatedDisk(4096), 1024)
+    table = RidProxyTable(schema, "comment_id", HeapFile(pool))
+
+    handles = []
+    for i in range(10_000):
+        handles.append(
+            table.insert({"comment_id": 0, "author": f"u{i % 97}", "likes": i % 50})
+        )
+    sample = table.get(handles[1234])
+    print(
+        f"RID-proxy table: {len(handles)} rows, id column elided "
+        f"(saves {fmt_bytes(id_elision_savings(schema, 'comment_id', len(handles)))} "
+        f"of heap bytes plus the entire id index)"
+    )
+    print(f"row via physical handle: {sample}")
+
+
+def routing_demo() -> None:
+    scheme = EmbeddedId(partition_bits=8)
+    rng = DeterministicRng(7)
+    n = 200_000
+    # Per-tuple placement, as a workload-driven partitioner would emit.
+    placement = {i: rng.randrange(16) for i in range(n)}
+    plan = plan_reassignment(scheme, placement)
+    embedded = {plan.new_id(i): p for i, p in placement.items()}
+
+    probes = rng.sample(list(embedded), 1_000)
+    comparison = compare_routers(embedded, scheme, probes)
+    print(
+        f"\nrouting {comparison.tuples} tuples over "
+        f"{comparison.partitions} partitions:"
+    )
+    print(f"  lookup-table router: {fmt_bytes(comparison.lookup_table_bytes)} of state")
+    print(f"  embedded-id router : {fmt_bytes(comparison.embedded_bytes)} of state")
+    print(f"  routers agree on {len(probes)} probes: {comparison.agree}")
+    example = probes[0]
+    print(
+        f"  example: id {example} -> partition "
+        f"{scheme.partition_of(example)} (decoded from the id bits alone)"
+    )
+
+
+def main() -> None:
+    rid_proxy_demo()
+    routing_demo()
+
+
+if __name__ == "__main__":
+    main()

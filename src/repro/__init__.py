@@ -1,0 +1,75 @@
+"""No Bits Left Behind — reproduction of Wu, Curino & Madden (CIDR 2011).
+
+A from-scratch slotted-page storage engine (simulated disk, buffer pool,
+heap files, B+Trees) plus the paper's three waste-reclamation techniques:
+
+* **index caching** (Sec 2.1) — recycle B+Tree free space as a tuple
+  cache: :class:`~repro.core.index_cache.cached_index.CachedBTree`;
+* **hot/cold partitioning** (Sec 3.1) —
+  :func:`~repro.core.hot_cold.cluster.cluster_hot_tuples` and
+  :class:`~repro.core.hot_cold.partitioner.HotColdPartitionedTable`;
+* **encoding-waste reclamation** (Sec 4) —
+  :func:`~repro.core.encoding.inference.optimize_schema` and the
+  semantic-ID toolkit in :mod:`repro.core.semantic_ids`.
+
+Start with :class:`repro.Database` (see ``examples/quickstart.py``); the
+paper's tables and figures regenerate from :mod:`repro.experiments`.
+"""
+
+from repro.errors import ReproError
+from repro.query.database import Database
+from repro.query.table import PlainIndex, Table
+from repro.schema.schema import Column, Schema
+from repro.schema.types import (
+    BOOL,
+    DATE32,
+    FLOAT64,
+    INT8,
+    INT16,
+    INT32,
+    INT64,
+    TIMESTAMP32,
+    TIMESTAMP_STR14,
+    UINT8,
+    UINT16,
+    UINT32,
+    UINT64,
+    YEAR16,
+    char,
+    varchar,
+)
+from repro.sim.cost_model import CostModel, CostPreset, END_TO_END_PRESET, PAPER_PRESET
+from repro.storage.heap import Rid
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Database",
+    "Table",
+    "PlainIndex",
+    "Schema",
+    "Column",
+    "Rid",
+    "CostModel",
+    "CostPreset",
+    "PAPER_PRESET",
+    "END_TO_END_PRESET",
+    "ReproError",
+    "BOOL",
+    "INT8",
+    "INT16",
+    "INT32",
+    "INT64",
+    "UINT8",
+    "UINT16",
+    "UINT32",
+    "UINT64",
+    "FLOAT64",
+    "TIMESTAMP32",
+    "TIMESTAMP_STR14",
+    "DATE32",
+    "YEAR16",
+    "char",
+    "varchar",
+    "__version__",
+]

@@ -1,0 +1,26 @@
+"""B+Tree built on slotted pages, with the Figure-1 free-space window."""
+
+from repro.btree.keycodec import (
+    CompositeKey,
+    IntKey,
+    KeyCodec,
+    StringKey,
+    UIntKey,
+    codec_for_column,
+    codec_for_columns,
+)
+from repro.btree.tree import BPlusTree
+from repro.btree.stats import BTreeStats, collect_stats
+
+__all__ = [
+    "KeyCodec",
+    "UIntKey",
+    "IntKey",
+    "StringKey",
+    "CompositeKey",
+    "codec_for_column",
+    "codec_for_columns",
+    "BPlusTree",
+    "BTreeStats",
+    "collect_stats",
+]

@@ -1,0 +1,181 @@
+"""Order-preserving fixed-length key encodings.
+
+The paper's index-cache layout assumes fixed-length index keys (§2.1.1);
+these codecs map column values onto fixed-width byte strings whose
+*lexicographic* order equals the logical order, so the B+Tree can compare
+keys with plain ``bytes`` comparison.
+
+Encodings:
+
+* unsigned ints — big-endian.
+* signed ints — big-endian with the sign bit flipped (two's-complement
+  order becomes unsigned order).
+* strings — UTF-8, NUL-padded to a fixed width.  Padding preserves order
+  for strings that fit; wider strings are rejected, not truncated, because
+  silent truncation would corrupt equality semantics.
+* composites — concatenation of the component encodings (most significant
+  first), e.g. Wikipedia's ``(namespace, title)`` name_title key.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from repro.errors import SchemaError, TypeMismatchError
+from repro.schema.schema import Column
+from repro.schema.types import TypeKind
+
+
+class KeyCodec(ABC):
+    """Encodes one value (or value tuple) to fixed-width ordered bytes."""
+
+    @property
+    @abstractmethod
+    def size(self) -> int:
+        """Encoded width in bytes."""
+
+    @abstractmethod
+    def encode(self, value: object) -> bytes:
+        """Encode ``value`` to exactly :attr:`size` bytes."""
+
+    @abstractmethod
+    def decode(self, data: bytes) -> object:
+        """Invert :meth:`encode`."""
+
+
+class UIntKey(KeyCodec):
+    """Unsigned integer key (big-endian)."""
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise SchemaError("key size must be positive")
+        self._size = size
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def encode(self, value: object) -> bytes:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise TypeMismatchError(f"uint key expects int, got {value!r}")
+        if value < 0:
+            raise TypeMismatchError(f"uint key cannot encode {value}")
+        return value.to_bytes(self._size, "big")
+
+    def decode(self, data: bytes) -> int:
+        return int.from_bytes(data, "big")
+
+
+class IntKey(KeyCodec):
+    """Signed integer key (big-endian, sign bit flipped)."""
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise SchemaError("key size must be positive")
+        self._size = size
+        self._bias = 1 << (8 * size - 1)
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def encode(self, value: object) -> bytes:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise TypeMismatchError(f"int key expects int, got {value!r}")
+        return (value + self._bias).to_bytes(self._size, "big")
+
+    def decode(self, data: bytes) -> int:
+        return int.from_bytes(data, "big") - self._bias
+
+
+class StringKey(KeyCodec):
+    """Fixed-width NUL-padded string key."""
+
+    def __init__(self, width: int) -> None:
+        if width <= 0:
+            raise SchemaError("key width must be positive")
+        self._width = width
+
+    @property
+    def size(self) -> int:
+        return self._width
+
+    def encode(self, value: object) -> bytes:
+        if not isinstance(value, str):
+            raise TypeMismatchError(f"string key expects str, got {value!r}")
+        raw = value.encode("utf-8")
+        if len(raw) > self._width:
+            raise TypeMismatchError(
+                f"string of {len(raw)} bytes exceeds key width {self._width}"
+            )
+        return raw.ljust(self._width, b"\x00")
+
+    def decode(self, data: bytes) -> str:
+        return data.rstrip(b"\x00").decode("utf-8")
+
+
+class CompositeKey(KeyCodec):
+    """Concatenation of component codecs, most significant first."""
+
+    def __init__(self, components: Sequence[KeyCodec]) -> None:
+        if not components:
+            raise SchemaError("composite key needs at least one component")
+        self._components = tuple(components)
+        self._size = sum(c.size for c in components)
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def components(self) -> tuple[KeyCodec, ...]:
+        return self._components
+
+    def encode(self, value: object) -> bytes:
+        if not isinstance(value, (tuple, list)):
+            raise TypeMismatchError(
+                f"composite key expects a tuple, got {value!r}"
+            )
+        if len(value) != len(self._components):
+            raise TypeMismatchError(
+                f"composite key expects {len(self._components)} parts, "
+                f"got {len(value)}"
+            )
+        return b"".join(
+            codec.encode(part) for codec, part in zip(self._components, value)
+        )
+
+    def decode(self, data: bytes) -> tuple[object, ...]:
+        parts = []
+        offset = 0
+        for codec in self._components:
+            parts.append(codec.decode(data[offset : offset + codec.size]))
+            offset += codec.size
+        return tuple(parts)
+
+
+def codec_for_column(column: Column) -> KeyCodec:
+    """The natural key codec for one column's stored type."""
+    kind = column.ctype.kind
+    size = column.ctype.size
+    if kind in (TypeKind.UINT, TypeKind.TIMESTAMP, TypeKind.DATE,
+                TypeKind.YEAR, TypeKind.BOOL):
+        return UIntKey(size)
+    if kind is TypeKind.INT:
+        return IntKey(size)
+    if kind is TypeKind.CHAR or kind is TypeKind.TIMESTAMP_STRING:
+        return StringKey(size)
+    if kind is TypeKind.VARCHAR:
+        # Index on the payload width; the 2-byte length prefix is a storage
+        # artifact, not part of the logical value.
+        return StringKey(size - 2)
+    raise SchemaError(f"no key codec for column type {column.ctype.name}")
+
+
+def codec_for_columns(columns: Sequence[Column]) -> KeyCodec:
+    """Codec for a (possibly composite) key over the given columns."""
+    codecs = [codec_for_column(c) for c in columns]
+    if len(codecs) == 1:
+        return codecs[0]
+    return CompositeKey(codecs)

@@ -1,0 +1,2 @@
+"""The paper's three contributions: index caching, hot/cold partitioning,
+and encoding-waste reclamation (plus semantic IDs)."""

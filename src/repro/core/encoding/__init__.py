@@ -1,0 +1,41 @@
+"""Encoding-waste reclamation (§4): schema types as hints, not contracts."""
+
+from repro.core.encoding.analyzer import ColumnProfile, profile_column
+from repro.core.encoding.inference import (
+    TypeRecommendation,
+    infer_column_type,
+    optimize_schema,
+)
+from repro.core.encoding.codecs import (
+    BitPackedIntCodec,
+    BooleanBitmapCodec,
+    DeltaVarintCodec,
+    DictionaryCodec,
+    Timestamp14Codec,
+)
+from repro.core.encoding.migrate import MigrationReport, migrate_table
+from repro.core.encoding.report import (
+    ColumnWaste,
+    TableWasteReport,
+    analyze_table_waste,
+    format_waste_report,
+)
+
+__all__ = [
+    "ColumnProfile",
+    "profile_column",
+    "TypeRecommendation",
+    "infer_column_type",
+    "optimize_schema",
+    "BitPackedIntCodec",
+    "BooleanBitmapCodec",
+    "DeltaVarintCodec",
+    "DictionaryCodec",
+    "Timestamp14Codec",
+    "ColumnWaste",
+    "TableWasteReport",
+    "analyze_table_waste",
+    "format_waste_report",
+    "MigrationReport",
+    "migrate_table",
+]

@@ -1,0 +1,183 @@
+"""Concrete value codecs realising the §4.1 savings.
+
+The inference layer *predicts* bit costs; these codecs *deliver* them with
+real round-tripping bytes, so the waste report's numbers are backed by
+working encoders rather than arithmetic alone:
+
+* :class:`BitPackedIntCodec` — frame-of-reference + bit packing ("int
+  fields that store small value ranges which can easily be encoded in 8,
+  or even 4 bits").
+* :class:`DictionaryCodec` — low-cardinality columns of any type.
+* :class:`Timestamp14Codec` — MediaWiki's 14-byte ``YYYYMMDDHHMMSS``
+  string to a 4-byte unix timestamp, the paper's flagship example.
+* :class:`BooleanBitmapCodec` — "using bytes to store booleans".
+* :class:`DeltaVarintCodec` — sorted id columns (auto-increment keys).
+"""
+
+from __future__ import annotations
+
+import calendar
+import time
+from dataclasses import dataclass
+
+from repro.errors import SchemaError, TypeMismatchError
+from repro.util.bitpack import bits_required, pack_bits, unpack_bits
+from repro.util.varint import decode_uvarint, encode_uvarint
+
+
+@dataclass(frozen=True)
+class BitPackedIntCodec:
+    """Offset + fixed-bit-width packing for a known integer range."""
+
+    offset: int
+    bit_width: int
+
+    @classmethod
+    def for_range(cls, lo: int, hi: int) -> "BitPackedIntCodec":
+        if hi < lo:
+            raise SchemaError("range must satisfy hi >= lo")
+        return cls(offset=lo, bit_width=bits_required(hi - lo))
+
+    def encode(self, values: list[int]) -> bytes:
+        shifted = [v - self.offset for v in values]
+        for v in shifted:
+            if v < 0:
+                raise TypeMismatchError(
+                    f"value {v + self.offset} below codec offset {self.offset}"
+                )
+        return pack_bits(shifted, self.bit_width)
+
+    def decode(self, data: bytes, count: int) -> list[int]:
+        return [v + self.offset for v in unpack_bits(data, self.bit_width, count)]
+
+    @property
+    def bits_per_value(self) -> float:
+        return float(self.bit_width)
+
+
+class DictionaryCodec:
+    """Maps distinct values to dense bit-packed codes."""
+
+    def __init__(self, dictionary: list[object]) -> None:
+        if not dictionary:
+            raise SchemaError("dictionary cannot be empty")
+        if len(set(map(repr, dictionary))) != len(dictionary):
+            raise SchemaError("dictionary entries must be distinct")
+        self._values = list(dictionary)
+        self._codes = {v: i for i, v in enumerate(dictionary)}
+        self._bit_width = bits_required(max(0, len(dictionary) - 1))
+
+    @classmethod
+    def build(cls, values: list[object]) -> "DictionaryCodec":
+        """Build from a column, dictionary ordered by first appearance."""
+        seen: dict[object, None] = {}
+        for v in values:
+            seen.setdefault(v, None)
+        return cls(list(seen))
+
+    @property
+    def size(self) -> int:
+        return len(self._values)
+
+    @property
+    def bit_width(self) -> int:
+        return self._bit_width
+
+    def encode(self, values: list[object]) -> bytes:
+        try:
+            codes = [self._codes[v] for v in values]
+        except KeyError as exc:
+            raise TypeMismatchError(f"value {exc.args[0]!r} not in dictionary") from None
+        return pack_bits(codes, self._bit_width) if values else b""
+
+    def decode(self, data: bytes, count: int) -> list[object]:
+        if count == 0:
+            return []
+        return [self._values[c] for c in unpack_bits(data, self._bit_width, count)]
+
+
+class Timestamp14Codec:
+    """``YYYYMMDDHHMMSS`` (14 bytes) <-> unix seconds (4 bytes).
+
+    The paper: "Wikipedia's revision table uses a 14 byte string to
+    represent a timestamp that can easily be encoded into a 4 byte
+    timestamp."  Interprets the string as UTC.
+    """
+
+    SIZE_BEFORE = 14
+    SIZE_AFTER = 4
+
+    def encode_one(self, ts: str) -> int:
+        if len(ts) != 14 or not ts.isdigit():
+            raise TypeMismatchError(f"not a YYYYMMDDHHMMSS string: {ts!r}")
+        parsed = time.strptime(ts, "%Y%m%d%H%M%S")
+        epoch = calendar.timegm(parsed)
+        if not 0 <= epoch < 2**32:
+            raise TypeMismatchError(f"timestamp {ts!r} outside u32 epoch range")
+        return epoch
+
+    def decode_one(self, epoch: int) -> str:
+        return time.strftime("%Y%m%d%H%M%S", time.gmtime(epoch))
+
+    def encode(self, values: list[str]) -> bytes:
+        return b"".join(
+            self.encode_one(v).to_bytes(self.SIZE_AFTER, "little") for v in values
+        )
+
+    def decode(self, data: bytes, count: int) -> list[str]:
+        if len(data) < count * self.SIZE_AFTER:
+            raise SchemaError("timestamp stream too short")
+        out = []
+        for i in range(count):
+            chunk = data[i * self.SIZE_AFTER : (i + 1) * self.SIZE_AFTER]
+            out.append(self.decode_one(int.from_bytes(chunk, "little")))
+        return out
+
+
+class BooleanBitmapCodec:
+    """Bools at one bit each instead of one byte."""
+
+    def encode(self, values: list[bool]) -> bytes:
+        return pack_bits([1 if v else 0 for v in values], 1) if values else b""
+
+    def decode(self, data: bytes, count: int) -> list[bool]:
+        if count == 0:
+            return []
+        return [bool(v) for v in unpack_bits(data, 1, count)]
+
+
+class DeltaVarintCodec:
+    """Non-decreasing integers as first value + varint deltas.
+
+    Auto-increment id columns — the §4.2 target — compress to ~1 byte per
+    value this way, which is the quantitative backdrop for "drop the id
+    entirely and use the physical address".
+    """
+
+    def encode(self, values: list[int]) -> bytes:
+        if not values:
+            return b""
+        out = bytearray(encode_uvarint(values[0]))
+        prev = values[0]
+        for v in values[1:]:
+            delta = v - prev
+            if delta < 0:
+                raise TypeMismatchError(
+                    "DeltaVarintCodec requires non-decreasing values"
+                )
+            out += encode_uvarint(delta)
+            prev = v
+        return bytes(out)
+
+    def decode(self, data: bytes, count: int) -> list[int]:
+        if count == 0:
+            return []
+        values = []
+        offset = 0
+        current, offset = decode_uvarint(data, offset)
+        values.append(current)
+        for _ in range(count - 1):
+            delta, offset = decode_uvarint(data, offset)
+            current += delta
+            values.append(current)
+        return values

@@ -1,0 +1,145 @@
+"""Online hot/cold management (§3.1's automated-policy direction).
+
+Wikipedia's policy is structural (hot = latest revision per page), but the
+paper notes: "Other applications may have different policies, or require
+automated tools to keep track of access patterns."  This manager is that
+tool: it records every lookup into a decayed
+:class:`~repro.core.hot_cold.tracker.AccessTracker` and, at epoch
+boundaries, migrates rows between the partitions of a
+:class:`~repro.core.hot_cold.partitioner.HotColdPartitionedTable` so the
+hot partition converges to the hottest ``hot_capacity`` keys.
+
+Migration is budgeted per epoch: moving a tuple is a delete+insert (the
+§3.1 relocation), so a shifting workload is followed gradually rather than
+with a reorganisation storm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.hot_cold.partitioner import HotColdPartitionedTable
+from repro.core.hot_cold.tracker import AccessTracker
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class RebalanceReport:
+    """What one epoch's rebalance did."""
+
+    epoch: int
+    promoted: int
+    demoted: int
+    hot_rows_after: int
+
+
+class OnlineHotColdManager:
+    """Drives a partitioned table from observed access frequencies."""
+
+    def __init__(
+        self,
+        table: HotColdPartitionedTable,
+        hot_capacity: int,
+        decay: float = 0.5,
+        ops_per_epoch: int = 10_000,
+        migration_budget: int = 256,
+    ) -> None:
+        """
+        Args:
+            table: the two-partition table to manage.
+            hot_capacity: target number of rows in the hot partition.
+            decay: tracker decay per epoch (smaller forgets faster).
+            ops_per_epoch: lookups between automatic rebalances.
+            migration_budget: max promote+demote moves per rebalance.
+        """
+        if hot_capacity <= 0:
+            raise WorkloadError("hot_capacity must be positive")
+        if ops_per_epoch <= 0 or migration_budget <= 0:
+            raise WorkloadError("epoch and budget must be positive")
+        self._table = table
+        self._hot_capacity = hot_capacity
+        self._tracker = AccessTracker(decay=decay)
+        self._ops_per_epoch = ops_per_epoch
+        self._budget = migration_budget
+        self._ops_since_rebalance = 0
+        self.reports: list[RebalanceReport] = []
+
+    @property
+    def tracker(self) -> AccessTracker:
+        return self._tracker
+
+    @property
+    def table(self) -> HotColdPartitionedTable:
+        return self._table
+
+    # -- the query path ----------------------------------------------------------
+
+    def lookup(
+        self, key_value: object, project: tuple[str, ...] | None = None
+    ) -> dict[str, object] | None:
+        """Tracked lookup; triggers a rebalance every ``ops_per_epoch``."""
+        self._tracker.record(key_value)
+        self._ops_since_rebalance += 1
+        result = self._table.lookup(key_value, project)
+        if self._ops_since_rebalance >= self._ops_per_epoch:
+            self.rebalance()
+        return result
+
+    # -- rebalancing ---------------------------------------------------------------
+
+    def rebalance(self) -> RebalanceReport:
+        """Migrate toward "hot partition = hottest ``hot_capacity`` keys".
+
+        Promotions (cold keys hotter than the coldest hot resident) are
+        applied before demotions, both bounded by the migration budget.
+        """
+        self._ops_since_rebalance = 0
+        want_hot = set(self._tracker.hottest(self._hot_capacity))
+        budget = self._budget
+        promoted = 0
+        demoted = 0
+        for key in want_hot:
+            if budget <= 0:
+                break
+            if not self._table.is_hot(key):
+                if self._table.promote(key):
+                    promoted += 1
+                    budget -= 1
+        # Demote residents that fell out of the hot set, until the hot
+        # partition is back at (or under) capacity.
+        if self._table.hot.num_rows > self._hot_capacity and budget > 0:
+            residents = self._hot_residents()
+            coldest_first = sorted(
+                residents, key=self._tracker.count_of
+            )
+            excess = self._table.hot.num_rows - self._hot_capacity
+            for key in coldest_first:
+                if budget <= 0 or excess <= 0:
+                    break
+                if key not in want_hot and self._table.demote(key):
+                    demoted += 1
+                    excess -= 1
+                    budget -= 1
+        self._tracker.advance_epoch()
+        report = RebalanceReport(
+            epoch=self._tracker.epoch,
+            promoted=promoted,
+            demoted=demoted,
+            hot_rows_after=self._table.hot.num_rows,
+        )
+        self.reports.append(report)
+        return report
+
+    def _hot_residents(self) -> list[object]:
+        """Keys currently in the hot partition (decoded from the index)."""
+        keys = []
+        tree = self._table.hot.tree
+        codec = self._table._codec
+        for key_bytes, _ in tree.items():
+            keys.append(codec.decode(key_bytes))
+        return keys
+
+    def hot_hit_rate(self) -> float:
+        """Fraction of lookups served by the hot partition so far."""
+        total = self._table.hot_lookups + self._table.cold_lookups
+        return self._table.hot_lookups / total if total else 0.0

@@ -1,0 +1,191 @@
+"""Hot/cold horizontal partitioning (§3.1, the "Partition" bar of Fig. 3).
+
+Clustering (same heap, hot tuples at the tail) fixes heap locality but
+leaves one giant index.  A dedicated hot *partition* goes further: the hot
+tuples get their own heap **and their own index**, and because the hot set
+is small, that index fits in RAM — the paper's 27.1 GB → 1.4 GB, 8.4×
+effect.
+
+:class:`HotColdPartitionedTable` is the generic mechanism: two
+(heap, index) pairs behind one lookup interface, plus demote/promote moves.
+The Wikipedia revision *policy* — "newly inserted revision tuples replace
+the previously hot tuple for the same page, which is then moved to the
+cold partition" — lives in ``workload.wikipedia``, driving this mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.btree.keycodec import KeyCodec, codec_for_columns
+from repro.btree.tree import BPlusTree
+from repro.core.hot_cold.forwarding import ForwardingTable
+from repro.errors import QueryError
+from repro.schema.record import pack_record_map, unpack_fields
+from repro.schema.schema import Schema
+from repro.storage.heap import HeapFile, Rid, RID_SIZE
+
+
+@dataclass
+class Partition:
+    """One physical partition: a heap and its primary index."""
+
+    heap: HeapFile
+    tree: BPlusTree
+
+    @property
+    def num_rows(self) -> int:
+        return self.tree.num_entries
+
+    @property
+    def heap_bytes(self) -> int:
+        return self.heap.size_bytes
+
+    @property
+    def index_bytes(self) -> int:
+        return self.tree.size_bytes
+
+
+@dataclass
+class PartitionStats:
+    """Size accounting for the paper's before/after comparison."""
+
+    hot_rows: int
+    cold_rows: int
+    hot_index_bytes: int
+    cold_index_bytes: int
+    hot_heap_bytes: int
+    cold_heap_bytes: int
+
+    @property
+    def index_shrink_factor(self) -> float:
+        """How much smaller the hot index is than a combined index would
+        be — the paper's "reducing total index sizes a factor of 19"."""
+        if self.hot_index_bytes == 0:
+            return 1.0
+        return (self.hot_index_bytes + self.cold_index_bytes) / self.hot_index_bytes
+
+
+class HotColdPartitionedTable:
+    """A logical table stored as a hot partition plus a cold partition."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        key_columns: tuple[str, ...],
+        hot: Partition,
+        cold: Partition,
+        forwarding: ForwardingTable | None = None,
+    ) -> None:
+        if hot.tree.value_size != RID_SIZE or cold.tree.value_size != RID_SIZE:
+            raise QueryError("partition indexes must be RID-valued")
+        self._schema = schema
+        self._key_columns = tuple(key_columns)
+        self._codec: KeyCodec = codec_for_columns(
+            [schema.column(c) for c in key_columns]
+        )
+        self._hot = hot
+        self._cold = cold
+        self._forwarding = forwarding
+        self.hot_lookups = 0
+        self.cold_lookups = 0
+        self.demotions = 0
+        self.promotions = 0
+
+    # -- properties ----------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def hot(self) -> Partition:
+        return self._hot
+
+    @property
+    def cold(self) -> Partition:
+        return self._cold
+
+    def encode_key(self, key_value: object) -> bytes:
+        if len(self._key_columns) == 1:
+            if isinstance(key_value, (tuple, list)):
+                (key_value,) = key_value
+            return self._codec.encode(key_value)
+        return self._codec.encode(tuple(key_value))  # type: ignore[arg-type]
+
+    # -- data plane ------------------------------------------------------------
+
+    def insert(self, row: dict[str, object], hot: bool = True) -> Rid:
+        """Insert a row into the chosen partition."""
+        part = self._hot if hot else self._cold
+        record = pack_record_map(self._schema, row)
+        rid = part.heap.insert(record)
+        key = self.encode_key(tuple(row[c] for c in self._key_columns))
+        part.tree.insert(key, rid.to_bytes())
+        return rid
+
+    def lookup(
+        self, key_value: object, project: tuple[str, ...] | None = None
+    ) -> dict[str, object] | None:
+        """Point lookup: hot partition first, cold on miss.
+
+        The access skew the partitioning exploits means almost every
+        lookup resolves in the (small, RAM-resident) hot partition.
+        """
+        key = self.encode_key(key_value)
+        project = project if project is not None else self._schema.names
+        rid_bytes = self._hot.tree.search(key)
+        if rid_bytes is not None:
+            self.hot_lookups += 1
+            record = self._hot.heap.fetch(Rid.from_bytes(rid_bytes))
+            return unpack_fields(self._schema, record, project)
+        rid_bytes = self._cold.tree.search(key)
+        if rid_bytes is None:
+            return None
+        self.cold_lookups += 1
+        record = self._cold.heap.fetch(Rid.from_bytes(rid_bytes))
+        return unpack_fields(self._schema, record, project)
+
+    def demote(self, key_value: object) -> bool:
+        """Move a row hot → cold (e.g. a superseded revision)."""
+        moved = self._move(key_value, self._hot, self._cold)
+        if moved:
+            self.demotions += 1
+        return moved
+
+    def promote(self, key_value: object) -> bool:
+        """Move a row cold → hot (e.g. a page became popular again)."""
+        moved = self._move(key_value, self._cold, self._hot)
+        if moved:
+            self.promotions += 1
+        return moved
+
+    def is_hot(self, key_value: object) -> bool:
+        return self._hot.tree.search(self.encode_key(key_value)) is not None
+
+    def stats(self) -> PartitionStats:
+        return PartitionStats(
+            hot_rows=self._hot.num_rows,
+            cold_rows=self._cold.num_rows,
+            hot_index_bytes=self._hot.index_bytes,
+            cold_index_bytes=self._cold.index_bytes,
+            hot_heap_bytes=self._hot.heap_bytes,
+            cold_heap_bytes=self._cold.heap_bytes,
+        )
+
+    # -- internals ---------------------------------------------------------------
+
+    def _move(self, key_value: object, src: Partition, dst: Partition) -> bool:
+        key = self.encode_key(key_value)
+        rid_bytes = src.tree.search(key)
+        if rid_bytes is None:
+            return False
+        old_rid = Rid.from_bytes(rid_bytes)
+        record = src.heap.fetch(old_rid)
+        src.heap.delete(old_rid)
+        src.tree.delete(key)
+        new_rid = dst.heap.insert(record)
+        dst.tree.insert(key, new_rid.to_bytes())
+        if self._forwarding is not None:
+            self._forwarding.record_move(old_rid, new_rid)
+        return True

@@ -1,0 +1,45 @@
+"""Index caching (§2.1): recycling B+Tree free space as a tuple cache."""
+
+from repro.core.index_cache.layout import CacheGeometry, ITEM_HEADER_SIZE, ITEM_CHECKSUM_SIZE
+from repro.core.index_cache.policy import (
+    CachePolicy,
+    LruPolicy,
+    RandomPolicy,
+    SwapPolicy,
+)
+from repro.core.index_cache.cache import IndexCache
+from repro.core.index_cache.invalidation import CacheInvalidation, UpdatePredicate
+from repro.core.index_cache.latching import LatchSimulator
+from repro.core.index_cache.cached_index import CachedBTree, LookupResult
+from repro.core.index_cache.covering import CoveringIndex
+from repro.core.index_cache.agg_cache import AggregateCachingReader
+from repro.core.index_cache.advisor import (
+    AdvisorChoice,
+    FieldStats,
+    QueryClass,
+    select_cached_fields,
+)
+from repro.core.index_cache.simulator import SwapCacheSimulator
+
+__all__ = [
+    "CacheGeometry",
+    "ITEM_HEADER_SIZE",
+    "ITEM_CHECKSUM_SIZE",
+    "CachePolicy",
+    "SwapPolicy",
+    "RandomPolicy",
+    "LruPolicy",
+    "IndexCache",
+    "CacheInvalidation",
+    "UpdatePredicate",
+    "LatchSimulator",
+    "CachedBTree",
+    "CoveringIndex",
+    "AggregateCachingReader",
+    "LookupResult",
+    "FieldStats",
+    "QueryClass",
+    "AdvisorChoice",
+    "select_cached_fields",
+    "SwapCacheSimulator",
+]

@@ -1,0 +1,171 @@
+"""Cached-field selection heuristics (§2.1.4).
+
+The paper hand-picked fields and reports two heuristics that pull against
+each other:
+
+1. cached fields should be **stable** (rarely updated) — updates must go
+   to the heap anyway, and each update poisons cache entries;
+2. cached fields should **fully answer a large class of queries** —
+   a cache item only helps when ``projection ⊆ index key ∪ cached fields``.
+
+There is a third, implicit force: every byte cached shrinks the number of
+slots a page holds, so wider payloads mean fewer cached tuples and a lower
+hit rate.  ``select_cached_fields`` runs a greedy search over field sets
+scoring all three, which is the "automated tool" direction the paper
+gestures at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.index_cache.layout import item_size_for_payload
+from repro.errors import ReproError
+from repro.schema.schema import Schema
+
+
+@dataclass(frozen=True)
+class FieldStats:
+    """Per-column workload statistics fed to the advisor.
+
+    Attributes:
+        name: column name.
+        update_rate: fraction of workload operations that modify this
+            column (0 = perfectly stable).
+    """
+
+    name: str
+    update_rate: float
+
+
+@dataclass(frozen=True)
+class QueryClass:
+    """A class of queries: the fields it projects and its frequency."""
+
+    projected: frozenset[str]
+    frequency: float
+
+    @classmethod
+    def of(cls, projected: list[str] | tuple[str, ...], frequency: float) -> "QueryClass":
+        return cls(frozenset(projected), frequency)
+
+
+@dataclass(frozen=True)
+class AdvisorChoice:
+    """The advisor's output: the fields plus the scores that justify them."""
+
+    fields: tuple[str, ...]
+    coverage: float
+    stability: float
+    capacity_factor: float
+    score: float
+    payload_bytes: int
+
+
+def _score(
+    candidate: set[str],
+    key_columns: set[str],
+    schema: Schema,
+    stats_by_name: dict[str, FieldStats],
+    queries: list[QueryClass],
+    free_bytes_per_page: float,
+) -> AdvisorChoice:
+    answerable = key_columns | candidate
+    total_freq = sum(q.frequency for q in queries) or 1.0
+    coverage = (
+        sum(q.frequency for q in queries if q.projected <= answerable) / total_freq
+    )
+    # Stability: expected fraction of cache items NOT poisoned per unit of
+    # workload — the product over cached fields of (1 - update rate).
+    stability = 1.0
+    for name in candidate:
+        stability *= 1.0 - min(1.0, stats_by_name[name].update_rate)
+    payload = sum(schema.column(n).size for n in candidate)
+    slots = int(free_bytes_per_page // item_size_for_payload(payload)) if payload else 0
+    # Capacity factor: slots relative to the narrowest useful payload
+    # (1 B), passed through a square root because cache hit rate under a
+    # skewed workload is strongly concave in slot count — halving the
+    # slots costs far less than half the hits.
+    max_slots = free_bytes_per_page // item_size_for_payload(1)
+    capacity_factor = (slots / max_slots) ** 0.5 if max_slots else 0.0
+    score = coverage * stability * capacity_factor
+    return AdvisorChoice(
+        fields=tuple(sorted(candidate)),
+        coverage=coverage,
+        stability=stability,
+        capacity_factor=capacity_factor,
+        score=score,
+        payload_bytes=payload,
+    )
+
+
+def select_cached_fields(
+    schema: Schema,
+    key_columns: tuple[str, ...],
+    field_stats: list[FieldStats],
+    query_classes: list[QueryClass],
+    free_bytes_per_page: float,
+    max_fields: int | None = None,
+) -> AdvisorChoice:
+    """Greedily pick the cached-field set maximising coverage × stability ×
+    capacity.
+
+    Args:
+        schema: the table schema (provides field widths).
+        key_columns: the index key (always answerable, never cached).
+        field_stats: update rates for candidate columns; columns without
+            stats are assumed stable.
+        query_classes: the workload's projection classes with frequencies.
+        free_bytes_per_page: average free window per leaf (from
+            :func:`repro.btree.stats.collect_stats`).
+        max_fields: optional cap on the number of cached fields.
+
+    Returns the best :class:`AdvisorChoice` found; its ``fields`` may be
+    empty when no field set beats caching nothing (score 0).
+    """
+    if free_bytes_per_page <= 0:
+        raise ReproError("free_bytes_per_page must be positive")
+    key_set = set(key_columns)
+    stats_by_name = {s.name: s for s in field_stats}
+    candidates = [
+        c.name for c in schema.columns if c.name not in key_set
+    ]
+    for name in candidates:
+        stats_by_name.setdefault(name, FieldStats(name, 0.0))
+
+    # A query class only becomes answerable when *all* its non-key fields
+    # are cached, so single-field greedy steps can be blind (every
+    # singleton scores zero coverage).  Candidate moves are therefore the
+    # per-class field groups as well as the single fields.
+    groups: list[frozenset[str]] = [frozenset({name}) for name in candidates]
+    for query in query_classes:
+        group = frozenset(query.projected - key_set)
+        if group and group <= set(candidates) and group not in groups:
+            groups.append(group)
+
+    chosen: set[str] = set()
+    best = AdvisorChoice(
+        fields=(), coverage=0.0, stability=1.0, capacity_factor=0.0,
+        score=0.0, payload_bytes=0,
+    )
+    limit = max_fields if max_fields is not None else len(candidates)
+    while len(chosen) < limit:
+        round_best: AdvisorChoice | None = None
+        round_group: frozenset[str] | None = None
+        for group in groups:
+            addition = group - chosen
+            if not addition or len(chosen | group) > limit:
+                continue
+            choice = _score(
+                chosen | group, key_set, schema, stats_by_name,
+                query_classes, free_bytes_per_page,
+            )
+            if round_best is None or choice.score > round_best.score:
+                round_best = choice
+                round_group = group
+        if round_best is None or round_best.score <= best.score:
+            break
+        best = round_best
+        assert round_group is not None
+        chosen |= round_group
+    return best

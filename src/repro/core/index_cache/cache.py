@@ -1,0 +1,285 @@
+"""The index cache proper: byte-level slot I/O plus policy orchestration.
+
+One :class:`IndexCache` instance serves a whole index; it is stateless with
+respect to individual pages (all cache state lives in the page bytes), so
+it can be pointed at any leaf page the B+Tree hands it.  Every operation
+re-derives the slot geometry from the page's *current* free window —
+because the window may have shrunk since the item was written, and reads
+must never trust stale layout.
+
+Key invariants (and where the paper states them):
+
+* Cache reads/writes never dirty the page — "cache modifications do not
+  dirty the page" (§2.1.1).  The cache layer itself never calls unpin; the
+  caller holds the pin and decides dirtiness (always False for cache-only
+  touches).
+* A slot is empty iff its checksum fails (zeroed slots fail trivially);
+  index growth can therefore clobber any slot at any time.
+* The cache never grows the window or blocks an index insert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.index_cache.layout import (
+    CacheGeometry,
+    ITEM_CHECKSUM_SIZE,
+    ITEM_HEADER_SIZE,
+    checksum,
+    item_size_for_payload,
+)
+from repro.core.index_cache.policy import CachePolicy, SwapPolicy
+from repro.errors import ReproError
+from repro.storage.page import SlottedPage
+from repro.util.rng import DeterministicRng
+
+
+@dataclass
+class CacheStats:
+    """Aggregate counters across every page this cache instance touched."""
+
+    probes: int = 0
+    hits: int = 0
+    misses: int = 0
+    inserts: int = 0
+    evictions: int = 0
+    promotions: int = 0
+    skipped_no_room: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.probes if self.probes else 0.0
+
+
+class IndexCache:
+    """Reads and writes cache items inside leaf-page free windows."""
+
+    def __init__(
+        self,
+        payload_size: int,
+        entry_size: int,
+        policy: CachePolicy | None = None,
+        rng: DeterministicRng | None = None,
+    ) -> None:
+        """
+        Args:
+            payload_size: width of the cached field payload, bytes.
+            entry_size: the leaf's key+value record width (the paper's K),
+                needed for the stable-point formula.
+            policy: replacement policy; defaults to the paper's SwapPolicy.
+            rng: random source for the default policy.
+        """
+        self._payload_size = payload_size
+        self._entry_size = entry_size
+        self._item_size = item_size_for_payload(payload_size)
+        if policy is None:
+            policy = SwapPolicy(rng if rng is not None else DeterministicRng(0))
+        self._policy = policy
+        self.stats = CacheStats()
+
+    # -- geometry ------------------------------------------------------------
+
+    @property
+    def payload_size(self) -> int:
+        return self._payload_size
+
+    @property
+    def item_size(self) -> int:
+        return self._item_size
+
+    @property
+    def policy(self) -> CachePolicy:
+        return self._policy
+
+    def geometry(self, page: SlottedPage) -> CacheGeometry:
+        """Slot layout for the page's current free window."""
+        return CacheGeometry.of(page, self._payload_size, self._entry_size)
+
+    def capacity(self, page: SlottedPage) -> int:
+        """How many items this page can hold right now."""
+        return self.geometry(page).num_slots
+
+    # -- slot I/O --------------------------------------------------------------
+
+    def read_slot(
+        self, page: SlottedPage, geo: CacheGeometry, slot: int
+    ) -> tuple[bytes, bytes] | None:
+        """``(tuple_id, payload)`` if the slot holds a valid item, else None."""
+        off = geo.slot_offset(slot)
+        buf = page.buffer
+        stored = int.from_bytes(
+            buf[off + self._item_size - ITEM_CHECKSUM_SIZE : off + self._item_size],
+            "little",
+        )
+        if stored == 0:
+            return None
+        tid = bytes(buf[off : off + ITEM_HEADER_SIZE])
+        payload = bytes(
+            buf[off + ITEM_HEADER_SIZE : off + ITEM_HEADER_SIZE + self._payload_size]
+        )
+        if checksum(tid, payload) != stored:
+            return None  # clobbered by index growth; reads as empty
+        return tid, payload
+
+    def write_slot(
+        self,
+        page: SlottedPage,
+        geo: CacheGeometry,
+        slot: int,
+        tuple_id: bytes,
+        payload: bytes,
+    ) -> None:
+        """Write one item; does not dirty the page (caller's contract)."""
+        if len(tuple_id) != ITEM_HEADER_SIZE:
+            raise ReproError(
+                f"tuple_id must be {ITEM_HEADER_SIZE} bytes, got {len(tuple_id)}"
+            )
+        if len(payload) != self._payload_size:
+            raise ReproError(
+                f"payload must be {self._payload_size} bytes, got {len(payload)}"
+            )
+        off = geo.slot_offset(slot)
+        buf = page.buffer
+        buf[off : off + ITEM_HEADER_SIZE] = tuple_id
+        buf[off + ITEM_HEADER_SIZE : off + ITEM_HEADER_SIZE + self._payload_size] = payload
+        crc = checksum(tuple_id, payload)
+        buf[
+            off + self._item_size - ITEM_CHECKSUM_SIZE : off + self._item_size
+        ] = crc.to_bytes(ITEM_CHECKSUM_SIZE, "little")
+
+    def clear_slot(self, page: SlottedPage, geo: CacheGeometry, slot: int) -> None:
+        """Zero one slot."""
+        off = geo.slot_offset(slot)
+        page.buffer[off : off + self._item_size] = bytes(self._item_size)
+
+    def zero_window(self, page: SlottedPage) -> None:
+        """Zero the entire free window (full-page cache invalidation)."""
+        lo, hi = page.free_window()
+        page.buffer[lo:hi] = bytes(hi - lo)
+
+    # -- scanning ----------------------------------------------------------------
+
+    def occupancy(
+        self, page: SlottedPage, geo: CacheGeometry | None = None
+    ) -> tuple[list[int], list[int]]:
+        """``(free_slots, occupied_slots)`` for the current geometry."""
+        if geo is None:
+            geo = self.geometry(page)
+        free: list[int] = []
+        occupied: list[int] = []
+        for slot in range(geo.num_slots):
+            if self.read_slot(page, geo, slot) is None:
+                free.append(slot)
+            else:
+                occupied.append(slot)
+        return free, occupied
+
+    def entries(self, page: SlottedPage) -> list[tuple[int, bytes, bytes]]:
+        """Every valid item as ``(slot, tuple_id, payload)``."""
+        geo = self.geometry(page)
+        out = []
+        for slot in range(geo.num_slots):
+            item = self.read_slot(page, geo, slot)
+            if item is not None:
+                out.append((slot, item[0], item[1]))
+        return out
+
+    def find(
+        self, page: SlottedPage, geo: CacheGeometry, tuple_id: bytes
+    ) -> tuple[int, bytes] | None:
+        """Scan the slots for ``tuple_id``; returns ``(slot, payload)``.
+
+        Uses ``bytes.find`` to locate candidate positions quickly, then
+        validates alignment and checksum — semantically identical to the
+        linear scan the paper describes, just not O(n) in Python-level
+        work.
+        """
+        if geo.num_slots == 0:
+            return None
+        buf = page.buffer
+        base = geo.first_slot_index * self._item_size
+        end = base + geo.num_slots * self._item_size
+        pos = buf.find(tuple_id, base, end)
+        while pos != -1:
+            rel = pos - base
+            if rel % self._item_size == 0:
+                slot = rel // self._item_size
+                item = self.read_slot(page, geo, slot)
+                if item is not None and item[0] == tuple_id:
+                    return slot, item[1]
+            pos = buf.find(tuple_id, pos + 1, end)
+        return None
+
+    # -- the paper's operations -------------------------------------------------
+
+    def probe(self, page: SlottedPage, tuple_id: bytes) -> bytes | None:
+        """Look up ``tuple_id`` in the page's cache (§2.1.1 read path).
+
+        On a hit the policy may migrate the item one bucket closer to the
+        stable point (the "swap" in Swap); the displaced occupant, if any,
+        takes the vacated slot.
+        """
+        geo = self.geometry(page)
+        self.stats.probes += 1
+        found = self.find(page, geo, tuple_id)
+        if found is None:
+            self.stats.misses += 1
+            return None
+        slot, payload = found
+        self.stats.hits += 1
+        target = self._policy.on_hit(geo, slot, page.page_id)
+        if target is not None and target != slot:
+            self._swap_slots(page, geo, slot, target)
+            self.stats.promotions += 1
+        return payload
+
+    def insert(
+        self, page: SlottedPage, tuple_id: bytes, payload: bytes
+    ) -> bool:
+        """Cache an item after a miss (§2.1.1 fill path).
+
+        Returns False when the window has no slot at all (page too full) or
+        the policy declines.  Never splits pages, never dirties.
+        """
+        geo = self.geometry(page)
+        if geo.num_slots == 0:
+            self.stats.skipped_no_room += 1
+            return False
+        free, occupied = self.occupancy(page, geo)
+        slot = self._policy.choose_slot(geo, free, occupied, page.page_id)
+        if slot is None:
+            self.stats.skipped_no_room += 1
+            return False
+        if slot in occupied:
+            self.stats.evictions += 1
+            self._policy.on_evict(slot, page.page_id)
+        self.write_slot(page, geo, slot, tuple_id, payload)
+        self._policy.on_insert(slot, page.page_id)
+        self.stats.inserts += 1
+        return True
+
+    def invalidate_tuple(self, page: SlottedPage, tuple_id: bytes) -> bool:
+        """Drop one tuple's item from this page's cache if present."""
+        geo = self.geometry(page)
+        found = self.find(page, geo, tuple_id)
+        if found is None:
+            return False
+        self.clear_slot(page, geo, found[0])
+        return True
+
+    # -- internals ------------------------------------------------------------
+
+    def _swap_slots(
+        self, page: SlottedPage, geo: CacheGeometry, a: int, b: int
+    ) -> None:
+        item_a = self.read_slot(page, geo, a)
+        item_b = self.read_slot(page, geo, b)
+        if item_a is None:  # pragma: no cover - caller just validated a
+            return
+        if item_b is None:
+            self.write_slot(page, geo, b, *item_a)
+            self.clear_slot(page, geo, a)
+        else:
+            self.write_slot(page, geo, b, *item_a)
+            self.write_slot(page, geo, a, *item_b)

@@ -1,0 +1,349 @@
+"""CachedBTree: a B+Tree whose leaf free space caches hot tuple fields.
+
+This is the end-to-end assembly of §2.1: lookups descend the tree, probe
+the leaf's cache window for the tuple id, and — when the query's projection
+is covered by ``index key ∪ cached fields`` — return without ever touching
+the heap (no buffer-pool access, no disk).  Misses fetch the heap tuple
+through the buffer pool and then piggy-back a cache fill, exactly the
+"piggy-back off normal query processing" maintenance the paper prescribes.
+
+Cost accounting contract (how the experiments recreate the paper's setup):
+
+* Pass a :class:`~repro.sim.cost_model.CostModel` here to charge the
+  in-memory index path: one ``index_descent`` per lookup plus one
+  ``cache_probe`` per cache scan.
+* Hook the *heap's* buffer pool with the same model so heap fetches charge
+  a buffer-pool access and, on pool misses, a disk read.
+* Leave the *index* pool unhooked to model the paper's "index is fully in
+  memory" assumption (Fig. 2b/2c); hook it too for the all-costs-real
+  configuration (Fig. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.btree.keycodec import KeyCodec, codec_for_columns
+from repro.btree.node import LeafNode
+from repro.btree.tree import BPlusTree
+from repro.core.index_cache.cache import IndexCache
+from repro.core.index_cache.invalidation import CacheInvalidation
+from repro.core.index_cache.latching import LatchSimulator
+from repro.core.index_cache.policy import CachePolicy
+from repro.errors import QueryError
+from repro.schema.record import (
+    pack_record_map,
+    unpack_fields,
+    unpack_record,
+    unpack_record_map,
+)
+from repro.schema.schema import Schema
+from repro.sim.cost_model import CostModel
+from repro.storage.heap import HeapFile, Rid, RID_SIZE
+from repro.util.rng import DeterministicRng
+
+
+@dataclass
+class CachedIndexStats:
+    """Where lookups were answered from."""
+
+    lookups: int = 0
+    found: int = 0
+    answered_from_cache: int = 0
+    heap_fetches: int = 0
+    not_answerable: int = 0
+    cache_fills: int = 0
+    fills_skipped_latch: int = 0
+
+    @property
+    def cache_answer_rate(self) -> float:
+        return self.answered_from_cache / self.found if self.found else 0.0
+
+
+@dataclass
+class LookupResult:
+    """Outcome of one point lookup."""
+
+    values: dict[str, object] | None
+    found: bool
+    from_cache: bool
+
+
+class CachedBTree:
+    """Unique secondary index with the §2.1 in-leaf tuple cache."""
+
+    def __init__(
+        self,
+        tree: BPlusTree,
+        heap: HeapFile,
+        schema: Schema,
+        key_columns: tuple[str, ...],
+        cached_fields: tuple[str, ...],
+        policy: CachePolicy | None = None,
+        rng: DeterministicRng | None = None,
+        invalidation: CacheInvalidation | None = None,
+        latch: LatchSimulator | None = None,
+        cost_model: CostModel | None = None,
+    ) -> None:
+        if not key_columns:
+            raise QueryError("index needs at least one key column")
+        overlap = set(key_columns) & set(cached_fields)
+        if overlap:
+            raise QueryError(
+                f"fields {sorted(overlap)} are index keys; caching them "
+                "would duplicate bytes the leaf already stores"
+            )
+        self._tree = tree
+        self._heap = heap
+        self._schema = schema
+        self._key_columns = tuple(key_columns)
+        self._cached_fields = tuple(cached_fields)
+        self._codec: KeyCodec = codec_for_columns(
+            [schema.column(c) for c in key_columns]
+        )
+        if self._codec.size != tree.key_size:
+            raise QueryError(
+                f"tree key size {tree.key_size} != codec size {self._codec.size}"
+            )
+        if tree.value_size != RID_SIZE:
+            raise QueryError("cached index requires RID-valued tree")
+        self._payload_schema = schema.project(list(cached_fields)) if cached_fields else None
+        payload_size = (
+            self._payload_schema.record_size if self._payload_schema else 0
+        )
+        if payload_size <= 0:
+            raise QueryError("cached_fields must have positive total width")
+        self._cache = IndexCache(
+            payload_size,
+            entry_size=tree.key_size + tree.value_size,
+            policy=policy,
+            rng=rng,
+        )
+        self._invalidation = invalidation
+        self._latch = latch if latch is not None else LatchSimulator(0.0)
+        self._cost = cost_model
+        self._answerable = set(key_columns) | set(cached_fields)
+        self.stats = CachedIndexStats()
+
+    # -- properties ----------------------------------------------------------
+
+    @property
+    def tree(self) -> BPlusTree:
+        return self._tree
+
+    @property
+    def heap(self) -> HeapFile:
+        return self._heap
+
+    @property
+    def cache(self) -> IndexCache:
+        return self._cache
+
+    @property
+    def invalidation(self) -> CacheInvalidation | None:
+        return self._invalidation
+
+    @property
+    def latch(self) -> LatchSimulator:
+        return self._latch
+
+    @property
+    def key_columns(self) -> tuple[str, ...]:
+        return self._key_columns
+
+    @property
+    def cached_fields(self) -> tuple[str, ...]:
+        return self._cached_fields
+
+    def encode_key(self, key_value: object) -> bytes:
+        """Encode a key value (scalar or tuple for composite keys)."""
+        if len(self._key_columns) == 1:
+            if isinstance(key_value, (tuple, list)):
+                (key_value,) = key_value
+            return self._codec.encode(key_value)
+        return self._codec.encode(tuple(key_value))  # type: ignore[arg-type]
+
+    # -- data plane ------------------------------------------------------------
+
+    def insert_row(self, row: dict[str, object]) -> Rid:
+        """Insert a full row: heap append + index maintenance.
+
+        The tree insert may consume leaf free space, silently clobbering
+        peripheral cache slots — by design, no coordination needed.
+        """
+        record = pack_record_map(self._schema, row)
+        rid = self._heap.insert(record)
+        key = self.encode_key(tuple(row[c] for c in self._key_columns))
+        self._tree.insert(key, rid.to_bytes())
+        return rid
+
+    def insert_key(self, row: dict[str, object], rid: Rid) -> None:
+        """Index-maintenance-only insert: the heap row already exists.
+
+        Used by :class:`repro.query.table.Table`, which owns the heap write
+        and fans out to every index on the table.
+        """
+        key = self.encode_key(tuple(row[c] for c in self._key_columns))
+        self._tree.insert(key, rid.to_bytes())
+
+    def delete_key(self, row: dict[str, object]) -> None:
+        """Index-maintenance-only delete (heap row handled by the caller)."""
+        key = self.encode_key(tuple(row[c] for c in self._key_columns))
+        self._tree.delete(key)
+        if self._invalidation is not None:
+            self._invalidation.note_update(key)
+
+    def note_update(self, row: dict[str, object], changed: set[str]) -> None:
+        """Invalidate this index's cached copy after a heap update."""
+        if self._invalidation is not None and changed & set(self._cached_fields):
+            key = self.encode_key(tuple(row[c] for c in self._key_columns))
+            self._invalidation.note_update(key)
+
+    def lookup(
+        self, key_value: object, project: tuple[str, ...] | None = None
+    ) -> LookupResult:
+        """Point lookup with projection (the paper's workhorse query)."""
+        project = project if project is not None else self._schema.names
+        for name in project:
+            if not self._schema.has_column(name):
+                raise QueryError(f"unknown projected column {name!r}")
+        key = self.encode_key(key_value)
+        self.stats.lookups += 1
+        if self._cost is not None:
+            self._cost.on_index_descent()
+        leaf_id = self._tree.find_leaf(key)
+        pool = self._tree.pool
+        with pool.page(leaf_id) as page:
+            leaf = LeafNode(page, self._tree.key_size, self._tree.value_size)
+            pos, found = leaf.find(key)
+            if not found:
+                return LookupResult(None, found=False, from_cache=False)
+            self.stats.found += 1
+            tid = leaf.value_at(pos)
+            if self._invalidation is not None:
+                count = leaf.count
+                first = leaf.key_at(0) if count else None
+                last = leaf.key_at(count - 1) if count else None
+                self._invalidation.validate_page(page, self._cache, first, last)
+            answerable = set(project) <= self._answerable
+            if answerable:
+                if self._cost is not None:
+                    self._cost.on_cache_probe()
+                payload = self._cache.probe(page, tid)
+                if payload is not None:
+                    self.stats.answered_from_cache += 1
+                    values = self._assemble(key, payload, project)
+                    return LookupResult(values, found=True, from_cache=True)
+            else:
+                self.stats.not_answerable += 1
+            # Cache miss (or unanswerable projection): go to the heap.
+            rid = Rid.from_bytes(tid)
+            record = self._heap.fetch(rid)
+            self.stats.heap_fetches += 1
+            values = unpack_fields(self._schema, record, project)
+            self._fill_cache(page, tid, record)
+            return LookupResult(values, found=True, from_cache=False)
+
+    def update_row(self, key_value: object, changes: dict[str, object]) -> bool:
+        """Update non-key fields of the row at ``key_value``.
+
+        Updates go to the heap tuple (the paper: "updates must access the
+        updated field values in the heap tuple") and append an
+        invalidation predicate so stale cache copies get zeroed lazily.
+        """
+        bad = set(changes) & set(self._key_columns)
+        if bad:
+            raise QueryError(f"cannot update key columns {sorted(bad)}")
+        key = self.encode_key(key_value)
+        tid = self._tree.search(key)
+        if tid is None:
+            return False
+        rid = Rid.from_bytes(tid)
+        record = bytearray(self._heap.fetch(rid))
+        row = unpack_record_map(self._schema, bytes(record))
+        row.update(changes)
+        self._heap.update(rid, pack_record_map(self._schema, row))
+        if self._invalidation is not None and (
+            set(changes) & set(self._cached_fields)
+        ):
+            self._invalidation.note_update(key)
+        return True
+
+    def delete_row(self, key_value: object) -> bool:
+        """Delete the row at ``key_value`` from heap and index."""
+        key = self.encode_key(key_value)
+        tid = self._tree.search(key)
+        if tid is None:
+            return False
+        self._heap.delete(Rid.from_bytes(tid))
+        self._tree.delete(key)
+        if self._invalidation is not None:
+            self._invalidation.note_update(key)
+        return True
+
+    def scan_range(
+        self,
+        lo_value: object | None = None,
+        hi_value: object | None = None,
+        project: tuple[str, ...] | None = None,
+    ):
+        """Yield projected rows with key in ``[lo_value, hi_value)``.
+
+        Range scans read every qualifying tuple, so the cache offers no
+        shortcut (it holds random hot subsets, not contiguous ranges);
+        rows come from the heap.  Projection still prunes decode work.
+        """
+        project = project if project is not None else self._schema.names
+        lo = self.encode_key(lo_value) if lo_value is not None else None
+        hi = self.encode_key(hi_value) if hi_value is not None else None
+        for _, rid_bytes in self._tree.range_scan(lo, hi):
+            record = self._heap.fetch(Rid.from_bytes(rid_bytes))
+            yield unpack_fields(self._schema, record, project)
+
+    # -- introspection -----------------------------------------------------------
+
+    def cache_capacity_total(self) -> int:
+        """Sum of current cache slots across every leaf."""
+        total = 0
+        pool = self._tree.pool
+        for page_id in self._tree.leaf_page_ids:
+            with pool.page(page_id) as page:
+                total += self._cache.capacity(page)
+        return total
+
+    def cached_item_count(self) -> int:
+        """Number of valid cache items across every leaf."""
+        total = 0
+        pool = self._tree.pool
+        for page_id in self._tree.leaf_page_ids:
+            with pool.page(page_id) as page:
+                total += len(self._cache.entries(page))
+        return total
+
+    # -- internals ---------------------------------------------------------------
+
+    def _assemble(
+        self, key: bytes, payload: bytes, project: tuple[str, ...]
+    ) -> dict[str, object]:
+        values: dict[str, object] = {}
+        decoded = self._codec.decode(key)
+        if len(self._key_columns) == 1:
+            values[self._key_columns[0]] = decoded
+        else:
+            values.update(zip(self._key_columns, decoded))  # type: ignore[arg-type]
+        assert self._payload_schema is not None
+        # The payload is a packed record over the cached-field schema.
+        values.update(
+            zip(self._payload_schema.names, unpack_record(self._payload_schema, payload))
+        )
+        return {name: values[name] for name in project}
+
+    def _fill_cache(self, page, tid: bytes, record: bytes) -> None:
+        if not self._latch.try_acquire():
+            self.stats.fills_skipped_latch += 1
+            return
+        assert self._payload_schema is not None
+        fields = unpack_fields(self._schema, record, self._payload_schema.names)
+        payload = pack_record_map(self._payload_schema, fields)
+        if self._cache.insert(page, tid, payload):
+            self.stats.cache_fills += 1

@@ -1,0 +1,35 @@
+"""Semantic IDs (§4.2): drop meaningless ids, or make their bits work."""
+
+from repro.core.semantic_ids.reduction import (
+    FunctionalDependency,
+    RidProxyTable,
+    find_droppable_columns,
+    id_elision_savings,
+)
+from repro.core.semantic_ids.embedding import (
+    EmbeddedId,
+    IdReassignmentPlan,
+    move_by_id_update,
+    plan_reassignment,
+)
+from repro.core.semantic_ids.routing import (
+    EmbeddedIdRouter,
+    LookupTableRouter,
+    RoutingComparison,
+    compare_routers,
+)
+
+__all__ = [
+    "FunctionalDependency",
+    "RidProxyTable",
+    "find_droppable_columns",
+    "id_elision_savings",
+    "EmbeddedId",
+    "IdReassignmentPlan",
+    "move_by_id_update",
+    "plan_reassignment",
+    "LookupTableRouter",
+    "EmbeddedIdRouter",
+    "RoutingComparison",
+    "compare_routers",
+]

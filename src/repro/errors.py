@@ -1,0 +1,72 @@
+"""Exception hierarchy for the ``repro`` storage engine.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without catching unrelated bugs.  The hierarchy is
+split by subsystem: storage, index, schema, and query.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class StorageError(ReproError):
+    """Base class for storage-layer failures (disk, page, buffer pool)."""
+
+
+class PageFullError(StorageError):
+    """A page has no room for the requested record or key."""
+
+
+class PageFormatError(StorageError):
+    """Page bytes do not parse as the expected on-page layout."""
+
+
+class InvalidRidError(StorageError):
+    """A record id does not name a live tuple (deleted slot, bad page)."""
+
+
+class BufferPoolError(StorageError):
+    """Buffer-pool protocol violation (e.g. unpinning an unpinned frame)."""
+
+
+class DiskError(StorageError):
+    """Out-of-range page id or other simulated-disk failure."""
+
+
+class IndexError_(ReproError):
+    """Base class for B+Tree failures.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    ``IndexError`` while keeping the obvious name.
+    """
+
+
+class DuplicateKeyError(IndexError_):
+    """Insert of a key that already exists in a unique index."""
+
+
+class KeyNotFoundError(IndexError_):
+    """Delete or exact lookup of a key that is not present."""
+
+
+class SchemaError(ReproError):
+    """Schema definition or record-serialization failure."""
+
+
+class TypeMismatchError(SchemaError):
+    """A value cannot be stored in the declared column type."""
+
+
+class CatalogError(ReproError):
+    """Unknown or duplicate table/index name in the catalog."""
+
+
+class QueryError(ReproError):
+    """Malformed query against the :class:`repro.query.Database` facade."""
+
+
+class WorkloadError(ReproError):
+    """Invalid workload or trace specification."""

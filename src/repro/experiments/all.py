@@ -1,0 +1,51 @@
+"""Run every experiment driver and print every figure/table.
+
+Usage::
+
+    python -m repro.experiments.all           # everything (~3-4 minutes)
+    python -m repro.experiments.all fig2a fig3  # just the named ones
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import (
+    ablations,
+    capacity,
+    encoding_waste,
+    fig2a,
+    fig2b,
+    fig2c,
+    fig3,
+    fill_factor,
+    headline,
+)
+
+_DRIVERS = {
+    "fig2a": fig2a.main,
+    "fig2b": fig2b.main,
+    "fig2c": fig2c.main,
+    "fig3": fig3.main,
+    "capacity": capacity.main,
+    "encoding": encoding_waste.main,
+    "fill_factor": fill_factor.main,
+    "headline": headline.main,
+    "ablations": ablations.main,
+}
+
+
+def main(names: list[str] | None = None) -> None:
+    chosen = names or list(_DRIVERS)
+    unknown = [n for n in chosen if n not in _DRIVERS]
+    if unknown:
+        raise SystemExit(
+            f"unknown experiments {unknown}; available: {list(_DRIVERS)}"
+        )
+    for name in chosen:
+        print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
+        _DRIVERS[name]()
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:] or None)

@@ -1,0 +1,92 @@
+"""Figure 2(a): cache hit rate vs cache size, Swap and Shrink scenarios.
+
+Paper setup: zipf lookups ("α = .5"), 100k lookups per point, x-axis the
+cache size as a percentage of the total number of items.  Claims to
+reproduce:
+
+* both curves rise steeply and saturate;
+* the swap policy tracks the clairvoyant oracle closely;
+* ``Shrink`` (half the cache overwritten at a constant rate) costs only a
+  few points of hit rate versus ``Swap`` — "showing that swapping
+  effectively moves hot items towards the middle".
+
+**Parameterization note** (also in EXPERIMENTS.md): under the standard
+zipf convention ``p(rank) ∝ rank^-α``, α = 0.5 mathematically caps *any*
+cache at 25% capacity to a 50% hit rate — the paper's ">90% at 25%" is
+only consistent with a heavier-tailed convention.  We therefore sweep α
+and report the paper's headline numbers at α = 1.5 (where the 25%-cache
+oracle is ≈97%) while preserving the swap-vs-shrink *shape* at every α.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.runner import oracle_hit_rate, print_table
+from repro.workload.trace import run_shrink_scenario, run_swap_scenario
+
+DEFAULT_SIZES_PCT = (5, 10, 25, 50, 75, 100)
+
+
+@dataclass(frozen=True)
+class Fig2aPoint:
+    """One x-position of the figure."""
+
+    cache_pct: int
+    swap_hit_rate: float
+    shrink_hit_rate: float
+    oracle_hit_rate: float
+
+    @property
+    def shrink_penalty(self) -> float:
+        """Hit-rate points lost to cache shrinkage (paper: ~5)."""
+        return self.swap_hit_rate - self.shrink_hit_rate
+
+
+def run(
+    n_items: int = 10_000,
+    n_lookups: int = 100_000,
+    alpha: float = 0.5,
+    sizes_pct: tuple[int, ...] = DEFAULT_SIZES_PCT,
+    bucket_slots: int = 4,
+    seed: int = 0,
+) -> list[Fig2aPoint]:
+    """Sweep cache sizes and measure Swap/Shrink hit rates."""
+    points = []
+    for pct in sizes_pct:
+        capacity = max(1, n_items * pct // 100)
+        swap = run_swap_scenario(
+            n_items, capacity, n_lookups, alpha=alpha,
+            bucket_slots=bucket_slots, seed=seed,
+        )
+        shrink = run_shrink_scenario(
+            n_items, capacity, n_lookups, alpha=alpha,
+            bucket_slots=bucket_slots, seed=seed,
+        )
+        points.append(
+            Fig2aPoint(
+                cache_pct=pct,
+                swap_hit_rate=swap.hit_rate,
+                shrink_hit_rate=shrink.hit_rate,
+                oracle_hit_rate=oracle_hit_rate(n_items, alpha, pct / 100),
+            )
+        )
+    return points
+
+
+def main() -> None:
+    for alpha in (0.5, 1.0, 1.5):
+        points = run(alpha=alpha)
+        print_table(
+            ["cache %", "Swap", "Shrink", "oracle"],
+            [
+                (p.cache_pct, p.swap_hit_rate, p.shrink_hit_rate,
+                 p.oracle_hit_rate)
+                for p in points
+            ],
+            title=f"\nFigure 2(a): hit rate vs cache size (zipf alpha={alpha})",
+        )
+
+
+if __name__ == "__main__":
+    main()

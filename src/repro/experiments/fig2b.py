@@ -1,0 +1,114 @@
+"""Figure 2(b): cost/lookup (ms) vs index-cache hit rate × buffer-pool hit
+rate.
+
+Paper setup: "We assume that the index is fully in memory, and simulate
+the index and buffer pool using large in-memory arrays.  An index cache
+miss must access a random page in the buffer pool, and a buffer pool miss
+must read a page from an on-disk file."  Lines for buffer-pool hit rates
+0%, 60%, 90%, 96%, 100%; log-scale y from ~0.0001 to ~10 ms.
+
+We reproduce it two ways that must agree:
+
+* **analytic** — the closed form in
+  :meth:`repro.sim.cost_model.CostModel.expected_lookup_ns`;
+* **monte carlo** — drawing hit/miss outcomes per lookup and charging the
+  simulated clock, exercising the counter machinery end to end.
+
+Shape claims: orders of magnitude between the 0% and 100% buffer-pool
+lines at low cache hit rates; every line collapses to the same floor as
+the cache hit rate approaches 100% (a cache hit touches neither the pool
+nor the disk).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.runner import print_table
+from repro.sim.cost_model import CostModel, CostPreset, PAPER_PRESET
+from repro.util.rng import DeterministicRng
+from repro.util.units import NS_PER_MS
+
+BP_HIT_RATES = (0.0, 0.60, 0.90, 0.96, 1.0)
+CACHE_HIT_RATES = tuple(x / 100 for x in range(0, 101, 10))
+
+
+@dataclass(frozen=True)
+class Fig2bPoint:
+    """One (line, x) point of the figure."""
+
+    bp_hit_rate: float
+    cache_hit_rate: float
+    cost_ms_analytic: float
+    cost_ms_simulated: float
+
+
+def run(
+    preset: CostPreset = PAPER_PRESET,
+    bp_hit_rates: tuple[float, ...] = BP_HIT_RATES,
+    cache_hit_rates: tuple[float, ...] = CACHE_HIT_RATES,
+    lookups_per_point: int = 20_000,
+    seed: int = 0,
+) -> list[Fig2bPoint]:
+    """Sweep both hit rates; returns one point per (line, x) pair."""
+    rng = DeterministicRng(seed)
+    points = []
+    for bp_hit in bp_hit_rates:
+        for cache_hit in cache_hit_rates:
+            model = CostModel(preset)
+            analytic = model.expected_lookup_ns(cache_hit, bp_hit) / NS_PER_MS
+            simulated = _simulate(
+                model, cache_hit, bp_hit, lookups_per_point, rng
+            )
+            points.append(
+                Fig2bPoint(
+                    bp_hit_rate=bp_hit,
+                    cache_hit_rate=cache_hit,
+                    cost_ms_analytic=analytic,
+                    cost_ms_simulated=simulated,
+                )
+            )
+    return points
+
+
+def _simulate(
+    model: CostModel,
+    cache_hit_rate: float,
+    bp_hit_rate: float,
+    lookups: int,
+    rng: DeterministicRng,
+) -> float:
+    """Monte-carlo draw of the paper's micro-benchmark loop."""
+    model.reset()
+    for _ in range(lookups):
+        model.on_index_descent()
+        model.on_cache_probe()
+        if rng.random() < cache_hit_rate:
+            continue  # answered from the leaf's cache slots
+        if rng.random() < bp_hit_rate:
+            model.on_bp_hit()
+        else:
+            model.on_bp_miss()
+    return model.now_ns / lookups / NS_PER_MS
+
+
+def main() -> None:
+    points = run()
+    by_line: dict[float, list[Fig2bPoint]] = {}
+    for p in points:
+        by_line.setdefault(p.bp_hit_rate, []).append(p)
+    headers = ["cache hit %"] + [f"bp={int(b * 100)}%" for b in sorted(by_line)]
+    rows = []
+    for i, cache_hit in enumerate(CACHE_HIT_RATES):
+        row: list[object] = [int(cache_hit * 100)]
+        for bp_hit in sorted(by_line):
+            row.append(by_line[bp_hit][i].cost_ms_simulated)
+        rows.append(row)
+    print_table(
+        headers, rows,
+        title="Figure 2(b): cost/lookup (ms) vs cache and buffer-pool hit rates",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""Query layer: tables, indexes, predicates, and the Database facade."""
+
+from repro.query.predicates import (
+    And,
+    ColumnEq,
+    ColumnIn,
+    ColumnRange,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+from repro.query.table import PlainIndex, Table
+from repro.query.database import Database
+from repro.query.executor import FkJoinCache
+
+__all__ = [
+    "Predicate",
+    "ColumnEq",
+    "ColumnIn",
+    "ColumnRange",
+    "And",
+    "Or",
+    "Not",
+    "TruePredicate",
+    "PlainIndex",
+    "Table",
+    "Database",
+    "FkJoinCache",
+]

@@ -1,0 +1,190 @@
+"""The Database facade: the library's friendly front door.
+
+Wires a simulated disk, buffer pools, catalog, tables, and indexes into
+one object so examples and downstream users don't assemble the plumbing
+by hand.  Two pools by default:
+
+* the **data pool** holds heap pages and is cost-hooked — this is where
+  the paper's buffer-pool hit-rate economics play out;
+* the **index pool** holds B+Tree pages; by default it shares the data
+  pool, but experiments can split it (e.g. "the index is fully in memory"
+  of Fig. 2b/2c, or the index-thrashes configuration of Fig. 3).
+"""
+
+from __future__ import annotations
+
+from repro.btree.keycodec import codec_for_columns
+from repro.btree.tree import BPlusTree
+from repro.core.index_cache.cached_index import CachedBTree
+from repro.core.index_cache.invalidation import CacheInvalidation
+from repro.core.index_cache.latching import LatchSimulator
+from repro.core.index_cache.policy import CachePolicy
+from repro.errors import CatalogError, QueryError
+from repro.query.table import PlainIndex, Table
+from repro.schema.catalog import Catalog
+from repro.schema.schema import Schema
+from repro.sim.cost_model import CostModel
+from repro.storage.buffer_pool import BufferPool, EvictionPolicy
+from repro.storage.constants import DEFAULT_PAGE_SIZE
+from repro.storage.disk import SimulatedDisk
+from repro.storage.heap import HeapFile, RID_SIZE
+from repro.util.rng import DeterministicRng
+
+
+class Database:
+    """An embedded single-threaded database over the simulated substrate."""
+
+    def __init__(
+        self,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        data_pool_pages: int = 1024,
+        index_pool_pages: int | None = None,
+        cost_model: CostModel | None = None,
+        eviction: EvictionPolicy = EvictionPolicy.LRU,
+        seed: int = 0,
+    ) -> None:
+        """
+        Args:
+            page_size: bytes per page for every file in the database.
+            data_pool_pages: buffer-pool capacity for heap pages.
+            index_pool_pages: capacity of a *separate* index pool; ``None``
+                shares the data pool (one unified buffer pool).
+            cost_model: optional simulated-time model; hooked into the data
+                pool (and the index pool when separate).
+            eviction: frame replacement policy for the pools.
+            seed: seed for cache policies and other stochastic choices.
+        """
+        self._disk = SimulatedDisk(page_size)
+        self._cost = cost_model
+        self._data_pool = BufferPool(
+            self._disk, data_pool_pages, policy=eviction, cost_hook=cost_model
+        )
+        if index_pool_pages is None:
+            self._index_pool = self._data_pool
+        else:
+            self._index_pool = BufferPool(
+                self._disk, index_pool_pages, policy=eviction,
+                cost_hook=cost_model,
+            )
+        self._catalog = Catalog()
+        self._rng = DeterministicRng(seed)
+
+    # -- properties ----------------------------------------------------------
+
+    @property
+    def disk(self) -> SimulatedDisk:
+        return self._disk
+
+    @property
+    def data_pool(self) -> BufferPool:
+        return self._data_pool
+
+    @property
+    def index_pool(self) -> BufferPool:
+        return self._index_pool
+
+    @property
+    def catalog(self) -> Catalog:
+        return self._catalog
+
+    @property
+    def cost_model(self) -> CostModel | None:
+        return self._cost
+
+    # -- DDL --------------------------------------------------------------------
+
+    def create_table(
+        self, name: str, schema: Schema, append_only: bool = False
+    ) -> Table:
+        """Create an empty table."""
+        heap = HeapFile(self._data_pool, append_only=append_only)
+        table = Table(name, schema, heap)
+        self._catalog.register_table(name, schema, table)
+        return table
+
+    def create_index(
+        self,
+        table_name: str,
+        index_name: str,
+        key_columns: tuple[str, ...],
+        split_fraction: float = 0.5,
+    ) -> PlainIndex:
+        """Create a classic (uncached) unique index on an empty table."""
+        table = self.table(table_name)
+        self._require_empty(table, index_name)
+        codec = codec_for_columns(
+            [table.schema.column(c) for c in key_columns]
+        )
+        tree = BPlusTree(
+            self._index_pool, codec.size, RID_SIZE, name=index_name,
+            split_fraction=split_fraction,
+        )
+        index = PlainIndex(tree, table.heap, table.schema, key_columns)
+        table.attach_index(index_name, index)
+        self._catalog.register_index(
+            index_name, table_name, tuple(key_columns), index
+        )
+        return index
+
+    def create_cached_index(
+        self,
+        table_name: str,
+        index_name: str,
+        key_columns: tuple[str, ...],
+        cached_fields: tuple[str, ...],
+        policy: CachePolicy | None = None,
+        invalidation_log_threshold: int = 1024,
+        latch_contention: float = 0.0,
+        split_fraction: float = 0.5,
+    ) -> CachedBTree:
+        """Create a §2.1 cached index on an empty table."""
+        table = self.table(table_name)
+        self._require_empty(table, index_name)
+        codec = codec_for_columns(
+            [table.schema.column(c) for c in key_columns]
+        )
+        tree = BPlusTree(
+            self._index_pool, codec.size, RID_SIZE, name=index_name,
+            split_fraction=split_fraction,
+        )
+        index = CachedBTree(
+            tree,
+            table.heap,
+            table.schema,
+            key_columns,
+            cached_fields,
+            policy=policy,
+            rng=self._rng.child(hash(index_name) & 0xFFFF),
+            invalidation=CacheInvalidation(invalidation_log_threshold),
+            latch=LatchSimulator(latch_contention, self._rng.child(0x1A7C)),
+            cost_model=self._cost,
+        )
+        table.attach_index(index_name, index)
+        self._catalog.register_index(
+            index_name, table_name, tuple(key_columns), index
+        )
+        return index
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table from the catalog (pages are not reclaimed —
+        the simulated disk only grows, like a real tablespace file)."""
+        self._catalog.drop_table(name)
+
+    # -- access -----------------------------------------------------------------
+
+    def table(self, name: str) -> Table:
+        entry = self._catalog.table(name)
+        table = entry.table
+        if not isinstance(table, Table):  # pragma: no cover - registration bug
+            raise CatalogError(f"catalog entry {name!r} is not a Table")
+        return table
+
+    # -- internals ---------------------------------------------------------------
+
+    @staticmethod
+    def _require_empty(table: Table, index_name: str) -> None:
+        if table.num_rows:
+            raise QueryError(
+                f"cannot create index {index_name!r}: table "
+                f"{table.name!r} already has rows (no back-fill support)"
+            )

@@ -1,0 +1,139 @@
+"""Execution extras: the §2.2 foreign-key join cache.
+
+§2.2 ("Additional Directions") suggests the free-space-as-cache idea
+generalises beyond index pages: "data pages can cache the results of
+foreign key joins, to avoid additional disk accesses for join queries."
+
+:class:`FkJoinCache` demonstrates exactly that, reusing the byte-level
+:class:`~repro.core.index_cache.cache.IndexCache` machinery over *heap*
+pages: when a query joins ``child.fk -> parent.pk``, the joined parent
+fields are cached in the free window of the child tuple's own heap page.
+The next join probe for that child tuple is answered from the page it was
+already reading — no parent index descent, no parent heap access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.index_cache.cache import IndexCache
+from repro.core.index_cache.policy import CachePolicy
+from repro.errors import QueryError
+from repro.query.table import PlainIndex, Table
+from repro.schema.record import pack_record_map, unpack_fields, unpack_record
+from repro.storage.heap import Rid
+from repro.util.rng import DeterministicRng
+
+
+@dataclass
+class JoinStats:
+    """Where join probes were answered from."""
+
+    probes: int = 0
+    cache_hits: int = 0
+    parent_lookups: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.probes if self.probes else 0.0
+
+
+class FkJoinCache:
+    """Caches parent join results in the child's heap-page free space."""
+
+    def __init__(
+        self,
+        child: Table,
+        parent: Table,
+        parent_index_name: str,
+        fk_column: str,
+        parent_fields: tuple[str, ...],
+        policy: CachePolicy | None = None,
+        rng: DeterministicRng | None = None,
+    ) -> None:
+        if not child.schema.has_column(fk_column):
+            raise QueryError(f"child has no column {fk_column!r}")
+        parent_index = parent.index(parent_index_name)
+        if not isinstance(parent_index, PlainIndex):
+            raise QueryError("FkJoinCache expects a PlainIndex on the parent")
+        if len(parent_index.key_columns) != 1:
+            raise QueryError("FkJoinCache supports single-column parent keys")
+        if parent_index.tree.key_size > 8:
+            raise QueryError(
+                "FkJoinCache parent keys must encode to at most 8 bytes "
+                "(the cache's tuple-id width)"
+            )
+        self._child = child
+        self._parent = parent
+        self._parent_index = parent_index
+        self._parent_index_name = parent_index_name
+        self._fk_column = fk_column
+        self._payload_schema = parent.schema.project(list(parent_fields))
+        # Heap pages have no "key region" in the B+Tree sense; treat the
+        # child record as the K of the stable-point formula.
+        self._cache = IndexCache(
+            self._payload_schema.record_size,
+            entry_size=child.schema.record_size,
+            policy=policy,
+            rng=rng,
+        )
+        self.stats = JoinStats()
+
+    @property
+    def cache(self) -> IndexCache:
+        return self._cache
+
+    def join_fetch(
+        self, child_rid: Rid, project: tuple[str, ...]
+    ) -> dict[str, object]:
+        """Fetch child fields joined with cached-or-looked-up parent fields.
+
+        ``project`` may name columns from either side; parent columns must
+        be among the configured ``parent_fields``.
+        """
+        self.stats.probes += 1
+        child_cols = [n for n in project if self._child.schema.has_column(n)]
+        parent_cols = [n for n in project if n not in child_cols]
+        unknown = [
+            n for n in parent_cols if not self._payload_schema.has_column(n)
+        ]
+        if unknown:
+            raise QueryError(f"columns {unknown} not in cached parent fields")
+
+        pool = self._child.heap.pool
+        with pool.page(child_rid.page_id) as page:
+            record = page.read(child_rid.slot)
+            row = unpack_fields(
+                self._child.schema, record, child_cols + [self._fk_column]
+            )
+            if not parent_cols:
+                return {n: row[n] for n in project}
+            fk_value = row[self._fk_column]
+            # Tuple id for the cache: the parent key in index encoding,
+            # NUL-padded to the cache's fixed 8-byte tuple-id width.
+            tid = self._parent_index.encode_key(fk_value).ljust(8, b"\x00")
+            payload = self._cache.probe(page, tid)
+            if payload is not None:
+                self.stats.cache_hits += 1
+                parent_values = dict(
+                    zip(
+                        self._payload_schema.names,
+                        unpack_record(self._payload_schema, payload),
+                    )
+                )
+            else:
+                result = self._parent.lookup(
+                    self._parent_index_name, fk_value,
+                    project=tuple(self._payload_schema.names),
+                )
+                self.stats.parent_lookups += 1
+                if not result.found or result.values is None:
+                    raise QueryError(
+                        f"dangling foreign key {self._fk_column}={fk_value!r}"
+                    )
+                parent_values = dict(result.values)
+                self._cache.insert(
+                    page, tid, pack_record_map(self._payload_schema, parent_values)
+                )
+            merged = {**{n: row[n] for n in child_cols}, **parent_values}
+            return {n: merged[n] for n in project}

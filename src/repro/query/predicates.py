@@ -1,0 +1,106 @@
+"""Row predicates for scans and deletes.
+
+Deliberately small: equality, membership, range, and boolean composition —
+enough for the experiments' scans and for expressing the §2.1.2
+invalidation predicates at the query layer.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Mapping
+
+
+class Predicate(ABC):
+    """A boolean test over a row dict."""
+
+    @abstractmethod
+    def matches(self, row: Mapping[str, object]) -> bool:
+        """True if the row satisfies the predicate."""
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And((self, other))
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or((self, other))
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class TruePredicate(Predicate):
+    """Matches everything (the default scan filter)."""
+
+    def matches(self, row: Mapping[str, object]) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class ColumnEq(Predicate):
+    """``column = value``."""
+
+    column: str
+    value: object
+
+    def matches(self, row: Mapping[str, object]) -> bool:
+        return row.get(self.column) == self.value
+
+
+@dataclass(frozen=True)
+class ColumnIn(Predicate):
+    """``column IN values``."""
+
+    column: str
+    values: frozenset
+
+    @classmethod
+    def of(cls, column: str, values) -> "ColumnIn":
+        return cls(column, frozenset(values))
+
+    def matches(self, row: Mapping[str, object]) -> bool:
+        return row.get(self.column) in self.values
+
+
+@dataclass(frozen=True)
+class ColumnRange(Predicate):
+    """``lo <= column < hi`` (either bound optional)."""
+
+    column: str
+    lo: object | None = None
+    hi: object | None = None
+
+    def matches(self, row: Mapping[str, object]) -> bool:
+        value = row.get(self.column)
+        if value is None:
+            return False
+        if self.lo is not None and value < self.lo:  # type: ignore[operator]
+            return False
+        if self.hi is not None and value >= self.hi:  # type: ignore[operator]
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    parts: tuple[Predicate, ...]
+
+    def matches(self, row: Mapping[str, object]) -> bool:
+        return all(p.matches(row) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    parts: tuple[Predicate, ...]
+
+    def matches(self, row: Mapping[str, object]) -> bool:
+        return any(p.matches(row) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    inner: Predicate
+
+    def matches(self, row: Mapping[str, object]) -> bool:
+        return not self.inner.matches(row)

@@ -1,0 +1,230 @@
+"""Tables: a heap plus its indexes, with write fan-out.
+
+A :class:`Table` owns exactly one heap.  Indexes attach to it as either a
+:class:`PlainIndex` (classic key → RID, heap access on every lookup) or a
+:class:`~repro.core.index_cache.cached_index.CachedBTree` (the §2.1 cached
+variant).  Writes go to the heap once and fan out to every index; updates
+notify cached indexes so stale cache entries are invalidated through the
+§2.1.2 predicate log.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Union
+
+from repro.btree.keycodec import KeyCodec, codec_for_columns
+from repro.btree.tree import BPlusTree
+from repro.core.index_cache.cached_index import CachedBTree, LookupResult
+from repro.errors import QueryError
+from repro.query.predicates import Predicate, TruePredicate
+from repro.schema.record import (
+    pack_record_map,
+    unpack_fields,
+    unpack_record_map,
+)
+from repro.schema.schema import Schema
+from repro.storage.heap import HeapFile, Rid, RID_SIZE
+
+
+class PlainIndex:
+    """Classic uncached index: key → RID, tuple bytes fetched from the heap."""
+
+    def __init__(
+        self,
+        tree: BPlusTree,
+        heap: HeapFile,
+        schema: Schema,
+        key_columns: tuple[str, ...],
+    ) -> None:
+        if tree.value_size != RID_SIZE:
+            raise QueryError("PlainIndex requires a RID-valued tree")
+        self._tree = tree
+        self._heap = heap
+        self._schema = schema
+        self._key_columns = tuple(key_columns)
+        self._codec: KeyCodec = codec_for_columns(
+            [schema.column(c) for c in key_columns]
+        )
+        self.lookups = 0
+        self.heap_fetches = 0
+
+    @property
+    def tree(self) -> BPlusTree:
+        return self._tree
+
+    @property
+    def key_columns(self) -> tuple[str, ...]:
+        return self._key_columns
+
+    def encode_key(self, key_value: object) -> bytes:
+        if len(self._key_columns) == 1:
+            if isinstance(key_value, (tuple, list)):
+                (key_value,) = key_value
+            return self._codec.encode(key_value)
+        return self._codec.encode(tuple(key_value))  # type: ignore[arg-type]
+
+    def insert_key(self, row: dict[str, object], rid: Rid) -> None:
+        key = self.encode_key(tuple(row[c] for c in self._key_columns))
+        self._tree.insert(key, rid.to_bytes())
+
+    def delete_key(self, row: dict[str, object]) -> None:
+        key = self.encode_key(tuple(row[c] for c in self._key_columns))
+        self._tree.delete(key)
+
+    def note_update(self, row: dict[str, object], changed: set[str]) -> None:
+        """No cache, nothing to invalidate."""
+
+    def find_rid(self, key_value: object) -> Rid | None:
+        rid_bytes = self._tree.search(self.encode_key(key_value))
+        return Rid.from_bytes(rid_bytes) if rid_bytes is not None else None
+
+    def lookup(
+        self, key_value: object, project: tuple[str, ...] | None = None
+    ) -> LookupResult:
+        project = project if project is not None else self._schema.names
+        self.lookups += 1
+        rid = self.find_rid(key_value)
+        if rid is None:
+            return LookupResult(None, found=False, from_cache=False)
+        record = self._heap.fetch(rid)
+        self.heap_fetches += 1
+        return LookupResult(
+            unpack_fields(self._schema, record, project),
+            found=True,
+            from_cache=False,
+        )
+
+
+AnyIndex = Union[PlainIndex, CachedBTree]
+
+
+class Table:
+    """One heap, many indexes, consistent writes."""
+
+    def __init__(self, name: str, schema: Schema, heap: HeapFile) -> None:
+        self._name = name
+        self._schema = schema
+        self._heap = heap
+        self._indexes: dict[str, AnyIndex] = {}
+
+    # -- properties ----------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def heap(self) -> HeapFile:
+        return self._heap
+
+    @property
+    def num_rows(self) -> int:
+        return self._heap.num_records
+
+    @property
+    def index_names(self) -> list[str]:
+        return list(self._indexes)
+
+    def index(self, name: str) -> AnyIndex:
+        try:
+            return self._indexes[name]
+        except KeyError:
+            raise QueryError(
+                f"table {self._name!r} has no index {name!r}"
+            ) from None
+
+    def attach_index(self, name: str, index: AnyIndex) -> None:
+        """Register an index; existing rows are NOT back-filled (build the
+        index before loading, or bulk-load it separately)."""
+        if name in self._indexes:
+            raise QueryError(f"index {name!r} already attached")
+        self._indexes[name] = index
+
+    # -- writes ---------------------------------------------------------------
+
+    def insert(self, row: dict[str, object]) -> Rid:
+        """Insert a row into the heap and every index."""
+        record = pack_record_map(self._schema, row)
+        rid = self._heap.insert(record)
+        for index in self._indexes.values():
+            index.insert_key(row, rid)
+        return rid
+
+    def update(
+        self, index_name: str, key_value: object, changes: dict[str, object]
+    ) -> bool:
+        """Update non-key fields of the row found via ``index_name``.
+
+        Key columns of *any* attached index may not change (that would be
+        a delete+insert, which callers do explicitly).
+        """
+        for index in self._indexes.values():
+            bad = set(changes) & set(index.key_columns)
+            if bad:
+                raise QueryError(
+                    f"cannot update index key columns {sorted(bad)}"
+                )
+        rid = self._find_rid(index_name, key_value)
+        if rid is None:
+            return False
+        row = unpack_record_map(self._schema, self._heap.fetch(rid))
+        row.update(changes)
+        self._heap.update(rid, pack_record_map(self._schema, row))
+        changed = set(changes)
+        for index in self._indexes.values():
+            index.note_update(row, changed)
+        return True
+
+    def delete(self, index_name: str, key_value: object) -> bool:
+        """Delete the row found via ``index_name`` from heap and indexes."""
+        rid = self._find_rid(index_name, key_value)
+        if rid is None:
+            return False
+        row = unpack_record_map(self._schema, self._heap.fetch(rid))
+        self._heap.delete(rid)
+        for index in self._indexes.values():
+            index.delete_key(row)
+        return True
+
+    # -- reads ------------------------------------------------------------------
+
+    def lookup(
+        self,
+        index_name: str,
+        key_value: object,
+        project: tuple[str, ...] | None = None,
+    ) -> LookupResult:
+        """Point lookup through the named index."""
+        return self.index(index_name).lookup(key_value, project)
+
+    def fetch_rid(
+        self, rid: Rid, project: tuple[str, ...] | None = None
+    ) -> dict[str, object]:
+        project = project if project is not None else self._schema.names
+        return unpack_fields(self._schema, self._heap.fetch(rid), project)
+
+    def scan(
+        self,
+        predicate: Predicate | None = None,
+        project: tuple[str, ...] | None = None,
+    ) -> Iterator[dict[str, object]]:
+        """Full scan with optional filter and projection."""
+        predicate = predicate if predicate is not None else TruePredicate()
+        project = project if project is not None else self._schema.names
+        for _, record in self._heap.scan():
+            row = unpack_record_map(self._schema, record)
+            if predicate.matches(row):
+                yield {name: row[name] for name in project}
+
+    # -- internals ---------------------------------------------------------------
+
+    def _find_rid(self, index_name: str, key_value: object) -> Rid | None:
+        index = self.index(index_name)
+        if isinstance(index, PlainIndex):
+            return index.find_rid(key_value)
+        rid_bytes = index.tree.search(index.encode_key(key_value))
+        return Rid.from_bytes(rid_bytes) if rid_bytes is not None else None

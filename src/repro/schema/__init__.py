@@ -1,0 +1,51 @@
+"""Schema subsystem: physical types, record layout, serde, and catalog."""
+
+from repro.schema.types import (
+    PhysicalType,
+    TypeKind,
+    BOOL,
+    INT8,
+    INT16,
+    INT32,
+    INT64,
+    UINT8,
+    UINT16,
+    UINT32,
+    UINT64,
+    FLOAT64,
+    TIMESTAMP32,
+    TIMESTAMP_STR14,
+    DATE32,
+    YEAR16,
+    char,
+    varchar,
+)
+from repro.schema.schema import Column, Schema
+from repro.schema.record import pack_record, unpack_record
+from repro.schema.catalog import Catalog
+
+__all__ = [
+    "PhysicalType",
+    "TypeKind",
+    "BOOL",
+    "INT8",
+    "INT16",
+    "INT32",
+    "INT64",
+    "UINT8",
+    "UINT16",
+    "UINT32",
+    "UINT64",
+    "FLOAT64",
+    "TIMESTAMP32",
+    "TIMESTAMP_STR14",
+    "DATE32",
+    "YEAR16",
+    "char",
+    "varchar",
+    "Column",
+    "Schema",
+    "pack_record",
+    "unpack_record",
+    "Catalog",
+]

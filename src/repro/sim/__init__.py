@@ -1,0 +1,17 @@
+"""Simulated-time cost model and metric helpers for the experiments."""
+
+from repro.sim.cost_model import (
+    CostModel,
+    CostPreset,
+    END_TO_END_PRESET,
+    PAPER_PRESET,
+)
+from repro.sim.metrics import LookupMetrics
+
+__all__ = [
+    "CostModel",
+    "CostPreset",
+    "END_TO_END_PRESET",
+    "PAPER_PRESET",
+    "LookupMetrics",
+]

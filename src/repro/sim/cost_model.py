@@ -1,0 +1,174 @@
+"""Deterministic cost model: the substitute for the authors' testbed.
+
+The paper's Figures 2(b), 2(c), and 3 report wall-clock per-lookup costs on
+the authors' hardware.  We cannot (and need not) reproduce absolute times
+from Python; what must hold is the *shape*: which configuration wins, where
+lines cross, and the approximate factors.  Those are fully determined by
+four latency constants:
+
+* ``index_descent_ns`` — traversing the in-memory index to a leaf.
+* ``cache_probe_ns`` — scanning a leaf's cache slots (the paper measures
+  this overhead as ~0.3 µs in Fig. 2c).
+* ``bp_access_ns`` — fetching a tuple from a buffer-pool-resident heap
+  page.  Calibrated from Fig. 2c: the cache/nocache crossover sits at a
+  ~35% cache hit rate, i.e. ``cache_probe = 0.35 × bp_access``.
+* ``disk_read_ns`` — a random page read on a buffer-pool miss (~ms scale).
+
+With these, Fig. 2c's end-to-end 2.7× improvement at 100% cache hit rate
+and Fig. 2b's orders-of-magnitude spread across buffer-pool hit rates both
+emerge from the model rather than being painted on.
+
+The model doubles as the buffer pool's :class:`~repro.storage.buffer_pool.
+CostHook`, so full-engine experiments (Fig. 3) charge the same constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CostPreset:
+    """Latency constants, in simulated nanoseconds."""
+
+    index_descent_ns: float = 28.0
+    cache_probe_ns: float = 300.0
+    bp_access_ns: float = 857.0
+    disk_read_ns: float = 5_000_000.0
+    disk_write_ns: float = 5_000_000.0
+    #: Fixed per-query execution overhead (parse/plan/execute).  Zero for
+    #: the Fig-2 micro-benchmarks, which time the storage path alone;
+    #: the Fig-3 end-to-end experiment uses a MySQL-era ~0.4 ms so its
+    #: speedup ratios are measured against a realistic per-query floor,
+    #: as the paper's were.
+    query_overhead_ns: float = 0.0
+
+    @property
+    def nocache_lookup_ns(self) -> float:
+        """Analytic cost of an in-memory lookup without index caching."""
+        return self.index_descent_ns + self.bp_access_ns
+
+
+#: Constants calibrated to the paper's Figure 2(c):
+#: overhead 0.3 us, crossover at ~35% hit rate, 2.7x at 100%.
+PAPER_PRESET = CostPreset()
+
+#: End-to-end preset for Figure 3: same storage constants plus the
+#: per-query execution floor.
+END_TO_END_PRESET = CostPreset(query_overhead_ns=400_000.0)
+
+
+@dataclass
+class _Counters:
+    bp_hits: int = 0
+    bp_misses: int = 0
+    disk_writes: int = 0
+    cache_probes: int = 0
+    index_descents: int = 0
+
+
+class CostModel:
+    """A simulated clock charged per storage event.
+
+    Implements the buffer pool's cost hook protocol (``on_bp_hit`` /
+    ``on_bp_miss`` / ``on_disk_write``) and offers explicit charges for the
+    index-path events the buffer pool cannot see (descents, cache probes).
+    """
+
+    def __init__(self, preset: CostPreset = PAPER_PRESET) -> None:
+        self._preset = preset
+        self._now_ns = 0.0
+        self._counters = _Counters()
+
+    # -- clock --------------------------------------------------------------
+
+    @property
+    def preset(self) -> CostPreset:
+        return self._preset
+
+    @property
+    def now_ns(self) -> float:
+        """Simulated time elapsed since construction or :meth:`reset`."""
+        return self._now_ns
+
+    def reset(self) -> None:
+        """Zero the clock and all event counters."""
+        self._now_ns = 0.0
+        self._counters = _Counters()
+
+    def charge(self, ns: float) -> None:
+        """Advance the clock by an arbitrary amount (experiment glue)."""
+        self._now_ns += ns
+
+    # -- buffer-pool hook protocol -------------------------------------------
+
+    def on_bp_hit(self) -> None:
+        self._counters.bp_hits += 1
+        self._now_ns += self._preset.bp_access_ns
+
+    def on_bp_miss(self) -> None:
+        self._counters.bp_misses += 1
+        self._now_ns += self._preset.bp_access_ns + self._preset.disk_read_ns
+
+    def on_disk_write(self) -> None:
+        self._counters.disk_writes += 1
+        self._now_ns += self._preset.disk_write_ns
+
+    # -- index-path charges ----------------------------------------------------
+
+    def on_query(self) -> None:
+        """Charge the fixed per-query execution overhead."""
+        self._now_ns += self._preset.query_overhead_ns
+
+    def on_index_descent(self) -> None:
+        """Charge one in-memory root-to-leaf traversal."""
+        self._counters.index_descents += 1
+        self._now_ns += self._preset.index_descent_ns
+
+    def on_cache_probe(self) -> None:
+        """Charge one scan of a leaf's cache slots (§2.1.1)."""
+        self._counters.cache_probes += 1
+        self._now_ns += self._preset.cache_probe_ns
+
+    # -- counters ---------------------------------------------------------------
+
+    @property
+    def bp_hits(self) -> int:
+        return self._counters.bp_hits
+
+    @property
+    def bp_misses(self) -> int:
+        return self._counters.bp_misses
+
+    @property
+    def disk_writes(self) -> int:
+        return self._counters.disk_writes
+
+    @property
+    def cache_probes(self) -> int:
+        return self._counters.cache_probes
+
+    @property
+    def index_descents(self) -> int:
+        return self._counters.index_descents
+
+    # -- analytic expectations (used by Fig 2b/2c and their tests) -----------
+
+    def expected_lookup_ns(
+        self, cache_hit_rate: float, bp_hit_rate: float, cached: bool = True
+    ) -> float:
+        """Closed-form per-lookup cost at the given hit rates.
+
+        ``cached=False`` models the paper's ``nocache`` baseline: every
+        lookup pays the buffer-pool access (and the disk read on a pool
+        miss), with no probe overhead.
+        """
+        p = self._preset
+        heap_access = p.bp_access_ns + (1.0 - bp_hit_rate) * p.disk_read_ns
+        if not cached:
+            return p.index_descent_ns + heap_access
+        return (
+            p.index_descent_ns
+            + p.cache_probe_ns
+            + (1.0 - cache_hit_rate) * heap_access
+        )

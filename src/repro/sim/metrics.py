@@ -1,0 +1,65 @@
+"""Derived per-lookup metrics collected while driving a workload."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.cost_model import CostModel
+from repro.util.units import NS_PER_MS, NS_PER_US
+
+
+@dataclass
+class LookupMetrics:
+    """Accumulates lookups against a cost model and derives rates."""
+
+    lookups: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    total_cost_ns: float = 0.0
+
+    def record(self, hit: bool, cost_ns: float) -> None:
+        """Fold one lookup's outcome into the totals."""
+        self.lookups += 1
+        if hit:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+        self.total_cost_ns += cost_ns
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.lookups if self.lookups else 0.0
+
+    @property
+    def cost_per_lookup_ns(self) -> float:
+        return self.total_cost_ns / self.lookups if self.lookups else 0.0
+
+    @property
+    def cost_per_lookup_us(self) -> float:
+        return self.cost_per_lookup_ns / NS_PER_US
+
+    @property
+    def cost_per_lookup_ms(self) -> float:
+        return self.cost_per_lookup_ns / NS_PER_MS
+
+
+class PhaseTimer:
+    """Measures simulated time across an experiment phase.
+
+    Usage::
+
+        timer = PhaseTimer(cost_model)
+        ... drive workload ...
+        elapsed = timer.elapsed_ns
+    """
+
+    def __init__(self, cost_model: CostModel) -> None:
+        self._cost_model = cost_model
+        self._start_ns = cost_model.now_ns
+
+    @property
+    def elapsed_ns(self) -> float:
+        return self._cost_model.now_ns - self._start_ns
+
+    def restart(self) -> None:
+        self._start_ns = self._cost_model.now_ns

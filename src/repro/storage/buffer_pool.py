@@ -1,0 +1,249 @@
+"""Buffer pool: the RAM boundary where the paper's costs are charged.
+
+Every page access in the system flows through :meth:`BufferPool.fetch`.
+A hit costs one buffer-pool memory access; a miss additionally costs a
+disk read (and possibly a dirty write-back).  The cost model hooks are how
+the Figure 2(b)/2(c)/3 experiments translate hit/miss behaviour into
+simulated time.
+
+Cache writes from the index cache deliberately do **not** dirty pages
+(§2.1.1: "cache modifications do not dirty the page") — callers signal
+dirtiness explicitly at unpin time, and the cache layer never does.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator, Protocol
+
+from repro.errors import BufferPoolError
+from repro.storage.constants import PageType
+from repro.storage.disk import SimulatedDisk
+from repro.storage.page import SlottedPage
+
+
+class CostHook(Protocol):
+    """What the buffer pool needs from a cost model (see ``repro.sim``)."""
+
+    def on_bp_hit(self) -> None: ...
+
+    def on_bp_miss(self) -> None: ...
+
+    def on_disk_write(self) -> None: ...
+
+
+class EvictionPolicy(Enum):
+    """Frame replacement policy."""
+
+    LRU = "lru"
+    CLOCK = "clock"
+
+
+@dataclass
+class _Frame:
+    page_id: int
+    data: bytearray
+    pin_count: int = 0
+    dirty: bool = False
+    referenced: bool = True  # clock bit
+
+
+class BufferPool:
+    """Fixed-capacity page cache over a :class:`SimulatedDisk`."""
+
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        capacity_pages: int,
+        policy: EvictionPolicy = EvictionPolicy.LRU,
+        cost_hook: CostHook | None = None,
+    ) -> None:
+        if capacity_pages <= 0:
+            raise BufferPoolError("capacity must be at least one page")
+        self._disk = disk
+        self._capacity = capacity_pages
+        self._policy = policy
+        self._cost = cost_hook
+        self._frames: "OrderedDict[int, _Frame]" = OrderedDict()
+        self._clock_hand = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # -- properties ----------------------------------------------------------
+
+    @property
+    def disk(self) -> SimulatedDisk:
+        return self._disk
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def hits(self) -> int:
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        return self._misses
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions
+
+    @property
+    def hit_rate(self) -> float:
+        total = self._hits + self._misses
+        return self._hits / total if total else 0.0
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._frames)
+
+    @property
+    def pinned_pages(self) -> list[int]:
+        """Page ids currently pinned (should be empty between operations;
+        a non-empty result outside an operation is a pin leak)."""
+        return [
+            pid for pid, frame in self._frames.items() if frame.pin_count > 0
+        ]
+
+    def reset_counters(self) -> None:
+        """Zero hit/miss/eviction counters between experiment phases."""
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # -- page lifecycle ------------------------------------------------------
+
+    def new_page(self, page_type: PageType) -> SlottedPage:
+        """Allocate and format a fresh page; returned pinned and dirty."""
+        page_id = self._disk.allocate_page()
+        frame = self._install(page_id, bytearray(self._disk.page_size))
+        page = SlottedPage.format(frame.data, page_id, page_type)
+        frame.pin_count += 1
+        frame.dirty = True
+        return page
+
+    def fetch(self, page_id: int) -> SlottedPage:
+        """Pin a page and return a view over its frame bytes."""
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            self._hits += 1
+            if self._cost is not None:
+                self._cost.on_bp_hit()
+            self._touch(frame)
+        else:
+            self._misses += 1
+            if self._cost is not None:
+                self._cost.on_bp_miss()
+            data = bytearray(self._disk.read_page(page_id))
+            frame = self._install(page_id, data)
+        frame.pin_count += 1
+        return SlottedPage(frame.data)
+
+    def unpin(self, page_id: int, dirty: bool = False) -> None:
+        """Release one pin; ``dirty=True`` schedules a write-back."""
+        frame = self._frames.get(page_id)
+        if frame is None or frame.pin_count <= 0:
+            raise BufferPoolError(f"page {page_id} is not pinned")
+        frame.pin_count -= 1
+        if dirty:
+            frame.dirty = True
+
+    @contextmanager
+    def page(self, page_id: int, dirty: bool = False) -> Iterator[SlottedPage]:
+        """Pin for the duration of a ``with`` block."""
+        page = self.fetch(page_id)
+        try:
+            yield page
+        finally:
+            self.unpin(page_id, dirty=dirty)
+
+    def is_resident(self, page_id: int) -> bool:
+        """True if the page currently occupies a frame (no cost charged)."""
+        return page_id in self._frames
+
+    # -- write-back ----------------------------------------------------------
+
+    def flush(self, page_id: int) -> None:
+        """Write one page back to disk if dirty."""
+        frame = self._frames.get(page_id)
+        if frame is None:
+            return
+        if frame.dirty:
+            self._disk.write_page(page_id, bytes(frame.data))
+            if self._cost is not None:
+                self._cost.on_disk_write()
+            frame.dirty = False
+
+    def flush_all(self) -> None:
+        """Write back every dirty resident page."""
+        for page_id in list(self._frames):
+            self.flush(page_id)
+
+    def drop_clean(self) -> None:
+        """Evict every unpinned page (flushing dirty ones first).
+
+        Experiments use this to cold-start the pool between phases.
+        """
+        for page_id in list(self._frames):
+            frame = self._frames[page_id]
+            if frame.pin_count == 0:
+                self.flush(page_id)
+                del self._frames[page_id]
+
+    # -- internals -----------------------------------------------------------
+
+    def _install(self, page_id: int, data: bytearray) -> _Frame:
+        if len(self._frames) >= self._capacity:
+            self._evict_one()
+        frame = _Frame(page_id=page_id, data=data)
+        self._frames[page_id] = frame
+        return frame
+
+    def _touch(self, frame: _Frame) -> None:
+        if self._policy is EvictionPolicy.LRU:
+            self._frames.move_to_end(frame.page_id)
+        else:
+            frame.referenced = True
+
+    def _evict_one(self) -> None:
+        if self._policy is EvictionPolicy.LRU:
+            victim = self._pick_lru_victim()
+        else:
+            victim = self._pick_clock_victim()
+        frame = self._frames[victim]
+        if frame.dirty:
+            self._disk.write_page(victim, bytes(frame.data))
+            if self._cost is not None:
+                self._cost.on_disk_write()
+        del self._frames[victim]
+        self._evictions += 1
+
+    def _pick_lru_victim(self) -> int:
+        for page_id, frame in self._frames.items():
+            if frame.pin_count == 0:
+                return page_id
+        raise BufferPoolError("all frames pinned; cannot evict")
+
+    def _pick_clock_victim(self) -> int:
+        page_ids = list(self._frames)
+        n = len(page_ids)
+        # Two sweeps: the first clears reference bits, the second must find
+        # an unreferenced, unpinned frame if any frame is unpinned at all.
+        for _ in range(2 * n):
+            page_id = page_ids[self._clock_hand % n]
+            self._clock_hand += 1
+            frame = self._frames[page_id]
+            if frame.pin_count > 0:
+                continue
+            if frame.referenced:
+                frame.referenced = False
+                continue
+            return page_id
+        raise BufferPoolError("all frames pinned; cannot evict")

@@ -1,0 +1,45 @@
+"""Free-space map: which heap page can absorb the next insert.
+
+A deliberately simple structure: a dict of ``page_id -> free bytes`` kept
+approximately up to date by the heap file.  The interesting policy knob is
+``append_only`` placement, which is what the paper's clustering operator
+relies on (§3.1: relocate hot tuples "by deleting then appending them to
+the end of the table").
+"""
+
+from __future__ import annotations
+
+
+class FreeSpaceMap:
+    """Tracks per-page free bytes and picks insert targets."""
+
+    def __init__(self) -> None:
+        self._free: dict[int, int] = {}
+
+    def note(self, page_id: int, free_bytes: int) -> None:
+        """Record the current free-byte count for a page."""
+        self._free[page_id] = free_bytes
+
+    def forget(self, page_id: int) -> None:
+        self._free.pop(page_id, None)
+
+    def free_of(self, page_id: int) -> int:
+        return self._free.get(page_id, 0)
+
+    def find_page_with(self, need_bytes: int) -> int | None:
+        """Any page with at least ``need_bytes`` free, else ``None``.
+
+        First-fit over insertion order: stable, cheap, and good enough for
+        a reproduction (a production system would use a tree or bitmap).
+        """
+        for page_id, free in self._free.items():
+            if free >= need_bytes:
+                return page_id
+        return None
+
+    @property
+    def page_ids(self) -> list[int]:
+        return list(self._free)
+
+    def __len__(self) -> int:
+        return len(self._free)

@@ -1,0 +1,211 @@
+"""Heap file: unordered tuple storage in slotted pages.
+
+Tuples are addressed by :class:`Rid` ``(page_id, slot)``.  Two placement
+modes matter to the paper:
+
+* **first-fit** (default): inserts reuse free space anywhere, which over
+  time scatters logically-related tuples — the locality waste of §3.
+* **append-only**: inserts always go to the tail page.  The clustering
+  operator of §3.1 relocates hot tuples by delete + append, so appending
+  must be cheap and deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.errors import InvalidRidError, PageFullError
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.constants import PageType
+from repro.storage.freespace import FreeSpaceMap
+from repro.storage.page import SlottedPage
+
+
+@dataclass(frozen=True, order=True)
+class Rid:
+    """Record id: physical address of a tuple."""
+
+    page_id: int
+    slot: int
+
+    def __repr__(self) -> str:
+        return f"Rid({self.page_id}, {self.slot})"
+
+    def to_bytes(self) -> bytes:
+        """8-byte encoding (page u32 | slot u32), used as B+Tree values
+        and as the cache's tuple id."""
+        return self.page_id.to_bytes(4, "little") + self.slot.to_bytes(4, "little")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Rid":
+        if len(data) != 8:
+            raise InvalidRidError(f"rid encoding must be 8 bytes, got {len(data)}")
+        return cls(
+            int.from_bytes(data[:4], "little"),
+            int.from_bytes(data[4:], "little"),
+        )
+
+
+#: Width of an encoded Rid; also the B+Tree value size for RID indexes.
+RID_SIZE = 8
+
+
+class HeapFile:
+    """A growable bag of fixed- or variable-length records."""
+
+    def __init__(self, pool: BufferPool, append_only: bool = False) -> None:
+        self._pool = pool
+        self._append_only = append_only
+        self._page_ids: list[int] = []
+        self._page_id_set: set[int] = set()
+        self._fsm = FreeSpaceMap()
+        self._num_records = 0
+
+    # -- properties ----------------------------------------------------------
+
+    @property
+    def pool(self) -> BufferPool:
+        return self._pool
+
+    @property
+    def page_ids(self) -> list[int]:
+        """Page ids owned by this heap, in allocation order."""
+        return list(self._page_ids)
+
+    @property
+    def num_pages(self) -> int:
+        return len(self._page_ids)
+
+    @property
+    def num_records(self) -> int:
+        return self._num_records
+
+    @property
+    def append_only(self) -> bool:
+        return self._append_only
+
+    @property
+    def size_bytes(self) -> int:
+        """Allocated size: pages × page size."""
+        return len(self._page_ids) * self._pool.disk.page_size
+
+    # -- operations ----------------------------------------------------------
+
+    def insert(self, data: bytes) -> Rid:
+        """Insert a record, returning its physical address."""
+        page_id = self._choose_page(len(data))
+        if page_id is None:
+            page = self._pool.new_page(PageType.HEAP)
+            page_id = page.page_id
+            self._page_ids.append(page_id)
+            self._page_id_set.add(page_id)
+            try:
+                slot = page.insert(data)
+            finally:
+                self._pool.unpin(page_id, dirty=True)
+            self._fsm.note(page_id, self._free_after(page))
+        else:
+            with self._pool.page(page_id, dirty=True) as page:
+                slot = page.insert(data)
+                self._fsm.note(page_id, self._free_after(page))
+        self._num_records += 1
+        return Rid(page_id, slot)
+
+    def fetch(self, rid: Rid) -> bytes:
+        """Read the record at ``rid``."""
+        self._check_owned(rid)
+        with self._pool.page(rid.page_id) as page:
+            return page.read(rid.slot)
+
+    def update(self, rid: Rid, data: bytes) -> None:
+        """Overwrite the record at ``rid`` in place (same length)."""
+        self._check_owned(rid)
+        with self._pool.page(rid.page_id, dirty=True) as page:
+            page.update(rid.slot, data)
+
+    def delete(self, rid: Rid) -> None:
+        """Delete the record at ``rid``."""
+        self._check_owned(rid)
+        with self._pool.page(rid.page_id, dirty=True) as page:
+            page.delete(rid.slot)
+            # Tombstoned record bytes are not reclaimed until compaction, so
+            # the page's free window is unchanged; only note directory reuse.
+            self._fsm.note(rid.page_id, self._free_after(page))
+        self._num_records -= 1
+
+    def scan(self) -> Iterator[tuple[Rid, bytes]]:
+        """Yield every live record in page order (a full table scan)."""
+        for page_id in self._page_ids:
+            with self._pool.page(page_id) as page:
+                for slot, data in page.records():
+                    yield Rid(page_id, slot), data
+
+    def compact_page(self, page_id: int) -> None:
+        """Compact one page, reclaiming tombstoned record bytes."""
+        self._check_page(page_id)
+        with self._pool.page(page_id, dirty=True) as page:
+            page.compact()
+            self._fsm.note(page_id, self._free_after(page))
+
+    def compact_all(self) -> None:
+        for page_id in self._page_ids:
+            self.compact_page(page_id)
+
+    # -- statistics ----------------------------------------------------------
+
+    def fill_factor(self) -> float:
+        """Mean live-data fill factor across all pages."""
+        if not self._page_ids:
+            return 0.0
+        total = 0.0
+        for page_id in self._page_ids:
+            with self._pool.page(page_id) as page:
+                total += page.fill_factor
+        return total / len(self._page_ids)
+
+    def page_utilization(
+        self, is_useful: Callable[[Rid, bytes], bool]
+    ) -> list[float]:
+        """Per-page fraction of live records satisfying ``is_useful``.
+
+        This is the paper's "as little as 2% of frequently queried data per
+        heap page" statistic (§1, §3.1): for each page, how much of what we
+        would read into RAM is data anyone wants.
+        """
+        utilizations: list[float] = []
+        for page_id in self._page_ids:
+            with self._pool.page(page_id) as page:
+                live = 0
+                useful = 0
+                for slot, data in page.records():
+                    live += 1
+                    if is_useful(Rid(page_id, slot), data):
+                        useful += 1
+                utilizations.append(useful / live if live else 0.0)
+        return utilizations
+
+    # -- internals -----------------------------------------------------------
+
+    def _choose_page(self, record_len: int) -> int | None:
+        # A new record needs its bytes plus possibly a directory entry; ask
+        # for the conservative amount.
+        need = record_len + 4
+        if self._append_only:
+            if self._page_ids:
+                last = self._page_ids[-1]
+                if self._fsm.free_of(last) >= need:
+                    return last
+            return None
+        return self._fsm.find_page_with(need)
+
+    @staticmethod
+    def _free_after(page: SlottedPage) -> int:
+        return page.free_bytes
+
+    def _check_owned(self, rid: Rid) -> None:
+        self._check_page(rid.page_id)
+
+    def _check_page(self, page_id: int) -> None:
+        if page_id not in self._page_id_set:
+            raise InvalidRidError(f"page {page_id} does not belong to this heap")

@@ -1,0 +1,416 @@
+"""Slotted page implementing the Figure-1 anatomy of the paper.
+
+Byte layout of a page of size ``P``::
+
+    offset 0                                                        P
+    | header (24 B) | directory -> | ...free window... | <- records | footer (4 B) |
+
+* The **directory** grows upward from the header; entry ``i`` is 4 bytes:
+  record offset (u16) + record length (u16).  Offset 0 marks a tombstone.
+* The **record region** grows downward from the footer.
+* The **free window** ``[free_lo, free_hi)`` in the middle belongs to nobody
+  — which is exactly why the paper's index cache can squat there (§2.1).
+  Inserts consume the window from *both* ends without preserving its
+  contents; cache slots near the periphery are silently clobbered, and the
+  cache layer re-validates slots via checksums on every read.
+
+Header fields (little-endian)::
+
+    magic      u16   format check
+    page_id    u32
+    page_type  u8    PageType
+    flags      u8
+    slot_count u16   number of directory entries (incl. tombstones)
+    free_lo    u16   first byte past the directory
+    free_hi    u16   first byte of the lowest record
+    cache_csn  u64   per-page cache sequence number (§2.1.2)
+    reserved   u16
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import InvalidRidError, PageFormatError, PageFullError
+from repro.storage.constants import (
+    FOOTER_MAGIC,
+    NO_PAGE,
+    PAGE_FOOTER_SIZE,
+    PAGE_HEADER_SIZE,
+    PAGE_MAGIC,
+    SLOT_ENTRY_SIZE,
+    PageType,
+)
+
+_OFF_MAGIC = 0
+_OFF_PAGE_ID = 2
+_OFF_TYPE = 6
+_OFF_FLAGS = 7
+_OFF_SLOT_COUNT = 8
+_OFF_FREE_LO = 10
+_OFF_FREE_HI = 12
+_OFF_CACHE_CSN = 14
+_OFF_NEXT_PAGE = 22
+_OFF_LEVEL = 26
+_TOMBSTONE_OFFSET = 0
+
+
+class SlottedPage:
+    """A mutable view over one page's ``bytearray``.
+
+    The page does not own its buffer: the buffer pool does.  Constructing a
+    view is cheap; all state lives in the bytes, so two views over the same
+    buffer always agree.
+    """
+
+    def __init__(self, buffer: bytearray) -> None:
+        if len(buffer) < PAGE_HEADER_SIZE + PAGE_FOOTER_SIZE:
+            raise PageFormatError("buffer smaller than header + footer")
+        if len(buffer) > 0xFFFF:
+            raise PageFormatError("2-byte offsets cap pages at 65535 bytes")
+        self._buf = buffer
+        self._size = len(buffer)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def format(
+        cls, buffer: bytearray, page_id: int, page_type: PageType
+    ) -> "SlottedPage":
+        """Initialise a fresh page in ``buffer`` and return a view over it."""
+        size = len(buffer)
+        buffer[:] = bytes(size)
+        page = cls(buffer)
+        page._put_u16(_OFF_MAGIC, PAGE_MAGIC)
+        page._put_u32(_OFF_PAGE_ID, page_id)
+        buffer[_OFF_TYPE] = int(page_type)
+        page._put_u16(_OFF_SLOT_COUNT, 0)
+        page._put_u16(_OFF_FREE_LO, PAGE_HEADER_SIZE)
+        page._put_u16(_OFF_FREE_HI, size - PAGE_FOOTER_SIZE)
+        page._put_u64(_OFF_CACHE_CSN, 0)
+        page._put_u32(_OFF_NEXT_PAGE, NO_PAGE)
+        buffer[_OFF_LEVEL] = 0
+        page._put_u16(size - PAGE_FOOTER_SIZE, FOOTER_MAGIC)
+        return page
+
+    def verify(self) -> None:
+        """Raise :class:`PageFormatError` if the page bytes look corrupt."""
+        if self._get_u16(_OFF_MAGIC) != PAGE_MAGIC:
+            raise PageFormatError("bad page magic")
+        if self._get_u16(self._size - PAGE_FOOTER_SIZE) != FOOTER_MAGIC:
+            raise PageFormatError("bad footer magic")
+        lo, hi = self.free_window()
+        if not PAGE_HEADER_SIZE <= lo <= hi <= self._size - PAGE_FOOTER_SIZE:
+            raise PageFormatError(f"inconsistent free window [{lo}, {hi})")
+
+    # -- primitive accessors -------------------------------------------------
+
+    def _get_u16(self, off: int) -> int:
+        return int.from_bytes(self._buf[off : off + 2], "little")
+
+    def _put_u16(self, off: int, value: int) -> None:
+        self._buf[off : off + 2] = value.to_bytes(2, "little")
+
+    def _get_u32(self, off: int) -> int:
+        return int.from_bytes(self._buf[off : off + 4], "little")
+
+    def _put_u32(self, off: int, value: int) -> None:
+        self._buf[off : off + 4] = value.to_bytes(4, "little")
+
+    def _get_u64(self, off: int) -> int:
+        return int.from_bytes(self._buf[off : off + 8], "little")
+
+    def _put_u64(self, off: int, value: int) -> None:
+        self._buf[off : off + 8] = value.to_bytes(8, "little")
+
+    # -- header properties ---------------------------------------------------
+
+    @property
+    def buffer(self) -> bytearray:
+        """The raw page bytes (the index cache writes here directly)."""
+        return self._buf
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def page_id(self) -> int:
+        return self._get_u32(_OFF_PAGE_ID)
+
+    @property
+    def page_type(self) -> PageType:
+        return PageType(self._buf[_OFF_TYPE])
+
+    @property
+    def slot_count(self) -> int:
+        """Directory entries, including tombstones."""
+        return self._get_u16(_OFF_SLOT_COUNT)
+
+    @property
+    def cache_csn(self) -> int:
+        """Per-page cache sequence number (§2.1.2 ``CSN_p``)."""
+        return self._get_u64(_OFF_CACHE_CSN)
+
+    @cache_csn.setter
+    def cache_csn(self, value: int) -> None:
+        self._put_u64(_OFF_CACHE_CSN, value)
+
+    @property
+    def next_page(self) -> int | None:
+        """Sibling link (B+Tree leaf chaining); ``None`` when unset."""
+        raw = self._get_u32(_OFF_NEXT_PAGE)
+        return None if raw == NO_PAGE else raw
+
+    @next_page.setter
+    def next_page(self, value: int | None) -> None:
+        self._put_u32(_OFF_NEXT_PAGE, NO_PAGE if value is None else value)
+
+    @property
+    def level(self) -> int:
+        """Tree level: 0 for leaves, increasing toward the root."""
+        return self._buf[_OFF_LEVEL]
+
+    @level.setter
+    def level(self, value: int) -> None:
+        self._buf[_OFF_LEVEL] = value
+
+    def free_window(self) -> tuple[int, int]:
+        """``(free_lo, free_hi)`` — the unclaimed middle of the page."""
+        return self._get_u16(_OFF_FREE_LO), self._get_u16(_OFF_FREE_HI)
+
+    @property
+    def free_bytes(self) -> int:
+        lo, hi = self.free_window()
+        return hi - lo
+
+    # -- directory -----------------------------------------------------------
+
+    def _slot_entry_offset(self, slot: int) -> int:
+        return PAGE_HEADER_SIZE + slot * SLOT_ENTRY_SIZE
+
+    def _slot_entry(self, slot: int) -> tuple[int, int]:
+        if not 0 <= slot < self.slot_count:
+            raise InvalidRidError(
+                f"slot {slot} out of range on page {self.page_id}"
+            )
+        base = self._slot_entry_offset(slot)
+        return self._get_u16(base), self._get_u16(base + 2)
+
+    def _set_slot_entry(self, slot: int, offset: int, length: int) -> None:
+        base = self._slot_entry_offset(slot)
+        self._put_u16(base, offset)
+        self._put_u16(base + 2, length)
+
+    def slot_is_live(self, slot: int) -> bool:
+        """True if the slot holds a record (not a tombstone)."""
+        offset, _ = self._slot_entry(slot)
+        return offset != _TOMBSTONE_OFFSET
+
+    # -- record operations -----------------------------------------------------
+
+    def insert(self, data: bytes) -> int:
+        """Insert a record, return its slot number.
+
+        Prefers reusing a tombstone directory entry (no directory growth);
+        otherwise appends a new entry.  Record bytes are always taken from
+        the high end of the free window — possibly clobbering cache slots —
+        per the paper's "inserts freely overwrite the periphery" rule.
+        """
+        if not data:
+            raise PageFullError("cannot insert an empty record")
+        lo, hi = self.free_window()
+        reuse_slot = self._find_tombstone()
+        need = len(data) if reuse_slot is not None else len(data) + SLOT_ENTRY_SIZE
+        if hi - lo < need:
+            raise PageFullError(
+                f"page {self.page_id}: need {need} bytes, have {hi - lo}"
+            )
+        new_hi = hi - len(data)
+        self._buf[new_hi:hi] = data
+        self._put_u16(_OFF_FREE_HI, new_hi)
+        if reuse_slot is not None:
+            slot = reuse_slot
+        else:
+            slot = self.slot_count
+            self._put_u16(_OFF_SLOT_COUNT, slot + 1)
+            self._put_u16(_OFF_FREE_LO, lo + SLOT_ENTRY_SIZE)
+        self._set_slot_entry(slot, new_hi, len(data))
+        return slot
+
+    def read(self, slot: int) -> bytes:
+        """Read the record in ``slot``."""
+        offset, length = self._slot_entry(slot)
+        if offset == _TOMBSTONE_OFFSET:
+            raise InvalidRidError(
+                f"slot {slot} on page {self.page_id} is deleted"
+            )
+        return bytes(self._buf[offset : offset + length])
+
+    def update(self, slot: int, data: bytes) -> None:
+        """Overwrite a record in place; the length must not change."""
+        offset, length = self._slot_entry(slot)
+        if offset == _TOMBSTONE_OFFSET:
+            raise InvalidRidError(
+                f"slot {slot} on page {self.page_id} is deleted"
+            )
+        if len(data) != length:
+            raise PageFullError(
+                f"in-place update must keep length {length}, got {len(data)}"
+            )
+        self._buf[offset : offset + len(data)] = data
+
+    def delete(self, slot: int) -> None:
+        """Tombstone a slot.  Record bytes stay until :meth:`compact`."""
+        offset, length = self._slot_entry(slot)
+        if offset == _TOMBSTONE_OFFSET:
+            raise InvalidRidError(
+                f"slot {slot} on page {self.page_id} already deleted"
+            )
+        self._set_slot_entry(slot, _TOMBSTONE_OFFSET, length)
+
+    # -- ordered-directory operations (B+Tree nodes) -------------------------
+    #
+    # B+Tree nodes keep their directory sorted by key, so they never use
+    # tombstones: removal shifts the directory closed and insertion shifts
+    # it open.  Record bytes of removed entries are orphaned in the record
+    # region until :meth:`compact` — exactly the fill-factor decay the paper
+    # cites for B+Trees under deletes.
+
+    def insert_at(self, position: int, data: bytes) -> None:
+        """Insert a record so its directory entry lands at ``position``.
+
+        All entries at ``position`` and beyond shift one step up.  Raises
+        :class:`PageFullError` if the record plus a directory entry do not
+        fit in the free window.
+        """
+        count = self.slot_count
+        if not 0 <= position <= count:
+            raise InvalidRidError(
+                f"position {position} out of range 0..{count}"
+            )
+        if not data:
+            raise PageFullError("cannot insert an empty record")
+        lo, hi = self.free_window()
+        need = len(data) + SLOT_ENTRY_SIZE
+        if hi - lo < need:
+            raise PageFullError(
+                f"page {self.page_id}: need {need} bytes, have {hi - lo}"
+            )
+        new_hi = hi - len(data)
+        self._buf[new_hi:hi] = data
+        self._put_u16(_OFF_FREE_HI, new_hi)
+        start = self._slot_entry_offset(position)
+        end = self._slot_entry_offset(count)
+        self._buf[start + SLOT_ENTRY_SIZE : end + SLOT_ENTRY_SIZE] = self._buf[start:end]
+        self._put_u16(_OFF_SLOT_COUNT, count + 1)
+        self._put_u16(_OFF_FREE_LO, lo + SLOT_ENTRY_SIZE)
+        self._set_slot_entry(position, new_hi, len(data))
+
+    def remove_at(self, position: int) -> None:
+        """Remove the directory entry at ``position``, shifting the rest down.
+
+        The record's bytes are orphaned in the record region (reclaimed by
+        :meth:`compact`), so the free window does not grow at the high end.
+        """
+        count = self.slot_count
+        if not 0 <= position < count:
+            raise InvalidRidError(
+                f"position {position} out of range 0..{count - 1}"
+            )
+        start = self._slot_entry_offset(position + 1)
+        end = self._slot_entry_offset(count)
+        self._buf[start - SLOT_ENTRY_SIZE : end - SLOT_ENTRY_SIZE] = self._buf[start:end]
+        lo = self._get_u16(_OFF_FREE_LO)
+        self._put_u16(_OFF_SLOT_COUNT, count - 1)
+        self._put_u16(_OFF_FREE_LO, lo - SLOT_ENTRY_SIZE)
+
+    def truncate(self, new_count: int) -> None:
+        """Drop every directory entry at position >= ``new_count``.
+
+        Used when splitting B+Tree nodes: the upper half is copied to the
+        new sibling and truncated here.  Orphaned record bytes are then
+        reclaimed with :meth:`compact`.
+        """
+        count = self.slot_count
+        if not 0 <= new_count <= count:
+            raise InvalidRidError(
+                f"truncate target {new_count} out of range 0..{count}"
+            )
+        removed = count - new_count
+        lo = self._get_u16(_OFF_FREE_LO)
+        self._put_u16(_OFF_SLOT_COUNT, new_count)
+        self._put_u16(_OFF_FREE_LO, lo - removed * SLOT_ENTRY_SIZE)
+
+    def _find_tombstone(self) -> int | None:
+        for slot in range(self.slot_count):
+            base = self._slot_entry_offset(slot)
+            if self._get_u16(base) == _TOMBSTONE_OFFSET:
+                return slot
+        return None
+
+    def live_slots(self) -> Iterator[int]:
+        """Yield slot numbers that hold live records."""
+        for slot in range(self.slot_count):
+            if self.slot_is_live(slot):
+                yield slot
+
+    def records(self) -> Iterator[tuple[int, bytes]]:
+        """Yield ``(slot, record_bytes)`` for every live record."""
+        for slot in self.live_slots():
+            yield slot, self.read(slot)
+
+    # -- maintenance -------------------------------------------------------
+
+    def compact(self) -> None:
+        """Rewrite the record region to reclaim tombstoned record bytes.
+
+        Slot numbers are preserved; record offsets change.  The free window
+        is zeroed afterwards — moving bytes under the cache's feet is
+        exactly the situation its checksums guard against, and zeroing makes
+        every stale slot read as empty.
+        """
+        entries: list[tuple[int, bytes | None]] = []
+        for slot in range(self.slot_count):
+            offset, _ = self._slot_entry(slot)
+            if offset == _TOMBSTONE_OFFSET:
+                entries.append((slot, None))
+            else:
+                entries.append((slot, self.read(slot)))
+        hi = self._size - PAGE_FOOTER_SIZE
+        for slot, data in entries:
+            if data is None:
+                continue
+            hi -= len(data)
+            self._buf[hi : hi + len(data)] = data
+            self._set_slot_entry(slot, hi, len(data))
+        self._put_u16(_OFF_FREE_HI, hi)
+        lo = self._get_u16(_OFF_FREE_LO)
+        self._buf[lo:hi] = bytes(hi - lo)
+
+    # -- statistics --------------------------------------------------------
+
+    @property
+    def live_record_bytes(self) -> int:
+        """Bytes of live record payload."""
+        total = 0
+        for slot in range(self.slot_count):
+            offset, length = self._slot_entry(slot)
+            if offset != _TOMBSTONE_OFFSET:
+                total += length
+        return total
+
+    @property
+    def usable_bytes(self) -> int:
+        """Bytes available to records + directory (page minus fixed areas)."""
+        return self._size - PAGE_HEADER_SIZE - PAGE_FOOTER_SIZE
+
+    @property
+    def fill_factor(self) -> float:
+        """Fraction of usable bytes holding live data (records + their
+        directory entries) — the statistic the paper quotes as ~68% for
+        healthy B+Trees and 45% for the churned CarTel database."""
+        live = self.live_record_bytes
+        live_slots = sum(1 for _ in self.live_slots())
+        used = live + live_slots * SLOT_ENTRY_SIZE
+        return used / self.usable_bytes if self.usable_bytes else 0.0

@@ -1,0 +1,78 @@
+"""Bit-level packing of small unsigned integers.
+
+The paper (§4.1) observes many int columns whose live value range fits in 8
+or even 4 bits; the encoding codecs use this module to realise those savings
+and the waste analyzer uses :func:`bits_required` to quantify them.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError
+
+
+def bits_required(max_value: int) -> int:
+    """Minimum number of bits to represent values in ``[0, max_value]``.
+
+    A single-valued domain (``max_value == 0``) still needs 1 bit so that a
+    packed column remains addressable; callers that want 0-bit constant
+    columns handle that case explicitly (see ``encoding.analyzer``).
+    """
+    if max_value < 0:
+        raise SchemaError("bits_required expects a non-negative max_value")
+    return max(1, max_value.bit_length())
+
+
+def pack_bits(values: list[int], bit_width: int) -> bytes:
+    """Pack non-negative ints into a dense little-endian bit stream."""
+    if not 1 <= bit_width <= 64:
+        raise SchemaError(f"bit_width must be in [1, 64], got {bit_width}")
+    limit = 1 << bit_width
+    acc = 0
+    acc_bits = 0
+    out = bytearray()
+    for value in values:
+        if not 0 <= value < limit:
+            raise SchemaError(
+                f"value {value} does not fit in {bit_width} bits"
+            )
+        acc |= value << acc_bits
+        acc_bits += bit_width
+        while acc_bits >= 8:
+            out.append(acc & 0xFF)
+            acc >>= 8
+            acc_bits -= 8
+    if acc_bits:
+        out.append(acc & 0xFF)
+    return bytes(out)
+
+
+def unpack_bits(data: bytes, bit_width: int, count: int) -> list[int]:
+    """Inverse of :func:`pack_bits`; decodes exactly ``count`` values."""
+    if not 1 <= bit_width <= 64:
+        raise SchemaError(f"bit_width must be in [1, 64], got {bit_width}")
+    needed = (count * bit_width + 7) // 8
+    if len(data) < needed:
+        raise SchemaError(
+            f"bitpacked stream too short: need {needed} bytes, have {len(data)}"
+        )
+    values: list[int] = []
+    acc = 0
+    acc_bits = 0
+    pos = 0
+    mask = (1 << bit_width) - 1
+    for _ in range(count):
+        while acc_bits < bit_width:
+            acc |= data[pos] << acc_bits
+            pos += 1
+            acc_bits += 8
+        values.append(acc & mask)
+        acc >>= bit_width
+        acc_bits -= bit_width
+    return values
+
+
+def packed_size(count: int, bit_width: int) -> int:
+    """Bytes needed to bit-pack ``count`` values at ``bit_width`` bits."""
+    if count < 0:
+        raise SchemaError("count must be non-negative")
+    return (count * bit_width + 7) // 8

@@ -1,0 +1,81 @@
+"""Variable-length integer encoding (LEB128) and zigzag mapping.
+
+Part of the encoding substrate (paper §4): the waste analyzer compares a
+column's declared width against what a varint/bit-packed representation
+would need, and the codecs use these primitives directly.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError
+
+
+def zigzag_encode(value: int) -> int:
+    """Map signed integers onto unsigned so small magnitudes stay small.
+
+    ``0 -> 0, -1 -> 1, 1 -> 2, -2 -> 3, ...``
+    """
+    return (value << 1) ^ (value >> 63) if value < 0 else value << 1
+
+
+def zigzag_decode(value: int) -> int:
+    """Inverse of :func:`zigzag_encode`."""
+    return (value >> 1) ^ -(value & 1)
+
+
+def encode_uvarint(value: int) -> bytes:
+    """Encode a non-negative integer as LEB128."""
+    if value < 0:
+        raise SchemaError(f"uvarint cannot encode negative value {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_uvarint(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode a LEB128 integer from ``data`` starting at ``offset``.
+
+    Returns ``(value, next_offset)``.
+    """
+    result = 0
+    shift = 0
+    pos = offset
+    while True:
+        if pos >= len(data):
+            raise SchemaError("truncated uvarint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 70:
+            raise SchemaError("uvarint too long")
+
+
+def encode_svarint(value: int) -> bytes:
+    """Encode a signed integer (zigzag + LEB128)."""
+    return encode_uvarint(zigzag_encode(value))
+
+
+def decode_svarint(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode a signed integer (LEB128 + un-zigzag)."""
+    raw, pos = decode_uvarint(data, offset)
+    return zigzag_decode(raw), pos
+
+
+def uvarint_size(value: int) -> int:
+    """Number of bytes :func:`encode_uvarint` would use for ``value``."""
+    if value < 0:
+        raise SchemaError(f"uvarint cannot encode negative value {value}")
+    size = 1
+    while value >= 0x80:
+        value >>= 7
+        size += 1
+    return size

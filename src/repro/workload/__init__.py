@@ -1,0 +1,38 @@
+"""Workload substrate: distributions, synthetic Wikipedia/CarTel tables,
+and operation traces."""
+
+from repro.workload.distributions import (
+    HotSetDistribution,
+    UniformDistribution,
+    ZipfianDistribution,
+)
+from repro.workload.trace import (
+    Operation,
+    OpKind,
+    ScenarioResult,
+    run_shrink_scenario,
+    run_swap_scenario,
+)
+from repro.workload.wikipedia import (
+    WikipediaConfig,
+    WikipediaData,
+    generate as generate_wikipedia,
+)
+from repro.workload.cartel import ChurnReport, cartel_rows, churn_tree
+
+__all__ = [
+    "ZipfianDistribution",
+    "UniformDistribution",
+    "HotSetDistribution",
+    "Operation",
+    "OpKind",
+    "ScenarioResult",
+    "run_swap_scenario",
+    "run_shrink_scenario",
+    "WikipediaConfig",
+    "WikipediaData",
+    "generate_wikipedia",
+    "ChurnReport",
+    "cartel_rows",
+    "churn_tree",
+]

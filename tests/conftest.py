@@ -1,0 +1,44 @@
+"""Shared fixtures: small pools, trees, and heaps over the simulated disk."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.disk import SimulatedDisk
+from repro.storage.heap import HeapFile
+from repro.util.rng import DeterministicRng
+
+PAGE_SIZE = 4096
+
+
+@pytest.fixture
+def disk() -> SimulatedDisk:
+    return SimulatedDisk(PAGE_SIZE)
+
+
+@pytest.fixture
+def pool(disk: SimulatedDisk) -> BufferPool:
+    """A pool big enough that nothing evicts unless a test wants it to."""
+    return BufferPool(disk, capacity_pages=4096)
+
+
+@pytest.fixture
+def tiny_pool(disk: SimulatedDisk) -> BufferPool:
+    """A 4-frame pool for eviction-path tests."""
+    return BufferPool(disk, capacity_pages=4)
+
+
+@pytest.fixture
+def heap(pool: BufferPool) -> HeapFile:
+    return HeapFile(pool)
+
+
+@pytest.fixture
+def append_heap(pool: BufferPool) -> HeapFile:
+    return HeapFile(pool, append_only=True)
+
+
+@pytest.fixture
+def rng() -> DeterministicRng:
+    return DeterministicRng(12345)

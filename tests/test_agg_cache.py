@@ -1,0 +1,128 @@
+"""AggregateCachingReader: §2.2 pre-computed results in leaf windows."""
+
+import pytest
+
+from repro.btree.keycodec import UIntKey
+from repro.btree.tree import BPlusTree
+from repro.core.index_cache.agg_cache import AggregateCachingReader
+from repro.errors import QueryError
+from repro.schema.record import pack_record_map
+from repro.schema.schema import Schema
+from repro.schema.types import UINT32, UINT64, char
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.disk import SimulatedDisk
+from repro.storage.heap import HeapFile
+from repro.util.rng import DeterministicRng
+
+SCHEMA = Schema.of(
+    ("id", UINT64),
+    ("amount", UINT32),
+    ("pad", char(20)),
+)
+KC = UIntKey(8)
+
+
+def build(n=600):
+    pool = BufferPool(SimulatedDisk(1024), 1 << 20)
+    heap = HeapFile(pool)
+    tree = BPlusTree(pool, key_size=8, value_size=8)
+    rows = {}
+    for i in range(n):
+        row = {"id": i, "amount": (i * 13) % 100, "pad": "x"}
+        rid = heap.insert(pack_record_map(SCHEMA, row))
+        tree.insert(KC.encode(i), rid.to_bytes())
+        rows[i] = row
+    reader = AggregateCachingReader(
+        tree, heap, SCHEMA, "amount", rng=DeterministicRng(3)
+    )
+    return reader, rows
+
+
+def expected(rows, lo=None, hi=None):
+    keys = [
+        k for k in rows
+        if (lo is None or k >= lo) and (hi is None or k < hi)
+    ]
+    return len(keys), sum(rows[k]["amount"] for k in keys)
+
+
+def test_full_scan_aggregate():
+    reader, rows = build()
+    assert reader.range_aggregate() == expected(rows)
+
+
+def test_bounded_range():
+    reader, rows = build()
+    got = reader.range_aggregate(KC.encode(100), KC.encode(400))
+    assert got == expected(rows, 100, 400)
+
+
+def test_empty_range():
+    reader, rows = build()
+    assert reader.range_aggregate(KC.encode(400), KC.encode(400)) == (0, 0)
+
+
+def test_repeat_query_uses_cached_leaf_aggregates():
+    reader, rows = build()
+    first = reader.range_aggregate()
+    fetches_after_first = reader.stats.heap_fetches
+    assert reader.stats.leaves_computed > 0
+    second = reader.range_aggregate()
+    assert second == first
+    # Nearly all leaves answer from cache; leaves whose windows are too
+    # full for an aggregate slot legitimately recompute every pass.
+    assert reader.stats.leaves_from_cache > 0
+    warm_fetches = reader.stats.heap_fetches - fetches_after_first
+    assert warm_fetches <= 0.15 * fetches_after_first
+    leaves_per_pass = reader.stats.leaves_visited // 2
+    assert reader.stats.leaves_from_cache >= 0.8 * leaves_per_pass
+
+
+def test_boundary_leaves_computed_per_entry():
+    reader, rows = build()
+    reader.range_aggregate()  # warm every leaf aggregate
+    reader.range_aggregate(KC.encode(7), KC.encode(593))
+    assert reader.stats.partial_leaves >= 1
+
+
+def test_stale_aggregate_detected_after_insert():
+    """Entry-set changes must invalidate via the fingerprint, even though
+    cache items are never explicitly purged."""
+    reader, rows = build(n=300)
+    tree, heap = reader._tree, reader._heap
+    before = reader.range_aggregate()
+    row = {"id": 10_000, "amount": 55, "pad": "x"}
+    rid = heap.insert(pack_record_map(SCHEMA, row))
+    tree.insert(KC.encode(10_000), rid.to_bytes())
+    rows[10_000] = row
+    after = reader.range_aggregate()
+    assert after == expected(rows)
+    assert after != before
+
+
+def test_stale_aggregate_detected_after_delete():
+    reader, rows = build(n=300)
+    reader.range_aggregate()
+    reader._tree.delete(KC.encode(42))
+    del rows[42]
+    assert reader.range_aggregate() == expected(rows)
+
+
+def test_aggregate_speedup_is_real():
+    """Cached pass must do far fewer heap fetches than the cold pass."""
+    reader, rows = build(n=2000)
+    reader.range_aggregate()
+    cold = reader.stats.heap_fetches
+    reader.range_aggregate()
+    warm = reader.stats.heap_fetches - cold
+    assert warm < cold * 0.15
+
+
+def test_field_validation():
+    pool = BufferPool(SimulatedDisk(1024), 64)
+    heap = HeapFile(pool)
+    tree = BPlusTree(pool, key_size=8, value_size=8)
+    with pytest.raises(QueryError):
+        AggregateCachingReader(tree, heap, SCHEMA, "missing")
+    with pytest.raises(QueryError):
+        AggregateCachingReader(tree, heap, SCHEMA, "pad")  # not numeric

@@ -1,0 +1,96 @@
+"""Bulk loading: fill-factor targeting and post-load correctness."""
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.btree.keycodec import UIntKey
+from repro.btree.tree import BPlusTree
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.disk import SimulatedDisk
+
+KC = UIntKey(8)
+
+
+def entries(n):
+    return [(KC.encode(k), k.to_bytes(8, "little")) for k in range(n)]
+
+
+def bulk(n, leaf_fill=0.68, page_size=4096):
+    pool = BufferPool(SimulatedDisk(page_size), 1 << 20)
+    return BPlusTree.bulk_load(pool, entries(n), 8, 8, leaf_fill=leaf_fill)
+
+
+def test_bulk_load_round_trip():
+    tree = bulk(5000)
+    assert tree.num_entries == 5000
+    for k in (0, 1, 2500, 4999):
+        assert tree.search(KC.encode(k)) == k.to_bytes(8, "little")
+    assert tree.search(KC.encode(5000)) is None
+    tree.verify_order()
+
+
+def test_bulk_load_hits_fill_target():
+    tree = bulk(20000, leaf_fill=0.68)
+    assert tree.leaf_fill_factor() == pytest.approx(0.68, abs=0.04)
+    dense = bulk(20000, leaf_fill=0.95)
+    assert dense.leaf_fill_factor() > 0.85
+    assert len(dense.leaf_page_ids) < len(tree.leaf_page_ids)
+
+
+def test_bulk_load_empty():
+    tree = bulk(0)
+    assert tree.num_entries == 0
+    assert tree.search(KC.encode(1)) is None
+
+
+def test_bulk_load_single_leaf():
+    tree = bulk(5)
+    assert tree.height == 1
+    assert [KC.decode(k) for k, _ in tree.items()] == list(range(5))
+
+
+def test_bulk_load_multilevel():
+    tree = bulk(50000, page_size=512)
+    assert tree.height >= 3
+    assert tree.search(KC.encode(49999)) is not None
+    tree.verify_order()
+
+
+def test_bulk_load_rejects_unsorted():
+    pool = BufferPool(SimulatedDisk(4096), 64)
+    bad = [(KC.encode(2), b"\x00" * 8), (KC.encode(1), b"\x00" * 8)]
+    with pytest.raises(IndexError_):
+        BPlusTree.bulk_load(pool, bad, 8, 8)
+
+
+def test_bulk_load_rejects_duplicates():
+    pool = BufferPool(SimulatedDisk(4096), 64)
+    bad = [(KC.encode(1), b"\x00" * 8), (KC.encode(1), b"\x01" * 8)]
+    with pytest.raises(IndexError_):
+        BPlusTree.bulk_load(pool, bad, 8, 8)
+
+
+def test_bulk_load_rejects_bad_fill():
+    pool = BufferPool(SimulatedDisk(4096), 64)
+    with pytest.raises(IndexError_):
+        BPlusTree.bulk_load(pool, entries(10), 8, 8, leaf_fill=0.01)
+
+
+def test_bulk_loaded_tree_accepts_inserts():
+    tree = bulk(2000)
+    tree.insert(KC.encode(2000), (2000).to_bytes(8, "little"))
+    tree.delete(KC.encode(0))
+    assert tree.search(KC.encode(2000)) is not None
+    assert tree.search(KC.encode(0)) is None
+    tree.verify_order()
+
+
+def test_bulk_load_leaf_chaining():
+    tree = bulk(5000)
+    page_id = tree.leaf_page_ids[0]
+    count = 0
+    while page_id is not None:
+        with tree.pool.page(page_id) as page:
+            count += page.slot_count
+            page_id = page.next_page
+    assert count == 5000

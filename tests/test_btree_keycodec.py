@@ -1,0 +1,114 @@
+"""Key codecs: order preservation is the whole contract."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SchemaError, TypeMismatchError
+from repro.btree.keycodec import (
+    CompositeKey,
+    IntKey,
+    StringKey,
+    UIntKey,
+    codec_for_column,
+    codec_for_columns,
+)
+from repro.schema.schema import Column
+from repro.schema.types import INT32, TIMESTAMP32, UINT8, UINT32, char, varchar
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1),
+       st.integers(min_value=0, max_value=2**32 - 1))
+def test_uint_order_preserved(a, b):
+    codec = UIntKey(4)
+    assert (codec.encode(a) < codec.encode(b)) == (a < b)
+
+
+@given(st.integers(min_value=-(2**31), max_value=2**31 - 1),
+       st.integers(min_value=-(2**31), max_value=2**31 - 1))
+def test_int_order_preserved(a, b):
+    codec = IntKey(4)
+    assert (codec.encode(a) < codec.encode(b)) == (a < b)
+
+
+@given(st.text(alphabet="abcdez", max_size=8),
+       st.text(alphabet="abcdez", max_size=8))
+def test_string_order_preserved(a, b):
+    codec = StringKey(8)
+    assert (codec.encode(a) < codec.encode(b)) == (a < b)
+
+
+@given(st.integers(min_value=0, max_value=255),
+       st.text(alphabet="xyz", max_size=4),
+       st.integers(min_value=0, max_value=255),
+       st.text(alphabet="xyz", max_size=4))
+def test_composite_order_preserved(n1, s1, n2, s2):
+    codec = CompositeKey([UIntKey(1), StringKey(4)])
+    assert (codec.encode((n1, s1)) < codec.encode((n2, s2))) == ((n1, s1) < (n2, s2))
+
+
+@given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+def test_int_round_trip(value):
+    codec = IntKey(4)
+    assert codec.decode(codec.encode(value)) == value
+
+
+@given(st.text(alphabet="abc", max_size=6))
+def test_string_round_trip(value):
+    codec = StringKey(6)
+    assert codec.decode(codec.encode(value)) == value
+
+
+def test_composite_round_trip():
+    codec = CompositeKey([UIntKey(2), StringKey(5)])
+    assert codec.decode(codec.encode((300, "hi"))) == (300, "hi")
+    assert codec.size == 7
+
+
+def test_uint_rejects_negative_and_nonint():
+    codec = UIntKey(4)
+    with pytest.raises(TypeMismatchError):
+        codec.encode(-1)
+    with pytest.raises(TypeMismatchError):
+        codec.encode("5")
+    with pytest.raises(TypeMismatchError):
+        codec.encode(True)
+
+
+def test_string_rejects_overflow():
+    with pytest.raises(TypeMismatchError):
+        StringKey(3).encode("abcd")
+
+
+def test_composite_arity_checked():
+    codec = CompositeKey([UIntKey(1), UIntKey(1)])
+    with pytest.raises(TypeMismatchError):
+        codec.encode((1,))
+    with pytest.raises(TypeMismatchError):
+        codec.encode(5)
+
+
+def test_codec_for_column_mapping():
+    assert isinstance(codec_for_column(Column("a", UINT32)), UIntKey)
+    assert isinstance(codec_for_column(Column("a", INT32)), IntKey)
+    assert isinstance(codec_for_column(Column("a", char(5))), StringKey)
+    assert isinstance(codec_for_column(Column("a", TIMESTAMP32)), UIntKey)
+    # varchar keys index the payload width, excluding the length prefix
+    codec = codec_for_column(Column("a", varchar(10)))
+    assert codec.size == 10
+
+
+def test_codec_for_columns_single_vs_composite():
+    single = codec_for_columns([Column("a", UINT8)])
+    assert isinstance(single, UIntKey)
+    composite = codec_for_columns([Column("a", UINT8), Column("b", char(4))])
+    assert isinstance(composite, CompositeKey)
+    assert composite.size == 5
+
+
+def test_invalid_sizes():
+    with pytest.raises(SchemaError):
+        UIntKey(0)
+    with pytest.raises(SchemaError):
+        StringKey(0)
+    with pytest.raises(SchemaError):
+        CompositeKey([])

@@ -1,0 +1,178 @@
+"""IndexCache slot I/O: write/read/clear, clobber detection, probe/insert."""
+
+import pytest
+
+from repro.core.index_cache.cache import IndexCache
+from repro.core.index_cache.policy import RandomPolicy
+from repro.errors import ReproError
+from repro.storage.constants import PageType
+from repro.storage.page import SlottedPage
+from repro.util.rng import DeterministicRng
+
+PAYLOAD = 12
+ENTRY = 24
+
+
+def make_page(page_size=1024):
+    return SlottedPage.format(bytearray(page_size), 3, PageType.BTREE_LEAF)
+
+
+def make_cache(seed=0):
+    return IndexCache(PAYLOAD, ENTRY, rng=DeterministicRng(seed))
+
+
+def tid(n: int) -> bytes:
+    return n.to_bytes(8, "little")
+
+
+def payload(n: int) -> bytes:
+    return bytes([n % 251]) * PAYLOAD
+
+
+def test_write_read_slot():
+    page, cache = make_page(), make_cache()
+    geo = cache.geometry(page)
+    cache.write_slot(page, geo, 0, tid(1), payload(1))
+    assert cache.read_slot(page, geo, 0) == (tid(1), payload(1))
+
+
+def test_zeroed_slot_reads_empty():
+    page, cache = make_page(), make_cache()
+    geo = cache.geometry(page)
+    assert cache.read_slot(page, geo, 0) is None
+    cache.write_slot(page, geo, 0, tid(1), payload(1))
+    cache.clear_slot(page, geo, 0)
+    assert cache.read_slot(page, geo, 0) is None
+
+
+def test_clobbered_slot_reads_empty():
+    """Index growth may overwrite any byte of a slot; the checksum must
+    catch it — this is the safety property of §2.1.1."""
+    page, cache = make_page(), make_cache()
+    geo = cache.geometry(page)
+    cache.write_slot(page, geo, 0, tid(7), payload(7))
+    off = geo.slot_offset(0)
+    page.buffer[off + 3] ^= 0xFF  # a key byte lands mid-slot
+    assert cache.read_slot(page, geo, 0) is None
+
+
+def test_wrong_sizes_rejected():
+    page, cache = make_page(), make_cache()
+    geo = cache.geometry(page)
+    with pytest.raises(ReproError):
+        cache.write_slot(page, geo, 0, b"\x00" * 7, payload(0))
+    with pytest.raises(ReproError):
+        cache.write_slot(page, geo, 0, tid(0), b"\x00" * (PAYLOAD + 1))
+
+
+def test_probe_hit_and_miss():
+    page, cache = make_page(), make_cache()
+    assert cache.insert(page, tid(1), payload(1))
+    assert cache.probe(page, tid(1)) == payload(1)
+    assert cache.probe(page, tid(2)) is None
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+
+
+def test_probe_ignores_payload_byte_collisions():
+    """A tuple id appearing inside another item's payload must not match."""
+    page, cache = make_page(), make_cache()
+    geo = cache.geometry(page)
+    fake_tid = tid(0x0B0B0B0B0B0B0B0B)
+    cache.write_slot(page, geo, 1, tid(1), fake_tid[:8] + b"\x0b" * (PAYLOAD - 8))
+    assert cache.probe(page, fake_tid) is None
+
+
+def test_insert_fills_all_slots_then_evicts():
+    page, cache = make_page(), make_cache()
+    capacity = cache.capacity(page)
+    assert capacity > 2
+    for i in range(capacity):
+        assert cache.insert(page, tid(i), payload(i))
+    assert len(cache.entries(page)) == capacity
+    assert cache.insert(page, tid(capacity), payload(capacity))
+    assert cache.stats.evictions == 1
+    assert len(cache.entries(page)) == capacity
+
+
+def test_insert_no_room_returns_false():
+    page = make_page(page_size=256)
+    # fill the page with index records until no slot fits
+    while True:
+        try:
+            page.insert_at(page.slot_count, b"k" * 40)
+        except Exception:
+            break
+    cache = IndexCache(60, 44, rng=DeterministicRng(0))
+    assert cache.capacity(page) == 0
+    assert not cache.insert(page, tid(1), bytes(60))
+    assert cache.stats.skipped_no_room == 1
+
+
+def test_zero_window_drops_everything():
+    page, cache = make_page(), make_cache()
+    for i in range(5):
+        cache.insert(page, tid(i), payload(i))
+    cache.zero_window(page)
+    assert cache.entries(page) == []
+
+
+def test_invalidate_tuple():
+    page, cache = make_page(), make_cache()
+    cache.insert(page, tid(1), payload(1))
+    cache.insert(page, tid(2), payload(2))
+    assert cache.invalidate_tuple(page, tid(1))
+    assert not cache.invalidate_tuple(page, tid(1))
+    assert cache.probe(page, tid(1)) is None
+    assert cache.probe(page, tid(2)) == payload(2)
+
+
+def test_cache_survives_interleaved_index_growth():
+    """End-to-end clobber semantics: key inserts shrink the window and the
+    cache keeps functioning (returning fewer, still-valid items)."""
+    page, cache = make_page(), make_cache()
+    for i in range(cache.capacity(page)):
+        cache.insert(page, tid(i), payload(i))
+    before = len(cache.entries(page))
+    for j in range(8):
+        page.insert_at(page.slot_count, b"K" * ENTRY)
+    after = cache.entries(page)
+    assert 0 < len(after) <= before
+    for _, t, p in after:
+        n = int.from_bytes(t, "little")
+        assert p == payload(n)  # every surviving item intact
+
+
+def test_probe_promotes_toward_stable_point():
+    page, cache = make_page(), make_cache()
+    geo = cache.geometry(page)
+    ranked = geo.slots_by_stability()
+    outer = ranked[-1]
+    cache.write_slot(page, geo, outer, tid(9), payload(9))
+    for _ in range(50):
+        assert cache.probe(page, tid(9)) == payload(9)
+    found = cache.find(page, cache.geometry(page), tid(9))
+    assert found is not None
+    slot, _ = found
+    # after many hits the item must sit in the innermost bucket
+    buckets = geo.buckets(4)
+    assert slot in buckets[0]
+    assert cache.stats.promotions > 0
+
+
+def test_occupancy_partition():
+    page, cache = make_page(), make_cache()
+    cache.insert(page, tid(1), payload(1))
+    free, occupied = cache.occupancy(page)
+    geo = cache.geometry(page)
+    assert len(free) + len(occupied) == geo.num_slots
+    assert len(occupied) == 1
+
+
+def test_random_policy_cache_works():
+    page = make_page()
+    cache = IndexCache(PAYLOAD, ENTRY, policy=RandomPolicy(DeterministicRng(1)))
+    for i in range(10):
+        cache.insert(page, tid(i), payload(i))
+    hits = sum(cache.probe(page, tid(i)) is not None for i in range(10))
+    assert hits == 10

@@ -1,0 +1,91 @@
+"""Crash semantics of the cache (§2.1.2): volatility and restart CSNs.
+
+The cache is explicitly non-durable: writes never dirty pages, so a crash
+loses cache contents that never hit disk — harmless.  The dangerous case
+is the opposite one: cache items that *did* reach disk (riding along when
+a page was flushed for legitimate reasons) together with a lost in-memory
+predicate log.  These tests pin down both the failure and the fix
+(:meth:`CacheInvalidation.after_restart`).
+"""
+
+from __future__ import annotations
+
+from repro.core.index_cache.cache import IndexCache
+from repro.core.index_cache.invalidation import CacheInvalidation
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.constants import PageType
+from repro.storage.disk import SimulatedDisk
+from repro.storage.page import SlottedPage
+from repro.util.rng import DeterministicRng
+
+PAYLOAD = 10
+ENTRY = 20
+
+
+def tid(n):
+    return n.to_bytes(8, "little")
+
+
+def key(n):
+    return n.to_bytes(8, "big")
+
+
+def test_unflushed_cache_is_simply_lost():
+    """Eviction of a clean page drops cache contents; data is unaffected."""
+    disk = SimulatedDisk(512)
+    pool = BufferPool(disk, 2)
+    page = pool.new_page(PageType.BTREE_LEAF)
+    pid = page.page_id
+    page.insert_at(0, b"K" * ENTRY)
+    pool.unpin(pid, dirty=True)
+    pool.flush(pid)
+
+    cache = IndexCache(PAYLOAD, ENTRY, rng=DeterministicRng(0))
+    with pool.page(pid) as page:  # cache write: pinned, NOT dirtied
+        cache.insert(page, tid(1), bytes(PAYLOAD))
+        assert cache.probe(page, tid(1)) is not None
+    pool.drop_clean()  # "crash": clean frames vanish
+    with pool.page(pid) as page:
+        assert page.read(0) == b"K" * ENTRY        # data survived
+        assert cache.probe(page, tid(1)) is None   # cache did not
+
+
+def test_restart_without_recovery_would_serve_stale_data():
+    """Demonstrates the hazard a naive restart has (and why after_restart
+    exists): persisted cache + lost predicate log + epoch collision."""
+    page = SlottedPage.format(bytearray(512), 1, PageType.BTREE_LEAF)
+    cache = IndexCache(PAYLOAD, ENTRY, rng=DeterministicRng(0))
+    inv = CacheInvalidation()
+    inv.validate_page(page, cache, key(0), key(9))
+    cache.insert(page, tid(3), b"OLDOLDOLDO")
+    # an update happens, noted in the (volatile) log; then we "crash"
+    inv.note_update(key(3))
+    persisted = bytes(page.buffer)  # this page had been flushed earlier
+
+    # restart: naive fresh state collides with the persisted epoch
+    page2 = SlottedPage(bytearray(persisted))
+    naive = CacheInvalidation()
+    naive.validate_page(page2, cache, key(0), key(9))
+    assert cache.probe(page2, tid(3)) == b"OLDOLDOLDO"  # the stale read!
+
+
+def test_after_restart_invalidates_persisted_caches():
+    page = SlottedPage.format(bytearray(512), 1, PageType.BTREE_LEAF)
+    cache = IndexCache(PAYLOAD, ENTRY, rng=DeterministicRng(0))
+    inv = CacheInvalidation()
+    inv.validate_page(page, cache, key(0), key(9))
+    cache.insert(page, tid(3), b"OLDOLDOLDO")
+    inv.note_update(key(3))
+    persisted = bytes(page.buffer)
+
+    page2 = SlottedPage(bytearray(persisted))
+    recovered = CacheInvalidation.after_restart(page2.cache_csn)
+    assert recovered.csn_index > (page2.cache_csn >> 32)
+    zeroed = recovered.validate_page(page2, cache, key(0), key(9))
+    assert zeroed
+    assert cache.probe(page2, tid(3)) is None  # stale item gone
+
+
+def test_after_restart_epoch_wraps_safely():
+    recovered = CacheInvalidation.after_restart(0xFFFFFFFF << 32)
+    assert recovered.csn_index >= 1

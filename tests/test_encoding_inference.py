@@ -1,0 +1,139 @@
+"""Type inference: the §4.1 rule chain and the schema rewrite."""
+
+import pytest
+
+from repro.core.encoding.analyzer import profile_column
+from repro.core.encoding.inference import (
+    infer_column_type,
+    optimize_schema,
+)
+from repro.schema.schema import Schema
+from repro.schema.types import (
+    BOOL,
+    INT64,
+    TIMESTAMP32,
+    TIMESTAMP_STR14,
+    UINT8,
+    UINT16,
+    UINT32,
+    YEAR16,
+    char,
+    varchar,
+)
+
+
+def infer(name, declared, values, **kwargs):
+    return infer_column_type(profile_column(name, declared, values), **kwargs)
+
+
+def test_constant_column_costs_nothing():
+    rec = infer("c", INT64, [7] * 10)
+    assert rec.strategy == "constant"
+    assert rec.recommended_bits == 0.0
+    assert rec.waste_fraction == 1.0
+
+
+def test_bool_like_int64_becomes_bool():
+    rec = infer("f", INT64, [0, 1, 1, 0])
+    assert rec.strategy == "bool"
+    assert rec.recommended == BOOL
+    assert rec.recommended_bits == 1.0
+
+
+def test_timestamp_string_packs_to_4_bytes():
+    """The paper's flagship example: 14 B string -> 4 B timestamp."""
+    rec = infer("ts", TIMESTAMP_STR14, ["20100101000000", "20100102030405"])
+    assert rec.strategy == "timestamp_pack"
+    assert rec.recommended == TIMESTAMP32
+    assert rec.waste_fraction == pytest.approx(1 - 4 / 14)
+
+
+def test_numeric_strings_become_ints():
+    rec = infer("n", varchar(12), [str(v) for v in range(100, 4000, 37)])
+    assert rec.strategy == "numeric_string"
+    assert rec.recommended == UINT16
+
+
+def test_small_range_ints_bitpack():
+    """'easily be encoded in 8, or even 4 bits' — namespace-style column."""
+    rec = infer("ns", INT64, [0, 3, 7, 12, 15] * 10)
+    assert rec.strategy == "bitpack_int"
+    assert rec.recommended == UINT8
+    assert rec.recommended_bits == 4.0
+
+
+def test_wide_range_ints_narrow_to_fixed_type():
+    values = list(range(300_000_000, 300_010_000, 7))
+    rec = infer("id", INT64, values)
+    assert rec.strategy == "narrow_int"
+    assert rec.recommended == UINT32
+    assert rec.recommended_bits == 32.0
+
+
+def test_already_minimal_kept():
+    rec = infer("b", UINT8, list(range(256)) * 2)
+    assert rec.strategy == "keep"
+    assert rec.waste_fraction == 0.0
+
+
+def test_offset_range_still_bitpacks():
+    """200..255 spans 56 values: 6 bits with frame-of-reference offset,
+    even though the absolute values need all 8."""
+    rec = infer("b", UINT8, list(range(200, 256)) * 2)
+    assert rec.strategy == "bitpack_int"
+    assert rec.recommended_bits == 6.0
+
+
+def test_year_granularity_hint():
+    rec = infer(
+        "ts", TIMESTAMP_STR14, ["20100101000000", "20110101000000"],
+        granularity="year",
+    )
+    assert rec.strategy == "year_granularity"
+    assert rec.recommended == YEAR16
+
+
+def test_low_cardinality_strings_dictionary():
+    values = (["ok", "retry", "fail"] * 40)
+    rec = infer("status", varchar(20), values)
+    assert rec.strategy == "dictionary"
+    assert rec.recommended_bits < 8  # 2-bit codes + amortised dictionary
+
+
+def test_oversized_char_trimmed():
+    values = [f"u{i:04d}-{'x' * (i % 7)}" for i in range(300)]
+    rec = infer("name", char(64), values)
+    assert rec.strategy == "char_trim"
+    assert rec.recommended.size == max(len(v) for v in values)
+
+
+def test_optimize_schema_rewrites_and_reports():
+    schema = Schema.of(
+        ("id", INT64),
+        ("flag", INT64),
+        ("ts", TIMESTAMP_STR14),
+        ("note", varchar(30)),
+    )
+    values = {
+        "id": list(range(1000, 2000)),
+        "flag": [0, 1] * 500,
+        "ts": ["20100101000000"] * 999 + ["20100101000001"],
+        "note": [f"note {i}" for i in range(1000)],
+    }
+    optimized, recs = optimize_schema(schema, values)
+    assert optimized.record_size < schema.record_size
+    assert optimized.column("flag").ctype == BOOL
+    assert optimized.column("ts").ctype == TIMESTAMP32
+    assert optimized.column("id").declared_type == INT64
+    assert len(recs) == 4
+    # strategies are self-consistent
+    by_name = {r.column: r for r in recs}
+    assert by_name["flag"].strategy == "bool"
+    assert by_name["ts"].strategy == "timestamp_pack"
+
+
+def test_optimize_schema_skips_columns_without_values():
+    schema = Schema.of(("a", INT64), ("b", INT64))
+    optimized, recs = optimize_schema(schema, {"a": [0, 1]})
+    assert len(recs) == 1
+    assert optimized.column("b").ctype == INT64

@@ -1,0 +1,88 @@
+"""migrate_table: the §4.1 rewrite applied to live data."""
+
+import pytest
+
+from repro.core.encoding.migrate import migrate_table
+from repro.errors import SchemaError
+from repro.query.database import Database
+from repro.schema.types import BOOL, TIMESTAMP32, UINT32
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.disk import SimulatedDisk
+from repro.storage.heap import HeapFile
+from repro.workload.wikipedia import (
+    REVISION_SCHEMA_DECLARED,
+    WikipediaConfig,
+    declared_revision_row,
+    generate,
+)
+
+
+@pytest.fixture(scope="module")
+def populated():
+    db = Database(data_pool_pages=100_000)
+    table = db.create_table("revision", REVISION_SCHEMA_DECLARED)
+    data = generate(WikipediaConfig(n_pages=150, revisions_per_page_mean=4))
+    for row in data.revision_rows:
+        table.insert(declared_revision_row(row))
+    return table
+
+
+def fresh_heap():
+    return HeapFile(BufferPool(SimulatedDisk(4096), 100_000))
+
+
+def test_migration_preserves_every_row(populated):
+    """Migration is internally verified; spot-check the conversions from
+    the outside too (timestamp epoch <-> string, bool <-> flag int)."""
+    from repro.core.encoding.codecs import Timestamp14Codec
+
+    new_table, optimized, report = migrate_table(populated, fresh_heap())
+    assert report.rows == populated.num_rows
+    assert new_table.num_rows == populated.num_rows
+    ts = Timestamp14Codec()
+    old_rows = {r["rev_id"]: r for r in populated.scan()}
+    for row in new_table.scan():
+        original = old_rows[row["rev_id"]]
+        assert ts.decode_one(row["rev_timestamp"]) == original["rev_timestamp"]
+        assert int(row["rev_minor_edit"]) == original["rev_minor_edit"]
+        assert row["rev_len"] == original["rev_len"]
+        assert row["rev_comment"] == original["rev_comment"]
+
+
+def test_migration_shrinks_records_and_pages(populated):
+    _, optimized, report = migrate_table(populated, fresh_heap())
+    assert optimized.record_size < REVISION_SCHEMA_DECLARED.record_size
+    assert report.record_shrink_fraction > 0.4
+    assert report.new_heap_pages < report.old_heap_pages
+    assert report.page_shrink_factor > 1.5
+
+
+def test_migrated_schema_keeps_declared_hints(populated):
+    _, optimized, _ = migrate_table(populated, fresh_heap())
+    col = optimized.column("rev_timestamp")
+    assert col.ctype == TIMESTAMP32
+    assert col.declared_type.name == "TIMESTAMP_STR14"
+    assert optimized.column("rev_minor_edit").ctype == BOOL
+    assert optimized.column("rev_id").ctype == UINT32
+
+
+def test_granularity_hint_applies(populated):
+    _, optimized, _ = migrate_table(
+        populated, fresh_heap(), granularities={"rev_timestamp": "year"},
+    )
+    assert optimized.column("rev_timestamp").ctype.name == "YEAR16"
+
+
+def test_sampled_profiling_still_migrates_everything(populated):
+    new_table, _, report = migrate_table(
+        populated, fresh_heap(), sample_rows=50,
+    )
+    assert report.rows == populated.num_rows
+    assert new_table.num_rows == populated.num_rows
+
+
+def test_empty_table_rejected():
+    db = Database()
+    table = db.create_table("empty", REVISION_SCHEMA_DECLARED)
+    with pytest.raises(SchemaError):
+        migrate_table(table, fresh_heap())

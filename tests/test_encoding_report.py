@@ -1,0 +1,88 @@
+"""Waste reports: per-column, per-table, and database-wide accounting."""
+
+import pytest
+
+from repro.core.encoding.report import (
+    analyze_table_waste,
+    database_waste_fraction,
+    format_waste_report,
+)
+from repro.errors import SchemaError
+from repro.schema.schema import Schema
+from repro.schema.types import INT64, TIMESTAMP_STR14, varchar
+
+SCHEMA = Schema.of(
+    ("id", INT64),
+    ("flag", INT64),
+    ("ts", TIMESTAMP_STR14),
+)
+
+
+def columns(n=100):
+    return {
+        "id": list(range(300_000_000, 300_000_000 + n)),
+        "flag": [i % 2 for i in range(n)],
+        "ts": [f"201001010000{i % 60:02d}" for i in range(n)],
+    }
+
+
+def test_report_totals_are_column_sums():
+    report = analyze_table_waste("t", SCHEMA, columns())
+    assert report.rows == 100
+    assert report.declared_bytes == pytest.approx(
+        sum(c.declared_bytes for c in report.columns)
+    )
+    assert report.waste_bytes == pytest.approx(
+        report.declared_bytes - report.optimal_bytes
+    )
+    assert 0 < report.waste_fraction < 1
+
+
+def test_known_column_waste():
+    report = analyze_table_waste("t", SCHEMA, columns())
+    by_name = {c.name: c for c in report.columns}
+    # flag: 8 B declared -> 1 bit
+    assert by_name["flag"].waste_fraction == pytest.approx(1 - 1 / 64)
+    # ts: 14 B -> 4 B
+    assert by_name["ts"].waste_fraction == pytest.approx(1 - 4 / 14)
+
+
+def test_mismatched_row_counts_rejected():
+    cols = columns()
+    cols["flag"] = cols["flag"][:-1]
+    with pytest.raises(SchemaError):
+        analyze_table_waste("t", SCHEMA, cols)
+
+
+def test_no_columns_rejected():
+    with pytest.raises(SchemaError):
+        analyze_table_waste("t", SCHEMA, {})
+
+
+def test_partial_columns_allowed():
+    report = analyze_table_waste("t", SCHEMA, {"flag": [0, 1, 0]})
+    assert len(report.columns) == 1
+
+
+def test_database_waste_fraction_weights_by_bytes():
+    small_wasteful = analyze_table_waste(
+        "a", Schema.of(("flag", INT64)), {"flag": [0, 1] * 10}
+    )
+    big_clean = analyze_table_waste(
+        "b",
+        Schema.of(("blob", varchar(100))),
+        {"blob": [f"{i:06d}" + "x" * 94 for i in range(1000)]},
+    )
+    total = database_waste_fraction([small_wasteful, big_clean])
+    # the big clean table dominates: total far below the wasteful table's own
+    assert total < small_wasteful.waste_fraction / 2
+    assert database_waste_fraction([]) == 0.0
+
+
+def test_format_report_contains_key_facts():
+    report = analyze_table_waste("mytable", SCHEMA, columns())
+    text = format_waste_report(report)
+    assert "mytable" in text
+    assert "timestamp_pack" in text
+    assert "TIMESTAMP_STR14" in text
+    assert "%" in text

@@ -1,0 +1,37 @@
+"""The exception hierarchy: everything roots at ReproError."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    exception_types = [
+        obj
+        for obj in vars(errors).values()
+        if isinstance(obj, type) and issubclass(obj, Exception)
+    ]
+    assert len(exception_types) > 10
+    for exc_type in exception_types:
+        assert issubclass(exc_type, errors.ReproError), exc_type
+
+
+def test_subsystem_grouping():
+    assert issubclass(errors.PageFullError, errors.StorageError)
+    assert issubclass(errors.DiskError, errors.StorageError)
+    assert issubclass(errors.BufferPoolError, errors.StorageError)
+    assert issubclass(errors.DuplicateKeyError, errors.IndexError_)
+    assert issubclass(errors.KeyNotFoundError, errors.IndexError_)
+    assert issubclass(errors.TypeMismatchError, errors.SchemaError)
+
+
+def test_index_error_does_not_shadow_builtin():
+    assert errors.IndexError_ is not IndexError
+    assert not issubclass(errors.IndexError_, IndexError)
+
+
+def test_catching_the_root_catches_subsystems():
+    with pytest.raises(errors.ReproError):
+        raise errors.PageFullError("x")
+    with pytest.raises(errors.StorageError):
+        raise errors.InvalidRidError("x")

@@ -1,0 +1,35 @@
+"""The fast examples must run clean end to end.
+
+The two heavyweight examples (hot_cold_revisions, aggregate_dashboard)
+exercise code paths already covered by the fig3/agg benches and would
+double the suite's runtime, so only the fast three run here.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.mark.parametrize(
+    "script, expect",
+    [
+        ("quickstart.py", "cache stats"),
+        ("schema_advisor.py", "round-trip verified"),
+        ("semantic_ids_routing.py", "routers agree"),
+    ],
+)
+def test_example_runs(script, expect):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr
+    assert expect in result.stdout

@@ -1,0 +1,23 @@
+"""The experiments CLI: name resolution and dispatch."""
+
+import pytest
+
+from repro.experiments import all as all_experiments
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(SystemExit):
+        all_experiments.main(["nonsense"])
+
+
+def test_known_names_registered():
+    assert set(all_experiments._DRIVERS) >= {
+        "fig2a", "fig2b", "fig2c", "fig3", "capacity", "encoding",
+        "fill_factor", "headline", "ablations",
+    }
+
+
+def test_single_cheap_driver_runs(capsys):
+    all_experiments.main(["fig2b"])
+    out = capsys.readouterr().out
+    assert "Figure 2(b)" in out

@@ -1,0 +1,171 @@
+"""Small-config runs of every experiment driver.
+
+These are smoke + shape tests: tiny workloads, loose assertions.  The full
+paper-scale claims are asserted by ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ablations,
+    capacity,
+    encoding_waste,
+    fig2a,
+    fig2b,
+    fig2c,
+    fig3,
+    fill_factor,
+    headline,
+)
+from repro.experiments.runner import oracle_hit_rate, print_table
+
+
+def test_oracle_hit_rate_shape():
+    assert oracle_hit_rate(100, 1.0, 0.0) == 0.0
+    assert oracle_hit_rate(100, 1.0, 1.0) == 1.0
+    assert 0 < oracle_hit_rate(100, 1.0, 0.25) < 1
+    # standard-zipf fact: alpha=0.5 oracle at 25% capacity is ~50%
+    assert oracle_hit_rate(10_000, 0.5, 0.25) == pytest.approx(0.5, abs=0.01)
+
+
+def test_print_table_returns_text(capsys):
+    text = print_table(["a", "b"], [(1, 2.5)], title="t")
+    out = capsys.readouterr().out
+    assert "a" in text and "2.500" in text
+    assert text in out
+
+
+def test_fig2a_small():
+    points = fig2a.run(n_items=500, n_lookups=4000, alpha=1.0,
+                       sizes_pct=(10, 50), seed=1)
+    assert len(points) == 2
+    assert points[0].swap_hit_rate < points[1].swap_hit_rate  # monotone
+    for p in points:
+        assert p.shrink_hit_rate <= p.swap_hit_rate + 0.02
+        assert p.swap_hit_rate <= p.oracle_hit_rate + 0.05
+
+
+def test_fig2b_small():
+    points = fig2b.run(lookups_per_point=500, seed=1,
+                       bp_hit_rates=(0.0, 1.0), cache_hit_rates=(0.0, 0.5, 1.0))
+    assert len(points) == 6
+    for p in points:
+        # monte carlo tracks the closed form
+        assert p.cost_ms_simulated == pytest.approx(
+            p.cost_ms_analytic, rel=0.25, abs=0.001
+        )
+    by_key = {(p.bp_hit_rate, p.cache_hit_rate): p for p in points}
+    # disk dominates at bp=0, vanishes at full cache hit rate
+    assert by_key[(0.0, 0.0)].cost_ms_analytic > 100 * by_key[(1.0, 0.0)].cost_ms_analytic
+    assert by_key[(0.0, 1.0)].cost_ms_analytic == pytest.approx(
+        by_key[(1.0, 1.0)].cost_ms_analytic
+    )
+
+
+def test_fig2c_summary_matches_paper_shape():
+    points, summary = fig2c.run()
+    assert summary.overhead_at_zero_us == pytest.approx(0.3, abs=0.02)
+    assert 0.30 <= summary.crossover_hit_rate <= 0.40
+    assert summary.speedup_at_full == pytest.approx(2.7, abs=0.1)
+    costs = [p.cache_cost_us for p in points]
+    assert costs == sorted(costs, reverse=True)  # monotone decreasing
+
+
+def test_fig2c_engine_validation_small():
+    v = fig2c.run_engine(n_rows=400, n_lookups=3000, seed=2)
+    assert 0 < v.natural_hit_rate <= 1
+    assert v.speedup > 1.3
+    assert v.cache_cost_us == pytest.approx(v.predicted_cache_cost_us, rel=0.2)
+
+
+def test_fig3_small_shape():
+    rows = fig3.run(
+        fig3.Fig3Config(
+            n_pages=150, revisions_per_page_mean=8, n_lookups=1500,
+            warmup_lookups=500, pool_pages=24, seed=3,
+        )
+    )
+    assert [r.label for r in rows] == [
+        "0% clustered", "54% clustered", "100% clustered", "Partition",
+    ]
+    base, half, full, part = rows
+    assert base.speedup == 1.0
+    assert part.cost_ms_per_lookup < full.cost_ms_per_lookup
+    assert full.cost_ms_per_lookup < base.cost_ms_per_lookup
+    assert part.index_bytes < base.index_bytes
+
+
+def test_capacity_analytic_matches_paper_constants():
+    a = capacity.analytic()
+    assert a.cache_items == pytest.approx(7.9e6, rel=0.15)
+    assert a.tuple_coverage > 0.6
+
+
+def test_capacity_measured_small():
+    m = capacity.run_measured(n_pages=400, n_lookups=4000, seed=4)
+    assert 0.5 < m.leaf_fill_factor < 0.85
+    assert m.cache_capacity > 0
+    assert m.trace_hit_rate > 0.5
+    assert m.answered_from_cache > 0.5
+
+
+def test_encoding_waste_small():
+    result = encoding_waste.run(
+        n_pages=100, revisions_per_page=3, n_cartel=200, n_text=300, seed=5
+    )
+    by_table = {r.table: r for r in result.reports}
+    for name in ("wikipedia.revision", "wikipedia.page", "cartel.readings"):
+        assert 0.16 <= by_table[name].waste_fraction <= 0.9, name
+    assert by_table["wikipedia.text"].waste_fraction < 0.05
+    assert 0.05 < result.total_waste_fraction < 0.5
+
+
+def test_fill_factor_small():
+    result = fill_factor.run(n_keys=3000, churn_ops=3000, seed=6)
+    assert 0.6 < result.random_insert_fill < 0.85
+    assert result.bulk_load_fill == pytest.approx(0.68, abs=0.05)
+    assert result.churn_final_fill < result.churn_initial_fill
+
+
+def test_headline_small():
+    result = headline.run(
+        n_pages=80, revisions_per_page=10, seed=7,
+        measure_query_speedup=False,
+    )
+    assert result.memory_reduction > 3
+    assert result.optimized_ram_bytes < result.baseline_ram_bytes
+
+
+def test_ablation_policies_small():
+    rows = ablations.run_policy_ablation(n_rows=600, n_lookups=2500, seed=8)
+    by_name = {r.policy: r for r in rows}
+    assert set(by_name) == {"SwapPolicy", "RandomPolicy", "LruPolicy"}
+    for r in rows:
+        assert 0 < r.hit_rate_stable <= 1
+        assert 0 < r.hit_rate_growth <= 1
+
+
+def test_ablation_threshold_small():
+    rows = ablations.run_threshold_ablation(
+        thresholds=(2, 512), n_rows=500, n_ops=2000, seed=9
+    )
+    small, big = rows
+    assert small.full_invalidations > big.full_invalidations
+    assert big.hit_rate >= small.hit_rate
+
+
+def test_ablation_vertical_small():
+    v = ablations.run_vertical_ablation(
+        n_pages=60, revisions_per_page=3, n_lookups=400, seed=10
+    )
+    assert v.measured_bytes_split < v.measured_bytes_unsplit
+    assert v.predicted_bytes_split == pytest.approx(
+        v.measured_bytes_split, rel=0.35
+    )
+
+
+def test_ablation_routing_small():
+    results = ablations.run_routing_ablation(sizes=(1000,), seed=11)
+    assert results[0].agree
+    assert results[0].lookup_table_bytes > 0
+    assert results[0].embedded_bytes == 0

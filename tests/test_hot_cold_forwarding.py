@@ -1,0 +1,48 @@
+"""ForwardingTable: redirection chains and path compression."""
+
+from repro.core.hot_cold.forwarding import ForwardingTable
+from repro.storage.heap import Rid
+
+
+def test_unknown_rid_resolves_to_itself():
+    table = ForwardingTable()
+    rid = Rid(1, 0)
+    assert table.resolve(rid) == rid
+    assert rid not in table
+
+
+def test_single_move():
+    table = ForwardingTable()
+    old, new = Rid(1, 0), Rid(9, 3)
+    table.record_move(old, new)
+    assert table.resolve(old) == new
+    assert table.resolve(new) == new
+    assert old in table
+    assert table.size == 1
+
+
+def test_chain_resolution_and_compression():
+    table = ForwardingTable()
+    a, b, c, d = Rid(1, 0), Rid(2, 0), Rid(3, 0), Rid(4, 0)
+    table.record_move(a, b)
+    table.record_move(b, c)
+    table.record_move(c, d)
+    assert table.resolve(a) == d
+    followed_first = table.redirects_followed
+    # path compressed: resolving again follows at most one hop
+    table.resolve(a)
+    assert table.redirects_followed - followed_first <= 1
+
+
+def test_self_move_ignored():
+    table = ForwardingTable()
+    rid = Rid(5, 5)
+    table.record_move(rid, rid)
+    assert table.size == 0
+
+
+def test_forget():
+    table = ForwardingTable()
+    table.record_move(Rid(1, 0), Rid(2, 0))
+    table.forget(Rid(1, 0))
+    assert table.resolve(Rid(1, 0)) == Rid(1, 0)

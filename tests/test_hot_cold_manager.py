@@ -1,0 +1,103 @@
+"""OnlineHotColdManager: automated hot-set tracking and migration."""
+
+import pytest
+
+from repro.btree.tree import BPlusTree
+from repro.core.hot_cold.manager import OnlineHotColdManager
+from repro.core.hot_cold.partitioner import HotColdPartitionedTable, Partition
+from repro.errors import WorkloadError
+from repro.schema.schema import Schema
+from repro.schema.types import UINT32, char
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.disk import SimulatedDisk
+from repro.storage.heap import HeapFile
+from repro.util.rng import DeterministicRng
+from repro.workload.distributions import HotSetDistribution
+
+SCHEMA = Schema.of(("item_id", UINT32), ("body", char(16)))
+
+
+def build(n=400, hot_capacity=40, ops_per_epoch=1000, budget=100):
+    pool = BufferPool(SimulatedDisk(512), 1 << 20)
+
+    def partition():
+        return Partition(
+            heap=HeapFile(pool, append_only=True),
+            tree=BPlusTree(pool, key_size=4, value_size=8),
+        )
+
+    table = HotColdPartitionedTable(SCHEMA, ("item_id",), partition(), partition())
+    for i in range(n):
+        table.insert({"item_id": i, "body": f"b{i}"}, hot=False)  # all cold
+    manager = OnlineHotColdManager(
+        table, hot_capacity=hot_capacity, ops_per_epoch=ops_per_epoch,
+        migration_budget=budget,
+    )
+    return manager
+
+
+def test_lookups_return_rows():
+    manager = build()
+    assert manager.lookup(7) == {"item_id": 7, "body": "b7"}
+    assert manager.lookup(99999) is None
+
+
+def test_rebalance_promotes_hot_keys():
+    manager = build(hot_capacity=10, ops_per_epoch=10**9)
+    for _ in range(50):
+        for key in range(10):
+            manager.lookup(key)
+    report = manager.rebalance()
+    assert report.promoted == 10
+    for key in range(10):
+        assert manager.table.is_hot(key)
+    assert report.hot_rows_after == 10
+
+
+def test_rebalance_demotes_cooled_keys():
+    manager = build(hot_capacity=5, ops_per_epoch=10**9, budget=50)
+    for key in range(5):
+        for _ in range(20):
+            manager.lookup(key)
+    manager.rebalance()
+    assert manager.table.hot.num_rows == 5
+    # the workload shifts entirely to new keys
+    for key in range(100, 105):
+        for _ in range(200):
+            manager.lookup(key)
+    manager.rebalance()
+    manager.rebalance()  # decay lets old keys fall out over epochs
+    for key in range(100, 105):
+        assert manager.table.is_hot(key)
+    assert manager.table.hot.num_rows <= 10
+
+
+def test_migration_budget_bounds_moves():
+    manager = build(hot_capacity=100, ops_per_epoch=10**9, budget=7)
+    for key in range(100):
+        manager.lookup(key)
+    report = manager.rebalance()
+    assert report.promoted + report.demoted <= 7
+
+
+def test_automatic_rebalance_after_epoch():
+    manager = build(hot_capacity=20, ops_per_epoch=300)
+    dist = HotSetDistribution(400, 0.05, 0.99, DeterministicRng(1))
+    for _ in range(2000):
+        manager.lookup(dist.sample())
+    assert len(manager.reports) >= 5
+    # after convergence, most lookups are served hot
+    before = manager.table.hot_lookups + manager.table.cold_lookups
+    manager.table.hot_lookups = 0
+    manager.table.cold_lookups = 0
+    for _ in range(2000):
+        manager.lookup(dist.sample())
+    assert manager.hot_hit_rate() > 0.8
+
+
+def test_validation():
+    manager = build()
+    with pytest.raises(WorkloadError):
+        OnlineHotColdManager(manager.table, hot_capacity=0)
+    with pytest.raises(WorkloadError):
+        OnlineHotColdManager(manager.table, hot_capacity=5, ops_per_epoch=0)

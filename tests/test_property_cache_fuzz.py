@@ -1,0 +1,136 @@
+"""Property tests for the index cache's central safety claims.
+
+The §2.1 design rests on two properties that must hold under *arbitrary*
+interleavings of cache operations and index mutations:
+
+1. **No lies.**  A probe returns either a payload that was previously
+   inserted for exactly that tuple id, or None — never another tuple's
+   bytes, never a torn/clobbered value.
+2. **No interference.**  The index's own contents are never corrupted by
+   cache activity, no matter what the cache does.
+
+Hypothesis drives random operation sequences against one page shared by a
+B+-style ordered record region and a cache.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.index_cache.cache import IndexCache
+from repro.core.index_cache.invalidation import CacheInvalidation
+from repro.errors import PageFullError
+from repro.storage.constants import PageType
+from repro.storage.page import SlottedPage
+from repro.util.rng import DeterministicRng
+
+PAYLOAD = 10
+ENTRY = 20
+
+
+def tid(n: int) -> bytes:
+    return n.to_bytes(8, "little")
+
+
+def payload_for(n: int) -> bytes:
+    return (n * 2654435761 % 2**64).to_bytes(8, "little") + bytes([n % 256] * 2)
+
+
+operation = st.one_of(
+    st.tuples(st.just("probe"), st.integers(0, 15)),
+    st.tuples(st.just("cache_insert"), st.integers(0, 15)),
+    st.tuples(st.just("index_insert"), st.integers(0, 200)),
+    st.tuples(st.just("index_remove"), st.integers(0, 200)),
+    st.tuples(st.just("compact"), st.just(0)),
+    st.tuples(st.just("zero"), st.just(0)),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(operation, max_size=60), st.integers(0, 2**31))
+def test_cache_never_lies_under_interleaving(ops, seed):
+    page = SlottedPage.format(bytearray(1024), 1, PageType.BTREE_LEAF)
+    cache = IndexCache(PAYLOAD, ENTRY, rng=DeterministicRng(seed))
+    index_model: list[bytes] = []  # sorted records in the page
+
+    for op, arg in ops:
+        if op == "probe":
+            result = cache.probe(page, tid(arg))
+            # Property 1: a hit is byte-exact for that id.
+            if result is not None:
+                assert result == payload_for(arg)
+        elif op == "cache_insert":
+            cache.insert(page, tid(arg), payload_for(arg))
+        elif op == "index_insert":
+            record = arg.to_bytes(4, "big") + bytes(ENTRY - 4)
+            pos = next(
+                (i for i, r in enumerate(index_model) if r > record),
+                len(index_model),
+            )
+            try:
+                page.insert_at(pos, record)
+                index_model.insert(pos, record)
+            except PageFullError:
+                pass
+        elif op == "index_remove":
+            if index_model:
+                pos = arg % len(index_model)
+                page.remove_at(pos)
+                index_model.pop(pos)
+        elif op == "compact":
+            page.compact()
+        elif op == "zero":
+            cache.zero_window(page)
+
+        # Property 2: index records are intact and ordered after every op.
+        assert page.slot_count == len(index_model)
+        for i, expected in enumerate(index_model):
+            assert page.read(i) == expected
+    page.verify()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.one_of(
+            st.tuples(st.just("fill"), st.integers(0, 9)),
+            st.tuples(st.just("update"), st.integers(0, 9)),
+            st.tuples(st.just("read"), st.integers(0, 9)),
+            st.tuples(st.just("flush_all"), st.just(0)),
+        ),
+        max_size=50,
+    ),
+    st.integers(0, 2**31),
+)
+def test_invalidation_never_serves_stale_data(ops, seed):
+    """Strong consistency through the §2.1.2 machinery: after an update is
+    noted, no read may see the old cached payload."""
+    page = SlottedPage.format(bytearray(2048), 1, PageType.BTREE_LEAF)
+    cache = IndexCache(PAYLOAD, ENTRY, rng=DeterministicRng(seed))
+    inv = CacheInvalidation(log_threshold=8)
+    versions = {n: 0 for n in range(10)}
+
+    def key_of(n: int) -> bytes:
+        return n.to_bytes(8, "big")
+
+    def current_payload(n: int) -> bytes:
+        return versions[n].to_bytes(4, "little") + bytes([n] * (PAYLOAD - 4))
+
+    first, last = key_of(0), key_of(9)
+    for op, n in ops:
+        if op == "fill":
+            # the normal miss path: validate, then cache current data
+            inv.validate_page(page, cache, first, last)
+            cache.insert(page, tid(n), current_payload(n))
+        elif op == "update":
+            versions[n] += 1
+            inv.note_update(key_of(n))
+        elif op == "read":
+            inv.validate_page(page, cache, first, last)
+            got = cache.probe(page, tid(n))
+            if got is not None:
+                assert got == current_payload(n), (
+                    f"stale cache for item {n}: {got!r}"
+                )
+        elif op == "flush_all":
+            inv.invalidate_all()

@@ -1,0 +1,80 @@
+"""Heap-mode page fuzz: arbitrary op sequences vs a dict model.
+
+Complements the ordered-mode model test: heap pages use tombstones and
+slot reuse, so the interesting invariants are different — slot numbers of
+live records are stable across unrelated deletes, tombstones are reused
+rather than growing the directory, and compaction changes no visible
+state.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InvalidRidError, PageFullError
+from repro.storage.constants import PageType
+from repro.storage.page import SlottedPage
+
+operation = st.one_of(
+    st.tuples(st.just("insert"), st.binary(min_size=1, max_size=24)),
+    st.tuples(st.just("delete"), st.integers(0, 40)),
+    st.tuples(st.just("update"), st.integers(0, 40)),
+    st.tuples(st.just("compact"), st.just(b"")),
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(operation, max_size=80))
+def test_heap_page_matches_model(ops):
+    page = SlottedPage.format(bytearray(768), 1, PageType.HEAP)
+    model: dict[int, bytes] = {}  # live slot -> bytes
+
+    for op, arg in ops:
+        if op == "insert":
+            try:
+                slot = page.insert(arg)
+            except PageFullError:
+                continue
+            # inserts must reuse a tombstone if any existed
+            assert slot not in model
+            model[slot] = arg
+        elif op == "delete":
+            slot = arg
+            if slot in model:
+                page.delete(slot)
+                del model[slot]
+            else:
+                try:
+                    page.delete(slot)
+                    raise AssertionError("deleted a non-live slot")
+                except InvalidRidError:
+                    pass
+        elif op == "update":
+            slot = arg
+            if slot in model:
+                new = bytes(reversed(model[slot]))
+                page.update(slot, new)
+                model[slot] = new
+        elif op == "compact":
+            page.compact()
+
+        # full-state comparison after every operation
+        assert sorted(page.live_slots()) == sorted(model)
+        for slot, expected in model.items():
+            assert page.read(slot) == expected
+        assert page.live_record_bytes == sum(len(v) for v in model.values())
+    page.verify()
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.binary(min_size=1, max_size=16), min_size=1, max_size=20))
+def test_tombstone_reuse_keeps_directory_bounded(records):
+    """Insert/delete cycles must not grow the directory indefinitely."""
+    page = SlottedPage.format(bytearray(1024), 1, PageType.HEAP)
+    slots = [page.insert(r) for r in records]
+    count_after_insert = page.slot_count
+    for _ in range(3):
+        for slot in slots:
+            page.delete(slot)
+        slots = [page.insert(r) for r in records]
+    assert page.slot_count == count_after_insert

@@ -1,0 +1,81 @@
+"""FkJoinCache: §2.2's join-result caching in heap-page free space."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.database import Database
+from repro.query.executor import FkJoinCache
+from repro.schema.schema import Schema
+from repro.schema.types import UINT32, UINT64, char
+from repro.util.rng import DeterministicRng
+
+PARENT = Schema.of(("pid", UINT64), ("pname", char(12)), ("weight", UINT32))
+CHILD = Schema.of(("cid", UINT64), ("fk", UINT64), ("val", UINT32))
+
+
+def build():
+    db = Database(data_pool_pages=1024, seed=1)
+    parent = db.create_table("parent", PARENT)
+    db.create_index("parent", "parent_pk", ("pid",))
+    child = db.create_table("child", CHILD)
+    db.create_index("child", "child_pk", ("cid",))
+    for p in range(10):
+        parent.insert({"pid": p, "pname": f"p{p}", "weight": p * 3})
+    child_rids = {}
+    for c in range(50):
+        child_rids[c] = child.insert({"cid": c, "fk": c % 10, "val": c})
+    join = FkJoinCache(
+        child, parent, "parent_pk", "fk", ("pname", "weight"),
+        rng=DeterministicRng(2),
+    )
+    return join, child_rids
+
+
+def test_join_fetch_merges_both_sides():
+    join, rids = build()
+    got = join.join_fetch(rids[13], ("cid", "val", "pname", "weight"))
+    assert got == {"cid": 13, "val": 13, "pname": "p3", "weight": 9}
+
+
+def test_repeat_probe_hits_cache():
+    join, rids = build()
+    join.join_fetch(rids[13], ("cid", "pname"))
+    got = join.join_fetch(rids[13], ("cid", "pname"))
+    assert got["pname"] == "p3"
+    assert join.stats.cache_hits >= 1
+    assert join.stats.hit_rate > 0
+
+
+def test_sibling_children_share_cached_parent():
+    """Children of the same parent on the same heap page reuse the item."""
+    join, rids = build()
+    join.join_fetch(rids[3], ("pname",))   # fk = 3
+    before = join.stats.parent_lookups
+    join.join_fetch(rids[13], ("pname",))  # fk = 3 as well, same heap page?
+    # Either a hit (same page) or one more parent lookup (different page);
+    # both are valid — but the merged values must be identical.
+    a = join.join_fetch(rids[3], ("pname", "weight"))
+    b = join.join_fetch(rids[13], ("pname", "weight"))
+    assert a == b
+
+
+def test_child_only_projection_skips_parent():
+    join, rids = build()
+    got = join.join_fetch(rids[7], ("cid", "val"))
+    assert got == {"cid": 7, "val": 7}
+    assert join.stats.parent_lookups == 0
+
+
+def test_unknown_parent_column_rejected():
+    join, rids = build()
+    with pytest.raises(QueryError):
+        join.join_fetch(rids[0], ("cid", "not_cached_col"))
+
+
+def test_validation_errors():
+    db = Database()
+    parent = db.create_table("p", PARENT)
+    db.create_index("p", "p_pk", ("pid",))
+    child = db.create_table("c", CHILD)
+    with pytest.raises(QueryError):
+        FkJoinCache(child, parent, "p_pk", "missing_fk", ("pname",))

@@ -1,0 +1,55 @@
+"""Predicate objects."""
+
+from repro.query.predicates import (
+    And,
+    ColumnEq,
+    ColumnIn,
+    ColumnRange,
+    Not,
+    Or,
+    TruePredicate,
+)
+
+ROW = {"a": 5, "b": "hi", "c": 2.5}
+
+
+def test_true_predicate():
+    assert TruePredicate().matches(ROW)
+
+
+def test_eq():
+    assert ColumnEq("a", 5).matches(ROW)
+    assert not ColumnEq("a", 6).matches(ROW)
+    assert not ColumnEq("missing", 5).matches(ROW)
+
+
+def test_in():
+    assert ColumnIn.of("b", ["hi", "yo"]).matches(ROW)
+    assert not ColumnIn.of("b", ["nope"]).matches(ROW)
+
+
+def test_range_bounds():
+    assert ColumnRange("a", lo=5).matches(ROW)       # inclusive low
+    assert not ColumnRange("a", hi=5).matches(ROW)   # exclusive high
+    assert ColumnRange("a", lo=0, hi=6).matches(ROW)
+    assert not ColumnRange("a", lo=6).matches(ROW)
+    assert not ColumnRange("missing", lo=0).matches(ROW)
+    assert ColumnRange("a").matches(ROW)  # unbounded
+
+
+def test_composition_operators():
+    p = ColumnEq("a", 5) & ColumnEq("b", "hi")
+    assert isinstance(p, And)
+    assert p.matches(ROW)
+    q = ColumnEq("a", 9) | ColumnEq("b", "hi")
+    assert isinstance(q, Or)
+    assert q.matches(ROW)
+    n = ~ColumnEq("a", 9)
+    assert isinstance(n, Not)
+    assert n.matches(ROW)
+
+
+def test_nested_composition():
+    p = (ColumnEq("a", 5) | ColumnEq("a", 6)) & ~ColumnEq("b", "bye")
+    assert p.matches(ROW)
+    assert not p.matches({"a": 7, "b": "hi"})

@@ -1,0 +1,72 @@
+"""Catalog registration and lookups."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.schema.catalog import Catalog
+from repro.schema.schema import Schema
+from repro.schema.types import UINT32
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    return Catalog()
+
+
+SCHEMA = Schema.of(("id", UINT32))
+
+
+def test_register_and_fetch_table(catalog):
+    sentinel = object()
+    catalog.register_table("t", SCHEMA, sentinel)
+    entry = catalog.table("t")
+    assert entry.table is sentinel
+    assert entry.schema is SCHEMA
+    assert catalog.has_table("t")
+    assert catalog.table_names == ["t"]
+
+
+def test_duplicate_table_rejected(catalog):
+    catalog.register_table("t", SCHEMA, object())
+    with pytest.raises(CatalogError):
+        catalog.register_table("t", SCHEMA, object())
+
+
+def test_unknown_table_raises(catalog):
+    with pytest.raises(CatalogError):
+        catalog.table("nope")
+
+
+def test_register_index_links_to_table(catalog):
+    catalog.register_table("t", SCHEMA, object())
+    idx = object()
+    catalog.register_index("i", "t", ("id",), idx)
+    assert catalog.index("i").index is idx
+    assert catalog.indexes_of("t")[0].name == "i"
+    assert catalog.has_index("i")
+
+
+def test_index_requires_existing_table(catalog):
+    with pytest.raises(CatalogError):
+        catalog.register_index("i", "missing", ("id",), object())
+
+
+def test_duplicate_index_rejected(catalog):
+    catalog.register_table("t", SCHEMA, object())
+    catalog.register_index("i", "t", ("id",), object())
+    with pytest.raises(CatalogError):
+        catalog.register_index("i", "t", ("id",), object())
+
+
+def test_drop_table_removes_indexes(catalog):
+    catalog.register_table("t", SCHEMA, object())
+    catalog.register_index("i", "t", ("id",), object())
+    catalog.drop_table("t")
+    assert not catalog.has_table("t")
+    assert not catalog.has_index("i")
+
+
+def test_tables_iterates_all(catalog):
+    catalog.register_table("a", SCHEMA, object())
+    catalog.register_table("b", SCHEMA, object())
+    assert sorted(e.name for e in catalog.tables()) == ["a", "b"]

@@ -1,0 +1,80 @@
+"""Record serde: full, mapped, partial, and in-place field overwrite."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SchemaError
+from repro.schema.record import (
+    overwrite_field,
+    pack_record,
+    pack_record_map,
+    unpack_fields,
+    unpack_record,
+    unpack_record_map,
+)
+from repro.schema.schema import Schema
+from repro.schema.types import BOOL, INT32, UINT64, char
+
+SCHEMA = Schema.of(
+    ("id", UINT64),
+    ("score", INT32),
+    ("active", BOOL),
+    ("tag", char(8)),
+)
+
+
+def test_round_trip_positional():
+    values = (7, -42, True, "hi")
+    data = pack_record(SCHEMA, values)
+    assert len(data) == SCHEMA.record_size
+    assert unpack_record(SCHEMA, data) == values
+
+
+def test_round_trip_map():
+    row = {"id": 1, "score": 2, "active": False, "tag": "x"}
+    data = pack_record_map(SCHEMA, row)
+    assert unpack_record_map(SCHEMA, data) == row
+
+
+def test_pack_wrong_arity():
+    with pytest.raises(SchemaError):
+        pack_record(SCHEMA, (1, 2, True))
+
+
+def test_pack_map_missing_column():
+    with pytest.raises(SchemaError):
+        pack_record_map(SCHEMA, {"id": 1, "score": 2, "active": True})
+
+
+def test_unpack_wrong_length():
+    with pytest.raises(SchemaError):
+        unpack_record(SCHEMA, b"\x00" * (SCHEMA.record_size - 1))
+    with pytest.raises(SchemaError):
+        unpack_fields(SCHEMA, b"\x00", ["id"])
+
+
+def test_partial_unpack():
+    data = pack_record(SCHEMA, (9, 5, True, "abc"))
+    assert unpack_fields(SCHEMA, data, ["tag", "id"]) == {"tag": "abc", "id": 9}
+
+
+def test_overwrite_field_in_place():
+    data = bytearray(pack_record(SCHEMA, (9, 5, True, "abc")))
+    overwrite_field(SCHEMA, data, "score", -100)
+    assert unpack_record(SCHEMA, bytes(data)) == (9, -100, True, "abc")
+
+
+def test_overwrite_field_wrong_buffer_size():
+    with pytest.raises(SchemaError):
+        overwrite_field(SCHEMA, bytearray(3), "score", 1)
+
+
+@given(
+    st.integers(min_value=0, max_value=2**64 - 1),
+    st.integers(min_value=-(2**31), max_value=2**31 - 1),
+    st.booleans(),
+    st.text(alphabet="abcdefgh", max_size=8),
+)
+def test_round_trip_property(uid, score, active, tag):
+    values = (uid, score, active, tag)
+    assert unpack_record(SCHEMA, pack_record(SCHEMA, values)) == values

@@ -1,0 +1,133 @@
+"""Physical types: validation, ranges, and serde round-trips."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TypeMismatchError
+from repro.schema.types import (
+    BOOL,
+    FLOAT64,
+    INT8,
+    INT16,
+    INT32,
+    INT64,
+    TIMESTAMP32,
+    TIMESTAMP_STR14,
+    UINT8,
+    UINT32,
+    UINT64,
+    char,
+    varchar,
+)
+
+
+def test_sizes():
+    assert BOOL.size == 1
+    assert INT32.size == 4
+    assert UINT64.size == 8
+    assert FLOAT64.size == 8
+    assert TIMESTAMP32.size == 4
+    assert TIMESTAMP_STR14.size == 14
+    assert char(10).size == 10
+    assert varchar(10).size == 12  # 2-byte length prefix
+
+
+def test_int_ranges():
+    assert INT8.int_range() == (-128, 127)
+    assert UINT8.int_range() == (0, 255)
+    assert INT16.int_range() == (-32768, 32767)
+
+
+def test_validate_rejects_wrong_python_type():
+    with pytest.raises(TypeMismatchError):
+        INT32.validate("5")
+    with pytest.raises(TypeMismatchError):
+        INT32.validate(True)  # bools are not ints here
+    with pytest.raises(TypeMismatchError):
+        BOOL.validate(1)
+    with pytest.raises(TypeMismatchError):
+        char(4).validate(4)
+
+
+def test_validate_rejects_out_of_range():
+    with pytest.raises(TypeMismatchError):
+        UINT8.validate(256)
+    with pytest.raises(TypeMismatchError):
+        UINT8.validate(-1)
+    with pytest.raises(TypeMismatchError):
+        INT8.validate(128)
+
+
+def test_validate_rejects_overlong_string():
+    with pytest.raises(TypeMismatchError):
+        char(3).validate("abcd")
+    with pytest.raises(TypeMismatchError):
+        varchar(3).validate("abcd")
+    varchar(3).validate("abc")  # exactly max fits
+
+
+def test_string_length_counts_utf8_bytes():
+    with pytest.raises(TypeMismatchError):
+        char(3).validate("héé")  # 5 utf-8 bytes
+
+
+@given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+def test_int32_round_trip(value):
+    assert INT32.unpack(INT32.pack(value)) == value
+
+
+@given(st.integers(min_value=0, max_value=2**64 - 1))
+def test_uint64_round_trip(value):
+    assert UINT64.unpack(UINT64.pack(value)) == value
+
+
+@given(st.booleans())
+def test_bool_round_trip(value):
+    assert BOOL.unpack(BOOL.pack(value)) is value
+
+
+@given(st.floats(allow_nan=False))
+def test_float_round_trip(value):
+    assert FLOAT64.unpack(FLOAT64.pack(value)) == value
+
+
+@given(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=10))
+def test_char_round_trip(value):
+    ctype = char(10)
+    assert ctype.unpack(ctype.pack(value)) == value.rstrip("\x00")
+
+
+@given(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=0x2FF), max_size=6))
+def test_varchar_round_trip(value):
+    ctype = varchar(20)
+    assert ctype.unpack(ctype.pack(value)) == value
+
+
+def test_varchar_preserves_trailing_content():
+    # A varchar's length prefix must distinguish "a" from "a\x00...".
+    ctype = varchar(8)
+    assert ctype.unpack(ctype.pack("ab")) == "ab"
+    assert ctype.unpack(ctype.pack("")) == ""
+
+
+def test_pack_is_fixed_width():
+    assert len(char(10).pack("hi")) == 10
+    assert len(varchar(10).pack("hi")) == 12
+    assert len(TIMESTAMP_STR14.pack("20100101000000")) == 14
+
+
+def test_unpack_wrong_width_raises():
+    with pytest.raises(TypeMismatchError):
+        INT32.unpack(b"\x00" * 5)
+
+
+def test_timestamp32_is_unsigned_seconds():
+    epoch = 1262304000
+    assert TIMESTAMP32.unpack(TIMESTAMP32.pack(epoch)) == epoch
+
+
+def test_char_width_validation():
+    with pytest.raises(TypeMismatchError):
+        char(0)
+    with pytest.raises(TypeMismatchError):
+        varchar(-1)

@@ -1,0 +1,134 @@
+"""Soak test: a sustained mixed workload across every subsystem at once.
+
+One database, two tables (page + revision), a cached composite index, a
+plain index, interleaved lookups/updates/inserts/deletes under buffer-pool
+pressure, followed by clustering and a full consistency audit against a
+Python-dict shadow model.  Nothing here asserts performance — only that
+the engine stays *correct* while everything happens at once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hot_cold.cluster import cluster_hot_tuples
+from repro.query.database import Database
+from repro.sim.cost_model import CostModel
+from repro.util.rng import DeterministicRng
+from repro.workload.wikipedia import (
+    PAGE_SCHEMA,
+    REVISION_SCHEMA,
+    WikipediaConfig,
+    generate,
+)
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_soak_mixed_workload(seed):
+    cm = CostModel()
+    db = Database(
+        data_pool_pages=48, index_pool_pages=48, cost_model=cm, seed=seed
+    )
+    data = generate(
+        WikipediaConfig(n_pages=300, revisions_per_page_mean=6, seed=seed)
+    )
+
+    pages = db.create_table("page", PAGE_SCHEMA)
+    db.create_cached_index(
+        "page", "name_title", ("page_namespace", "page_title"),
+        cached_fields=("page_id", "page_latest", "page_len"),
+        invalidation_log_threshold=32,
+        latch_contention=0.05,
+    )
+    revisions = db.create_table("revision", REVISION_SCHEMA, append_only=True)
+    db.create_index("revision", "rev_pk", ("rev_id",))
+
+    shadow_pages = {}
+    for row in data.page_rows:
+        pages.insert(row)
+        shadow_pages[(row["page_namespace"], row["page_title"])] = dict(row)
+    shadow_revs = {}
+    for row in data.revision_rows:
+        revisions.insert(row)
+        shadow_revs[row["rev_id"]] = dict(row)
+
+    rng = DeterministicRng(seed + 100)
+    page_keys = list(shadow_pages)
+    rev_keys = list(shadow_revs)
+    deleted_revs: set[int] = set()
+    next_rev_id = max(rev_keys) + 1
+
+    for step in range(4_000):
+        dice = rng.random()
+        if dice < 0.55:
+            key = rng.choice(page_keys)
+            got = pages.lookup(
+                "name_title", key, ("page_id", "page_latest", "page_len")
+            )
+            expected = shadow_pages[key]
+            assert got.found
+            assert got.values == {
+                "page_id": expected["page_id"],
+                "page_latest": expected["page_latest"],
+                "page_len": expected["page_len"],
+            }, f"step {step}: wrong page data for {key}"
+        elif dice < 0.70:
+            key = rng.choice(page_keys)
+            new_len = rng.randint(1, 1_000_000)
+            pages.update("name_title", key, {"page_len": new_len})
+            shadow_pages[key]["page_len"] = new_len
+        elif dice < 0.85:
+            rev_id = rng.choice(rev_keys)
+            got = revisions.lookup("rev_pk", rev_id)
+            if rev_id in deleted_revs:
+                assert not got.found
+            else:
+                assert got.found
+                assert got.values == shadow_revs[rev_id]
+        elif dice < 0.95:
+            row = {
+                "rev_id": next_rev_id,
+                "rev_page": rng.choice(rev_keys) % 10_000_000,
+                "rev_text_id": next_rev_id,
+                "rev_user": rng.randrange(1_000_000),
+                "rev_timestamp": 1_262_304_000 + step,
+                "rev_minor_edit": 0,
+                "rev_len": rng.randint(1, 100_000),
+                "rev_comment": f"soak {step}",
+            }
+            revisions.insert(row)
+            shadow_revs[next_rev_id] = row
+            rev_keys.append(next_rev_id)
+            next_rev_id += 1
+        else:
+            rev_id = rng.choice(rev_keys)
+            if rev_id not in deleted_revs:
+                assert revisions.delete("rev_pk", rev_id)
+                deleted_revs.add(rev_id)
+
+    # Mid-life reorganisation: cluster the live hot revisions.
+    rev_index = revisions.index("rev_pk")
+    live_hot = [
+        rev_index.encode_key(r)
+        for r in data.hot_rev_ids if r not in deleted_revs
+    ]
+    cluster_hot_tuples(revisions.heap, rev_index.tree, live_hot)
+
+    # Full audit against the shadow model.
+    for key, expected in shadow_pages.items():
+        got = pages.lookup("name_title", key)
+        assert got.found
+        assert got.values == expected
+    for rev_id, expected in shadow_revs.items():
+        got = revisions.lookup("rev_pk", rev_id)
+        if rev_id in deleted_revs:
+            assert not got.found
+        else:
+            assert got.found, rev_id
+            assert got.values == expected
+    rev_index.tree.verify_order()
+    pages.index("name_title").tree.verify_order()
+    assert cm.now_ns > 0
+    # no operation leaked a pin
+    assert db.data_pool.pinned_pages == []
+    assert db.index_pool.pinned_pages == []

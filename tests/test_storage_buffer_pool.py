@@ -1,0 +1,172 @@
+"""BufferPool: pinning, eviction, write-back, hit accounting, cost hooks."""
+
+import pytest
+
+from repro.errors import BufferPoolError
+from repro.storage.buffer_pool import BufferPool, EvictionPolicy
+from repro.storage.constants import PageType
+from repro.storage.disk import SimulatedDisk
+
+
+def make_pool(capacity=4, policy=EvictionPolicy.LRU, hook=None):
+    disk = SimulatedDisk(256)
+    return BufferPool(disk, capacity, policy=policy, cost_hook=hook), disk
+
+
+def test_new_page_is_pinned_and_dirty():
+    pool, disk = make_pool()
+    page = pool.new_page(PageType.HEAP)
+    assert pool.resident_pages == 1
+    pool.unpin(page.page_id)
+    pool.flush(page.page_id)
+    assert disk.writes == 1
+
+
+def test_fetch_hit_vs_miss_counting():
+    pool, disk = make_pool()
+    page = pool.new_page(PageType.HEAP)
+    pid = page.page_id
+    pool.unpin(pid, dirty=True)
+    pool.fetch(pid)
+    pool.unpin(pid)
+    assert pool.hits == 1
+    assert pool.misses == 0
+    pool.flush_all()
+    pool.drop_clean()
+    pool.fetch(pid)
+    pool.unpin(pid)
+    assert pool.misses == 1
+    assert 0 < pool.hit_rate < 1
+
+
+def test_eviction_lru_prefers_oldest():
+    pool, disk = make_pool(capacity=2)
+    p0 = pool.new_page(PageType.HEAP).page_id
+    pool.unpin(p0)
+    p1 = pool.new_page(PageType.HEAP).page_id
+    pool.unpin(p1)
+    pool.fetch(p0)  # p0 recently used
+    pool.unpin(p0)
+    pool.new_page(PageType.HEAP)  # must evict p1 (least recent)
+    assert pool.is_resident(p0)
+    assert not pool.is_resident(p1)
+    assert pool.evictions == 1
+
+
+def test_eviction_writes_back_dirty_pages():
+    pool, disk = make_pool(capacity=1)
+    p0 = pool.new_page(PageType.HEAP)
+    p0.insert(b"payload")
+    pid0 = p0.page_id
+    pool.unpin(pid0, dirty=True)
+    p1 = pool.new_page(PageType.HEAP)  # evicts p0
+    assert disk.writes == 1
+    pool.unpin(p1.page_id, dirty=True)
+    # the data survived the round trip
+    page = pool.fetch(pid0)
+    assert page.read(0) == b"payload"
+
+
+def test_pinned_pages_cannot_be_evicted():
+    pool, _ = make_pool(capacity=1)
+    pool.new_page(PageType.HEAP)  # stays pinned
+    with pytest.raises(BufferPoolError):
+        pool.new_page(PageType.HEAP)
+
+
+def test_unpin_without_pin_raises():
+    pool, _ = make_pool()
+    with pytest.raises(BufferPoolError):
+        pool.unpin(0)
+    page = pool.new_page(PageType.HEAP)
+    pool.unpin(page.page_id)
+    with pytest.raises(BufferPoolError):
+        pool.unpin(page.page_id)
+
+
+def test_context_manager_pins_and_unpins():
+    pool, _ = make_pool()
+    pid = pool.new_page(PageType.HEAP).page_id
+    pool.unpin(pid, dirty=True)
+    with pool.page(pid) as page:
+        assert page.page_id == pid
+    # after exit the frame is evictable again
+    pool.flush_all()
+    pool.drop_clean()
+    assert not pool.is_resident(pid)
+
+
+def test_clock_policy_evicts_unreferenced():
+    pool, _ = make_pool(capacity=2, policy=EvictionPolicy.CLOCK)
+    p0 = pool.new_page(PageType.HEAP).page_id
+    pool.unpin(p0)
+    p1 = pool.new_page(PageType.HEAP).page_id
+    pool.unpin(p1)
+    pool.new_page(PageType.HEAP)
+    assert pool.evictions == 1
+    assert pool.resident_pages == 2
+
+
+class _Hook:
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def on_bp_hit(self):
+        self.hits += 1
+
+    def on_bp_miss(self):
+        self.misses += 1
+
+    def on_disk_write(self):
+        self.writes += 1
+
+
+def test_cost_hook_charging():
+    hook = _Hook()
+    pool, _ = make_pool(capacity=1, hook=hook)
+    pid = pool.new_page(PageType.HEAP).page_id
+    pool.unpin(pid, dirty=True)
+    pool.fetch(pid)
+    pool.unpin(pid)
+    assert hook.hits == 1
+    pool.new_page(PageType.HEAP)  # evicts dirty pid -> disk write
+    assert hook.writes == 1
+    pool.unpin(pid + 1)
+    pool.fetch(pid)  # must come from disk now
+    assert hook.misses == 1
+
+
+def test_capacity_validation():
+    disk = SimulatedDisk(256)
+    with pytest.raises(BufferPoolError):
+        BufferPool(disk, 0)
+
+
+def test_reset_counters():
+    pool, _ = make_pool()
+    pid = pool.new_page(PageType.HEAP).page_id
+    pool.unpin(pid)
+    pool.fetch(pid)
+    pool.unpin(pid)
+    pool.reset_counters()
+    assert pool.hits == pool.misses == pool.evictions == 0
+
+
+def test_pinned_pages_tracking():
+    pool, _ = make_pool()
+    page = pool.new_page(PageType.HEAP)
+    assert pool.pinned_pages == [page.page_id]
+    pool.unpin(page.page_id)
+    assert pool.pinned_pages == []
+
+
+def test_frames_share_bytes_between_views():
+    pool, _ = make_pool()
+    pid = pool.new_page(PageType.HEAP).page_id
+    pool.unpin(pid, dirty=True)
+    with pool.page(pid, dirty=True) as view1:
+        slot = view1.insert(b"shared")
+    with pool.page(pid) as view2:
+        assert view2.read(slot) == b"shared"

@@ -1,0 +1,37 @@
+"""FreeSpaceMap: placement bookkeeping."""
+
+from repro.storage.freespace import FreeSpaceMap
+
+
+def test_note_and_find():
+    fsm = FreeSpaceMap()
+    fsm.note(1, 100)
+    fsm.note(2, 50)
+    assert fsm.find_page_with(60) == 1
+    assert fsm.find_page_with(40) == 1  # first fit, insertion order
+    assert fsm.find_page_with(200) is None
+
+
+def test_note_overwrites():
+    fsm = FreeSpaceMap()
+    fsm.note(1, 100)
+    fsm.note(1, 10)
+    assert fsm.free_of(1) == 10
+    assert fsm.find_page_with(50) is None
+
+
+def test_forget():
+    fsm = FreeSpaceMap()
+    fsm.note(1, 100)
+    fsm.forget(1)
+    assert fsm.free_of(1) == 0
+    assert fsm.find_page_with(1) is None
+    fsm.forget(99)  # idempotent
+
+
+def test_page_ids_and_len():
+    fsm = FreeSpaceMap()
+    fsm.note(3, 10)
+    fsm.note(7, 20)
+    assert fsm.page_ids == [3, 7]
+    assert len(fsm) == 2

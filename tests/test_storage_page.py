@@ -1,0 +1,190 @@
+"""SlottedPage: heap-mode operations, layout invariants, clobber rules."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InvalidRidError, PageFormatError, PageFullError
+from repro.storage.constants import (
+    PAGE_FOOTER_SIZE,
+    PAGE_HEADER_SIZE,
+    SLOT_ENTRY_SIZE,
+    PageType,
+)
+from repro.storage.page import SlottedPage
+
+PAGE_SIZE = 512
+
+
+def fresh_page(size: int = PAGE_SIZE) -> SlottedPage:
+    return SlottedPage.format(bytearray(size), page_id=7, page_type=PageType.HEAP)
+
+
+def test_format_initialises_header():
+    page = fresh_page()
+    page.verify()
+    assert page.page_id == 7
+    assert page.page_type is PageType.HEAP
+    assert page.slot_count == 0
+    lo, hi = page.free_window()
+    assert lo == PAGE_HEADER_SIZE
+    assert hi == PAGE_SIZE - PAGE_FOOTER_SIZE
+    assert page.cache_csn == 0
+    assert page.next_page is None
+    assert page.level == 0
+
+
+def test_insert_read_round_trip():
+    page = fresh_page()
+    slot = page.insert(b"hello")
+    assert page.read(slot) == b"hello"
+    assert page.slot_count == 1
+
+
+def test_insert_consumes_window_from_both_ends():
+    page = fresh_page()
+    lo0, hi0 = page.free_window()
+    page.insert(b"x" * 10)
+    lo1, hi1 = page.free_window()
+    assert lo1 == lo0 + SLOT_ENTRY_SIZE  # directory grew up
+    assert hi1 == hi0 - 10               # record region grew down
+
+
+def test_insert_until_full_raises():
+    page = fresh_page()
+    count = 0
+    with pytest.raises(PageFullError):
+        while True:
+            page.insert(b"y" * 20)
+            count += 1
+    assert count > 0
+    page.verify()  # page remains well-formed after the failed insert
+
+
+def test_empty_record_rejected():
+    with pytest.raises(PageFullError):
+        fresh_page().insert(b"")
+
+
+def test_update_same_length():
+    page = fresh_page()
+    slot = page.insert(b"aaaa")
+    page.update(slot, b"bbbb")
+    assert page.read(slot) == b"bbbb"
+
+
+def test_update_length_change_rejected():
+    page = fresh_page()
+    slot = page.insert(b"aaaa")
+    with pytest.raises(PageFullError):
+        page.update(slot, b"bbbbb")
+
+
+def test_delete_tombstones_and_reuse():
+    page = fresh_page()
+    s0 = page.insert(b"first")
+    s1 = page.insert(b"second")
+    page.delete(s0)
+    assert not page.slot_is_live(s0)
+    assert page.slot_is_live(s1)
+    with pytest.raises(InvalidRidError):
+        page.read(s0)
+    with pytest.raises(InvalidRidError):
+        page.delete(s0)
+    # next insert reuses the tombstoned directory entry
+    s2 = page.insert(b"third")
+    assert s2 == s0
+    assert page.read(s2) == b"third"
+
+
+def test_records_iterates_live_only():
+    page = fresh_page()
+    page.insert(b"a")
+    s1 = page.insert(b"b")
+    page.insert(b"c")
+    page.delete(s1)
+    assert [data for _, data in page.records()] == [b"a", b"c"]
+    assert list(page.live_slots()) == [0, 2]
+
+
+def test_slot_out_of_range():
+    page = fresh_page()
+    with pytest.raises(InvalidRidError):
+        page.read(0)
+    page.insert(b"a")
+    with pytest.raises(InvalidRidError):
+        page.read(1)
+
+
+def test_compact_reclaims_dead_bytes():
+    page = fresh_page()
+    s0 = page.insert(b"a" * 50)
+    s1 = page.insert(b"b" * 50)
+    page.delete(s0)
+    _, hi_before = page.free_window()
+    page.compact()
+    _, hi_after = page.free_window()
+    assert hi_after == hi_before + 50
+    assert page.read(s1) == b"b" * 50
+
+
+def test_compact_zeroes_free_window():
+    page = fresh_page()
+    page.insert(b"a" * 30)
+    lo, hi = page.free_window()
+    page.buffer[lo:hi] = b"\xab" * (hi - lo)  # simulate cache contents
+    page.compact()
+    lo, hi = page.free_window()
+    assert bytes(page.buffer[lo:hi]) == bytes(hi - lo)
+
+
+def test_fill_factor_tracks_live_data():
+    page = fresh_page()
+    assert page.fill_factor == 0.0
+    slots = [page.insert(b"z" * 20) for _ in range(5)]
+    full_fill = page.fill_factor
+    assert full_fill == pytest.approx(5 * 24 / page.usable_bytes)
+    page.delete(slots[0])
+    assert page.fill_factor < full_fill
+
+
+def test_verify_detects_corruption():
+    page = fresh_page()
+    page.buffer[0] = 0xFF  # smash the magic
+    with pytest.raises(PageFormatError):
+        page.verify()
+
+
+def test_too_small_buffer_rejected():
+    with pytest.raises(PageFormatError):
+        SlottedPage(bytearray(8))
+
+
+def test_oversized_buffer_rejected():
+    with pytest.raises(PageFormatError):
+        SlottedPage(bytearray(70000))
+
+
+def test_next_page_and_level_round_trip():
+    page = fresh_page()
+    page.next_page = 12345
+    page.level = 3
+    assert page.next_page == 12345
+    assert page.level == 3
+    page.next_page = None
+    assert page.next_page is None
+
+
+@settings(max_examples=50)
+@given(st.lists(st.binary(min_size=1, max_size=30), max_size=12))
+def test_insert_read_many_property(records):
+    page = fresh_page(1024)
+    stored = {}
+    for data in records:
+        try:
+            slot = page.insert(data)
+        except PageFullError:
+            break
+        stored[slot] = data
+    for slot, data in stored.items():
+        assert page.read(slot) == data
+    page.verify()

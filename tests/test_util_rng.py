@@ -1,0 +1,78 @@
+"""DeterministicRng: reproducibility and stream independence."""
+
+from repro.util.rng import DeterministicRng
+
+
+def test_same_seed_same_stream():
+    a = DeterministicRng(7)
+    b = DeterministicRng(7)
+    assert [a.randint(0, 100) for _ in range(20)] == [
+        b.randint(0, 100) for _ in range(20)
+    ]
+
+
+def test_different_seeds_diverge():
+    a = DeterministicRng(7)
+    b = DeterministicRng(8)
+    assert [a.randint(0, 10**9) for _ in range(5)] != [
+        b.randint(0, 10**9) for _ in range(5)
+    ]
+
+
+def test_child_streams_are_independent_of_parent_consumption():
+    parent1 = DeterministicRng(3)
+    child_a = parent1.child(1)
+    parent1.randint(0, 100)  # consume from the parent
+    parent2 = DeterministicRng(3)
+    child_b = parent2.child(1)
+    assert [child_a.randint(0, 100) for _ in range(10)] == [
+        child_b.randint(0, 100) for _ in range(10)
+    ]
+
+
+def test_child_streams_differ_by_salt():
+    parent = DeterministicRng(3)
+    a = parent.child(1)
+    b = parent.child(2)
+    assert [a.randint(0, 10**9) for _ in range(5)] != [
+        b.randint(0, 10**9) for _ in range(5)
+    ]
+
+
+def test_randrange_bounds():
+    rng = DeterministicRng(0)
+    values = {rng.randrange(5) for _ in range(200)}
+    assert values == {0, 1, 2, 3, 4}
+
+
+def test_choice_and_sample():
+    rng = DeterministicRng(0)
+    seq = ["a", "b", "c"]
+    assert rng.choice(seq) in seq
+    sample = rng.sample(list(range(100)), 10)
+    assert len(sample) == 10
+    assert len(set(sample)) == 10
+
+
+def test_shuffle_is_permutation():
+    rng = DeterministicRng(0)
+    items = list(range(50))
+    shuffled = list(items)
+    rng.shuffle(shuffled)
+    assert sorted(shuffled) == items
+    assert shuffled != items  # vanishingly unlikely to be identity
+
+
+def test_bernoulli_extremes():
+    rng = DeterministicRng(0)
+    assert not any(rng.bernoulli(0.0) for _ in range(50))
+    assert all(rng.bernoulli(1.0) for _ in range(50))
+
+
+def test_bytes_length_and_determinism():
+    assert DeterministicRng(1).bytes(16) == DeterministicRng(1).bytes(16)
+    assert len(DeterministicRng(1).bytes(33)) == 33
+
+
+def test_seed_property():
+    assert DeterministicRng(42).seed == 42

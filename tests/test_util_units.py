@@ -1,0 +1,40 @@
+"""Byte/time formatting helpers."""
+
+from repro.util.units import (
+    GiB,
+    KiB,
+    MiB,
+    fmt_bytes,
+    fmt_duration_ns,
+    ratio,
+)
+
+
+def test_byte_constants():
+    assert KiB == 1024
+    assert MiB == 1024 * KiB
+    assert GiB == 1024 * MiB
+
+
+def test_fmt_bytes_scales():
+    assert fmt_bytes(512) == "512 B"
+    assert fmt_bytes(1536) == "1.5 KiB"
+    assert fmt_bytes(2 * MiB) == "2.0 MiB"
+    assert fmt_bytes(1.4 * GiB) == "1.4 GiB"
+
+
+def test_fmt_bytes_negative():
+    assert fmt_bytes(-1536) == "-1.5 KiB"
+
+
+def test_fmt_duration_scales():
+    assert fmt_duration_ns(500) == "500.0 ns"
+    assert fmt_duration_ns(1500) == "1.500 us"
+    assert fmt_duration_ns(2_500_000) == "2.500 ms"
+    assert fmt_duration_ns(3_000_000_000) == "3.00 s"
+
+
+def test_ratio():
+    assert ratio(10, 5) == 2.0
+    assert ratio(0, 0) == 1.0
+    assert ratio(5, 0) == float("inf")

@@ -1,0 +1,84 @@
+"""Varint/zigzag round-trips and edge cases."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SchemaError
+from repro.util.varint import (
+    decode_svarint,
+    decode_uvarint,
+    encode_svarint,
+    encode_uvarint,
+    uvarint_size,
+    zigzag_decode,
+    zigzag_encode,
+)
+
+
+def test_zigzag_small_values():
+    assert zigzag_encode(0) == 0
+    assert zigzag_encode(-1) == 1
+    assert zigzag_encode(1) == 2
+    assert zigzag_encode(-2) == 3
+
+
+@given(st.integers(min_value=-(2**62), max_value=2**62))
+def test_zigzag_round_trip(value):
+    assert zigzag_decode(zigzag_encode(value)) == value
+
+
+def test_uvarint_single_byte_boundary():
+    assert encode_uvarint(127) == b"\x7f"
+    assert len(encode_uvarint(128)) == 2
+
+
+@given(st.integers(min_value=0, max_value=2**63))
+def test_uvarint_round_trip(value):
+    data = encode_uvarint(value)
+    decoded, offset = decode_uvarint(data)
+    assert decoded == value
+    assert offset == len(data)
+
+
+@given(st.integers(min_value=0, max_value=2**63))
+def test_uvarint_size_matches_encoding(value):
+    assert uvarint_size(value) == len(encode_uvarint(value))
+
+
+@given(st.integers(min_value=-(2**62), max_value=2**62))
+def test_svarint_round_trip(value):
+    data = encode_svarint(value)
+    decoded, offset = decode_svarint(data)
+    assert decoded == value
+    assert offset == len(data)
+
+
+def test_uvarint_rejects_negative():
+    with pytest.raises(SchemaError):
+        encode_uvarint(-1)
+    with pytest.raises(SchemaError):
+        uvarint_size(-1)
+
+
+def test_decode_truncated_raises():
+    data = encode_uvarint(300)[:1]  # continuation bit set, no next byte
+    with pytest.raises(SchemaError):
+        decode_uvarint(data)
+
+
+def test_decode_with_offset():
+    data = b"\x00" + encode_uvarint(5000)
+    value, offset = decode_uvarint(data, 1)
+    assert value == 5000
+    assert offset == len(data)
+
+
+def test_concatenated_stream():
+    values = [0, 1, 127, 128, 300, 2**40]
+    stream = b"".join(encode_uvarint(v) for v in values)
+    offset = 0
+    out = []
+    while offset < len(stream):
+        v, offset = decode_uvarint(stream, offset)
+        out.append(v)
+    assert out == values

@@ -1,0 +1,70 @@
+"""CarTel workload: row shapes and fill-factor churn."""
+
+import pytest
+
+from repro.btree.keycodec import UIntKey
+from repro.btree.tree import BPlusTree
+from repro.errors import WorkloadError
+from repro.schema.record import pack_record_map
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.disk import SimulatedDisk
+from repro.workload.cartel import (
+    CARTEL_SCHEMA_DECLARED,
+    cartel_rows,
+    churn_tree,
+)
+
+KC = UIntKey(8)
+
+
+def test_rows_fit_schema():
+    rows = cartel_rows(50, seed=1)
+    assert len(rows) == 50
+    pack_record_map(CARTEL_SCHEMA_DECLARED, rows[0])
+
+
+def test_rows_deterministic():
+    assert cartel_rows(10, seed=2) == cartel_rows(10, seed=2)
+
+
+def test_rows_value_shapes():
+    rows = cartel_rows(500, seed=3)
+    assert all(0 <= r["speed_kmh"] <= 130 for r in rows)
+    assert all(r["is_valid"] in (0, 1) for r in rows)
+    assert all(0 <= r["sensor_type"] < 10 for r in rows)
+    assert len({r["reading_id"] for r in rows}) == 500
+
+
+def test_rows_validation():
+    with pytest.raises(WorkloadError):
+        cartel_rows(0)
+
+
+def make_tree():
+    pool = BufferPool(SimulatedDisk(4096), 1 << 20)
+    return BPlusTree(pool, 8, 8)
+
+
+def test_churn_degrades_fill_factor():
+    """The CarTel phenomenon: churn + no merging => fill well below 68%."""
+    tree = make_tree()
+    report = churn_tree(
+        tree, KC.encode, n_initial=5000, churn_ops=6000, seed=4,
+        delete_fraction=0.55,
+    )
+    assert report.initial_fill > 0.6
+    assert report.final_fill < report.initial_fill - 0.1
+    assert report.inserts + report.deletes == 6000
+
+
+def test_churn_tree_remains_correct():
+    tree = make_tree()
+    churn_tree(tree, KC.encode, n_initial=1000, churn_ops=1500, seed=5)
+    tree.verify_order()
+    assert tree.num_entries > 0
+
+
+def test_churn_validation():
+    tree = make_tree()
+    with pytest.raises(WorkloadError):
+        churn_tree(tree, KC.encode, 10, 10, delete_fraction=1.5)

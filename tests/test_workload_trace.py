@@ -1,0 +1,53 @@
+"""Fig-2a scenario drivers."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.trace import (
+    OpKind,
+    Operation,
+    run_shrink_scenario,
+    run_swap_scenario,
+)
+
+
+def test_swap_scenario_constant_capacity():
+    result = run_swap_scenario(1000, 250, 5000, alpha=1.0, seed=1)
+    assert result.capacity_start == result.capacity_end == 250
+    assert result.lookups == 5000
+    assert 0 < result.hit_rate < 1
+
+
+def test_shrink_scenario_halves_capacity():
+    result = run_shrink_scenario(1000, 250, 5000, alpha=1.0, seed=1)
+    assert result.capacity_start == 250
+    assert result.capacity_end == 125
+    assert 0 < result.hit_rate < 1
+
+
+def test_shrink_never_beats_swap():
+    swap = run_swap_scenario(2000, 500, 20000, alpha=1.0, seed=2)
+    shrink = run_shrink_scenario(2000, 500, 20000, alpha=1.0, seed=2)
+    assert shrink.hit_rate <= swap.hit_rate
+
+
+def test_custom_shrink_fraction():
+    result = run_shrink_scenario(
+        1000, 200, 4000, alpha=1.0, seed=3, shrink_fraction=0.25
+    )
+    assert result.capacity_end == 150
+    with pytest.raises(WorkloadError):
+        run_shrink_scenario(1000, 200, 100, shrink_fraction=1.0)
+
+
+def test_scenarios_deterministic():
+    a = run_swap_scenario(500, 100, 3000, seed=9)
+    b = run_swap_scenario(500, 100, 3000, seed=9)
+    assert a == b
+
+
+def test_operation_model():
+    op = Operation(OpKind.LOOKUP, key=5)
+    assert op.kind is OpKind.LOOKUP
+    assert op.key == 5
+    assert op.row is None

@@ -1,0 +1,114 @@
+"""Synthetic Wikipedia generator: shape properties the experiments rely on."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.schema.record import pack_record_map
+from repro.workload.wikipedia import (
+    PAGE_SCHEMA,
+    PAGE_SCHEMA_DECLARED,
+    REVISION_SCHEMA,
+    REVISION_SCHEMA_DECLARED,
+    WikipediaConfig,
+    declared_revision_row,
+    generate,
+    name_title_lookup_trace,
+    revision_lookup_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate(WikipediaConfig(n_pages=200, revisions_per_page_mean=10, seed=7))
+
+
+def test_row_counts(data):
+    assert len(data.page_rows) == 200
+    assert len(data.revision_rows) == 2000
+    assert data.hot_fraction == pytest.approx(0.1)
+
+
+def test_rev_ids_unique_and_temporal(data):
+    rev_ids = [r["rev_id"] for r in data.revision_rows]
+    assert len(set(rev_ids)) == len(rev_ids)
+    assert rev_ids == sorted(rev_ids)  # insertion order is temporal
+
+
+def test_every_page_has_a_latest_revision(data):
+    assert set(data.latest_rev_by_page) == set(range(200))
+    by_id = {r["rev_id"]: r for r in data.revision_rows}
+    for page, rev_id in data.latest_rev_by_page.items():
+        row = by_id[rev_id]
+        assert row["rev_page"] == data.page_rows[page]["page_id"]
+    # latest really is the last revision emitted for that page
+    last_seen = {}
+    for row in data.revision_rows:
+        last_seen[row["rev_page"]] = row["rev_id"]
+    for page, rev_id in data.latest_rev_by_page.items():
+        assert last_seen[data.page_rows[page]["page_id"]] == rev_id
+
+
+def test_page_latest_points_at_hot_revision(data):
+    hot = data.hot_rev_ids
+    for row in data.page_rows:
+        assert row["page_latest"] in hot
+
+
+def test_hot_revisions_are_scattered(data):
+    """Positions of hot revisions must spread across the whole table —
+    the §3.1 premise that makes clustering worthwhile."""
+    positions = [
+        i for i, row in enumerate(data.revision_rows)
+        if row["rev_id"] in data.hot_rev_ids
+    ]
+    n = len(data.revision_rows)
+    assert min(positions) < n * 0.2
+    first_half = sum(1 for p in positions if p < n / 2)
+    assert first_half > len(positions) * 0.1
+
+
+def test_rows_fit_their_schemas(data):
+    pack_record_map(REVISION_SCHEMA, data.revision_rows[0])
+    pack_record_map(PAGE_SCHEMA, data.page_rows[0])
+    declared = declared_revision_row(data.revision_rows[0])
+    pack_record_map(REVISION_SCHEMA_DECLARED, declared)
+
+
+def test_declared_row_timestamp_is_14_char_string(data):
+    declared = declared_revision_row(data.revision_rows[5])
+    ts = declared["rev_timestamp"]
+    assert isinstance(ts, str)
+    assert len(ts) == 14
+    assert ts.isdigit()
+
+
+def test_revision_trace_hits_hot_set(data):
+    trace = revision_lookup_trace(data, 5000, seed=1)
+    assert len(trace) == 5000
+    hot = data.hot_rev_ids
+    hot_hits = sum(1 for rev_id in trace if rev_id in hot)
+    assert hot_hits / len(trace) > 0.99
+
+
+def test_revision_trace_deterministic(data):
+    assert revision_lookup_trace(data, 100, seed=5) == revision_lookup_trace(
+        data, 100, seed=5
+    )
+
+
+def test_name_title_trace_keys_exist(data):
+    trace = name_title_lookup_trace(data, 500, seed=2)
+    keys = {(r["page_namespace"], r["page_title"]) for r in data.page_rows}
+    assert set(trace) <= keys
+
+
+def test_config_validation():
+    with pytest.raises(WorkloadError):
+        generate(WikipediaConfig(n_pages=0))
+
+
+def test_declared_schema_is_wider():
+    assert (
+        REVISION_SCHEMA_DECLARED.record_size > REVISION_SCHEMA.record_size
+    )
+    assert PAGE_SCHEMA_DECLARED.record_size > PAGE_SCHEMA.record_size
