@@ -11,7 +11,7 @@ cache answering repeat lookups without touching the heap.
 
 from __future__ import annotations
 
-from repro import Database, Schema, UINT32, UINT64, char
+from repro import Database, Schema, UINT32, UINT64, char, format_report
 
 
 def main() -> None:
@@ -63,6 +63,17 @@ def main() -> None:
         f"cache stats   : {index.stats.answered_from_cache} of "
         f"{index.stats.found} found lookups answered from the index cache"
     )
+
+    # Every subsystem emits into the database's metrics registry; the
+    # snapshot is a nested dict keyed by dotted metric names.
+    snap = db.metrics.snapshot()
+    print(
+        f"metrics       : bufferpool.hit={snap['bufferpool']['hit']} "
+        f"btree.insert={snap['btree']['insert']} "
+        f"index_cache.hit={snap['index_cache']['hit']}"
+    )
+    print()
+    print(format_report(db.metrics))
 
 
 if __name__ == "__main__":

@@ -17,6 +17,14 @@ paper's tables and figures regenerate from :mod:`repro.experiments`.
 """
 
 from repro.errors import ReproError
+from repro.obs import (
+    MetricsRegistry,
+    NullRegistry,
+    NULL_REGISTRY,
+    Tracer,
+    export_json,
+    format_report,
+)
 from repro.query.database import Database
 from repro.query.table import PlainIndex, Table
 from repro.schema.schema import Column, Schema
@@ -54,6 +62,12 @@ __all__ = [
     "CostPreset",
     "PAPER_PRESET",
     "END_TO_END_PRESET",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "Tracer",
+    "export_json",
+    "format_report",
     "ReproError",
     "BOOL",
     "INT8",

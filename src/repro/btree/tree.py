@@ -27,6 +27,7 @@ from repro.errors import (
     PageFullError,
 )
 from repro.btree.node import CHILD_PTR_SIZE, InternalNode, LeafNode
+from repro.obs.registry import MetricsRegistry, resolve_registry
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.constants import PageType
 from repro.storage.page import SlottedPage
@@ -42,11 +43,19 @@ class BPlusTree:
         value_size: int,
         name: str = "index",
         split_fraction: float = 0.5,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if key_size <= 0 or value_size <= 0:
             raise IndexError_("key and value sizes must be positive")
         if not 0.1 <= split_fraction <= 0.9:
             raise IndexError_("split_fraction must be in [0.1, 0.9]")
+        reg = resolve_registry(registry)
+        self._m_search = reg.counter("btree.search")
+        self._m_descent = reg.counter("btree.descent")
+        self._m_insert = reg.counter("btree.insert")
+        self._m_delete = reg.counter("btree.delete")
+        self._m_split_leaf = reg.counter("btree.split.leaf")
+        self._m_split_internal = reg.counter("btree.split.internal")
         self._pool = pool
         self._key_size = key_size
         self._value_size = value_size
@@ -114,6 +123,7 @@ class BPlusTree:
     def search(self, key: bytes) -> bytes | None:
         """Exact lookup; returns the value bytes or ``None``."""
         self._check_key(key)
+        self._m_search.inc()
         leaf_id = self.find_leaf(key)
         with self._pool.page(leaf_id) as page:
             leaf = self._leaf(page)
@@ -128,6 +138,7 @@ class BPlusTree:
         uses so it can probe the leaf's cache window while it holds it).
         """
         self._check_key(key)
+        self._m_descent.inc()
         page_id = self._root_id
         while True:
             with self._pool.page(page_id) as page:
@@ -181,6 +192,7 @@ class BPlusTree:
         """Insert ``key -> value``; raises on duplicates unless ``upsert``."""
         self._check_key(key)
         self._check_value(value)
+        self._m_insert.inc()
         path = self._descend(key)
         leaf_id = path[-1][0]
         with self._pool.page(leaf_id, dirty=True) as page:
@@ -224,6 +236,7 @@ class BPlusTree:
         """Remove ``key``; no node merging (fill factor decays, see module
         docstring).  Raises :class:`KeyNotFoundError` if absent."""
         self._check_key(key)
+        self._m_delete.inc()
         leaf_id = self.find_leaf(key)
         with self._pool.page(leaf_id, dirty=True) as page:
             leaf = self._leaf(page)
@@ -245,6 +258,7 @@ class BPlusTree:
         name: str = "index",
         leaf_fill: float = 0.68,
         split_fraction: float = 0.5,
+        registry: MetricsRegistry | None = None,
     ) -> "BPlusTree":
         """Build a tree from sorted unique entries at a target leaf fill.
 
@@ -255,7 +269,7 @@ class BPlusTree:
         if not 0.05 < leaf_fill <= 1.0:
             raise IndexError_("leaf_fill must be in (0.05, 1.0]")
         tree = cls(pool, key_size, value_size, name=name,
-                   split_fraction=split_fraction)
+                   split_fraction=split_fraction, registry=registry)
         if not entries:
             return tree
         for i in range(1, len(entries)):
@@ -413,6 +427,7 @@ class BPlusTree:
         finally:
             self._pool.unpin(new_id, dirty=True)
         self._leaf_ids.append(new_id)
+        self._m_split_leaf.inc()
         return separator, new_id
 
     def _split_internal(self, node_id: int) -> tuple[bytes, int]:
@@ -437,6 +452,7 @@ class BPlusTree:
         finally:
             self._pool.unpin(new_id, dirty=True)
         self._internal_ids.append(new_id)
+        self._m_split_internal.inc()
         return separator, new_id
 
     def _insert_into_parent(

@@ -22,6 +22,7 @@ from typing import Callable
 from repro.core.encoding.codecs import Timestamp14Codec
 from repro.core.encoding.inference import TypeRecommendation, optimize_schema
 from repro.errors import SchemaError
+from repro.obs.registry import MetricsRegistry, resolve_registry
 from repro.query.table import Table
 from repro.schema.record import pack_record_map, unpack_record_map
 from repro.schema.schema import Schema
@@ -115,6 +116,7 @@ def migrate_table(
     granularities: dict[str, str] | None = None,
     sample_rows: int | None = None,
     verify: bool = True,
+    registry: MetricsRegistry | None = None,
 ) -> tuple[Table, Schema, MigrationReport]:
     """Rewrite ``table`` into ``target_heap`` under its inferred schema.
 
@@ -173,6 +175,16 @@ def migrate_table(
         old_heap_pages=table.heap.num_pages,
         new_heap_pages=target_heap.num_pages,
         recommendations=tuple(recommendations),
+    )
+    reg = resolve_registry(registry)
+    reg.counter("encoding.migrate.tables").inc()
+    reg.counter("encoding.migrate.rows").inc(report.rows)
+    reg.counter("encoding.migrate.bytes_saved").inc(
+        report.rows
+        * max(0, report.old_record_bytes - report.new_record_bytes)
+    )
+    reg.counter("encoding.migrate.pages_reclaimed").inc(
+        max(0, report.old_heap_pages - report.new_heap_pages)
     )
     return new_table, optimized, report
 

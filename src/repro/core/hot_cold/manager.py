@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from repro.core.hot_cold.partitioner import HotColdPartitionedTable
 from repro.core.hot_cold.tracker import AccessTracker
 from repro.errors import WorkloadError
+from repro.obs.registry import MetricsRegistry, resolve_registry
 
 
 @dataclass(frozen=True)
@@ -43,6 +44,7 @@ class OnlineHotColdManager:
         decay: float = 0.5,
         ops_per_epoch: int = 10_000,
         migration_budget: int = 256,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         """
         Args:
@@ -51,6 +53,7 @@ class OnlineHotColdManager:
             decay: tracker decay per epoch (smaller forgets faster).
             ops_per_epoch: lookups between automatic rebalances.
             migration_budget: max promote+demote moves per rebalance.
+            registry: metrics sink for the ``hotcold.*`` instruments.
         """
         if hot_capacity <= 0:
             raise WorkloadError("hot_capacity must be positive")
@@ -63,6 +66,13 @@ class OnlineHotColdManager:
         self._budget = migration_budget
         self._ops_since_rebalance = 0
         self.reports: list[RebalanceReport] = []
+        reg = resolve_registry(registry)
+        self._m_lookups = reg.counter("hotcold.lookups")
+        self._m_rebalances = reg.counter("hotcold.rebalances")
+        self._m_promotions = reg.counter("hotcold.promotions")
+        self._m_demotions = reg.counter("hotcold.demotions")
+        self._m_migrated_bytes = reg.counter("hotcold.migrations.bytes")
+        self._m_hot_rows = reg.gauge("hotcold.hot_rows")
 
     @property
     def tracker(self) -> AccessTracker:
@@ -78,6 +88,7 @@ class OnlineHotColdManager:
         self, key_value: object, project: tuple[str, ...] | None = None
     ) -> dict[str, object] | None:
         """Tracked lookup; triggers a rebalance every ``ops_per_epoch``."""
+        self._m_lookups.inc()
         self._tracker.record(key_value)
         self._ops_since_rebalance += 1
         result = self._table.lookup(key_value, project)
@@ -128,6 +139,15 @@ class OnlineHotColdManager:
             hot_rows_after=self._table.hot.num_rows,
         )
         self.reports.append(report)
+        self._m_rebalances.inc()
+        self._m_promotions.inc(promoted)
+        self._m_demotions.inc(demoted)
+        # A migration is a delete+insert of the full row (§3.1), so the
+        # bytes moved per rebalance are moves × record width.
+        self._m_migrated_bytes.inc(
+            (promoted + demoted) * self._table.schema.record_size
+        )
+        self._m_hot_rows.set(self._table.hot.num_rows)
         return report
 
     def _hot_residents(self) -> list[object]:

@@ -31,6 +31,7 @@ from repro.core.index_cache.layout import (
 )
 from repro.core.index_cache.policy import CachePolicy, SwapPolicy
 from repro.errors import ReproError
+from repro.obs.registry import MetricsRegistry, resolve_registry
 from repro.storage.page import SlottedPage
 from repro.util.rng import DeterministicRng
 
@@ -61,6 +62,7 @@ class IndexCache:
         entry_size: int,
         policy: CachePolicy | None = None,
         rng: DeterministicRng | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         """
         Args:
@@ -69,6 +71,7 @@ class IndexCache:
                 needed for the stable-point formula.
             policy: replacement policy; defaults to the paper's SwapPolicy.
             rng: random source for the default policy.
+            registry: metrics sink for ``index_cache.swap.*`` instruments.
         """
         self._payload_size = payload_size
         self._entry_size = entry_size
@@ -77,6 +80,14 @@ class IndexCache:
             policy = SwapPolicy(rng if rng is not None else DeterministicRng(0))
         self._policy = policy
         self.stats = CacheStats()
+        reg = resolve_registry(registry)
+        self._m_probe = reg.counter("index_cache.swap.probes")
+        self._m_hit = reg.counter("index_cache.swap.hit")
+        self._m_miss = reg.counter("index_cache.swap.miss")
+        self._m_promotion = reg.counter("index_cache.swap.promotions")
+        self._m_insert = reg.counter("index_cache.swap.inserts")
+        self._m_eviction = reg.counter("index_cache.swap.evictions")
+        self._m_no_room = reg.counter("index_cache.swap.skipped_no_room")
 
     # -- geometry ------------------------------------------------------------
 
@@ -222,16 +233,20 @@ class IndexCache:
         """
         geo = self.geometry(page)
         self.stats.probes += 1
+        self._m_probe.inc()
         found = self.find(page, geo, tuple_id)
         if found is None:
             self.stats.misses += 1
+            self._m_miss.inc()
             return None
         slot, payload = found
         self.stats.hits += 1
+        self._m_hit.inc()
         target = self._policy.on_hit(geo, slot, page.page_id)
         if target is not None and target != slot:
             self._swap_slots(page, geo, slot, target)
             self.stats.promotions += 1
+            self._m_promotion.inc()
         return payload
 
     def insert(
@@ -245,18 +260,22 @@ class IndexCache:
         geo = self.geometry(page)
         if geo.num_slots == 0:
             self.stats.skipped_no_room += 1
+            self._m_no_room.inc()
             return False
         free, occupied = self.occupancy(page, geo)
         slot = self._policy.choose_slot(geo, free, occupied, page.page_id)
         if slot is None:
             self.stats.skipped_no_room += 1
+            self._m_no_room.inc()
             return False
         if slot in occupied:
             self.stats.evictions += 1
+            self._m_eviction.inc()
             self._policy.on_evict(slot, page.page_id)
         self.write_slot(page, geo, slot, tuple_id, payload)
         self._policy.on_insert(slot, page.page_id)
         self.stats.inserts += 1
+        self._m_insert.inc()
         return True
 
     def invalidate_tuple(self, page: SlottedPage, tuple_id: bytes) -> bool:

@@ -31,6 +31,7 @@ from repro.core.index_cache.invalidation import CacheInvalidation
 from repro.core.index_cache.latching import LatchSimulator
 from repro.core.index_cache.policy import CachePolicy
 from repro.errors import QueryError
+from repro.obs.registry import MetricsRegistry, resolve_registry
 from repro.schema.record import (
     pack_record_map,
     unpack_fields,
@@ -84,6 +85,7 @@ class CachedBTree:
         invalidation: CacheInvalidation | None = None,
         latch: LatchSimulator | None = None,
         cost_model: CostModel | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if not key_columns:
             raise QueryError("index needs at least one key column")
@@ -118,12 +120,21 @@ class CachedBTree:
             entry_size=tree.key_size + tree.value_size,
             policy=policy,
             rng=rng,
+            registry=registry,
         )
         self._invalidation = invalidation
         self._latch = latch if latch is not None else LatchSimulator(0.0)
         self._cost = cost_model
         self._answerable = set(key_columns) | set(cached_fields)
         self.stats = CachedIndexStats()
+        reg = resolve_registry(registry)
+        self._m_lookup = reg.counter("index_cache.lookup")
+        self._m_hit = reg.counter("index_cache.hit")
+        self._m_miss = reg.counter("index_cache.miss")
+        self._m_heap_fetch = reg.counter("index_cache.heap_fetch")
+        self._m_not_answerable = reg.counter("index_cache.not_answerable")
+        self._m_fill = reg.counter("index_cache.fill")
+        self._m_fill_skipped = reg.counter("index_cache.fill_skipped_latch")
 
     # -- properties ----------------------------------------------------------
 
@@ -209,6 +220,7 @@ class CachedBTree:
                 raise QueryError(f"unknown projected column {name!r}")
         key = self.encode_key(key_value)
         self.stats.lookups += 1
+        self._m_lookup.inc()
         if self._cost is not None:
             self._cost.on_index_descent()
         leaf_id = self._tree.find_leaf(key)
@@ -232,14 +244,18 @@ class CachedBTree:
                 payload = self._cache.probe(page, tid)
                 if payload is not None:
                     self.stats.answered_from_cache += 1
+                    self._m_hit.inc()
                     values = self._assemble(key, payload, project)
                     return LookupResult(values, found=True, from_cache=True)
+                self._m_miss.inc()
             else:
                 self.stats.not_answerable += 1
+                self._m_not_answerable.inc()
             # Cache miss (or unanswerable projection): go to the heap.
             rid = Rid.from_bytes(tid)
             record = self._heap.fetch(rid)
             self.stats.heap_fetches += 1
+            self._m_heap_fetch.inc()
             values = unpack_fields(self._schema, record, project)
             self._fill_cache(page, tid, record)
             return LookupResult(values, found=True, from_cache=False)
@@ -341,9 +357,11 @@ class CachedBTree:
     def _fill_cache(self, page, tid: bytes, record: bytes) -> None:
         if not self._latch.try_acquire():
             self.stats.fills_skipped_latch += 1
+            self._m_fill_skipped.inc()
             return
         assert self._payload_schema is not None
         fields = unpack_fields(self._schema, record, self._payload_schema.names)
         payload = pack_record_map(self._payload_schema, fields)
         if self._cache.insert(page, tid, payload):
             self.stats.cache_fills += 1
+            self._m_fill.inc()

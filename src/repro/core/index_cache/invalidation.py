@@ -29,6 +29,7 @@ from dataclasses import dataclass
 
 from repro.core.index_cache.cache import IndexCache
 from repro.errors import ReproError
+from repro.obs.registry import MetricsRegistry, resolve_registry
 from repro.storage.page import SlottedPage
 
 _EPOCH_SHIFT = 32
@@ -49,7 +50,11 @@ class UpdatePredicate:
 class CacheInvalidation:
     """Global CSN + predicate log for one cached index."""
 
-    def __init__(self, log_threshold: int = 1024) -> None:
+    def __init__(
+        self,
+        log_threshold: int = 1024,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         if log_threshold <= 0:
             raise ReproError("log_threshold must be positive")
         self._epoch = 1  # start above the zero freshly-formatted pages carry
@@ -58,6 +63,10 @@ class CacheInvalidation:
         self.full_invalidations = 0
         self.predicates_logged = 0
         self.pages_zeroed = 0
+        reg = resolve_registry(registry)
+        self._m_csn = reg.counter("index_cache.invalidation.csn")
+        self._m_predicates = reg.counter("index_cache.invalidation.predicates")
+        self._m_zeroed = reg.counter("index_cache.invalidation.pages_zeroed")
 
     # -- properties ----------------------------------------------------------
 
@@ -99,6 +108,7 @@ class CacheInvalidation:
         """Record that the tuple with index key ``key`` was modified."""
         self._log.append(UpdatePredicate(bytes(key)))
         self.predicates_logged += 1
+        self._m_predicates.inc()
         if len(self._log) > self._threshold:
             self.invalidate_all()
 
@@ -107,6 +117,7 @@ class CacheInvalidation:
         self._epoch = (self._epoch + 1) & _POS_MASK or 1
         self._log.clear()
         self.full_invalidations += 1
+        self._m_csn.inc()
 
     # -- read-side ---------------------------------------------------------------
 
@@ -135,6 +146,7 @@ class CacheInvalidation:
             cache.zero_window(page)
             self._stamp(page, current_pos)
             self.pages_zeroed += 1
+            self._m_zeroed.inc()
             return True
         if pos_p < current_pos and first_key is not None and last_key is not None:
             for predicate in self._log[pos_p:current_pos]:
@@ -142,6 +154,7 @@ class CacheInvalidation:
                     cache.zero_window(page)
                     self._stamp(page, current_pos)
                     self.pages_zeroed += 1
+                    self._m_zeroed.inc()
                     return True
         self._stamp(page, current_pos)
         return False

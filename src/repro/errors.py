@@ -70,3 +70,7 @@ class QueryError(ReproError):
 
 class WorkloadError(ReproError):
     """Invalid workload or trace specification."""
+
+
+class ObservabilityError(ReproError):
+    """Misuse of the :mod:`repro.obs` metrics/tracing layer."""

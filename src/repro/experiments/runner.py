@@ -28,7 +28,12 @@ def print_table(
 def _fmt(value: object) -> str:
     if isinstance(value, float):
         if value == 0:
-            return "0"
+            return "0"  # covers -0.0 too: no stray sign on zeros
+        # Exact integers stored as floats print as integers (12.0 -> "12",
+        # -3.0 -> "-3") instead of "12.000"; magnitude-based rules below
+        # use abs() so negative values format like their positive twins.
+        if value.is_integer() and abs(value) < 1e15:
+            return str(int(value))
         if abs(value) >= 1000 or abs(value) < 0.001:
             return f"{value:.3g}"
         return f"{value:.3f}"
@@ -41,6 +46,9 @@ def oracle_hit_rate(n_items: int, alpha: float, cache_fraction: float) -> float:
     Upper-bounds any online policy under a zipf(``alpha``) workload; the
     Fig-2a experiment plots the swap policy against this.
     """
+    if n_items <= 0:
+        # No items means no hits; guards the sum(weights) == 0 division.
+        return 0.0
     if cache_fraction <= 0:
         return 0.0
     if cache_fraction >= 1:

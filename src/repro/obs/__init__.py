@@ -1,0 +1,57 @@
+"""repro.obs — engine-wide metrics registry, span tracing, and exports.
+
+Every bit-reclaiming subsystem (buffer pool, B+Tree, index cache,
+hot/cold manager, encoding migration, query layer) emits into an
+injectable :class:`MetricsRegistry`; :class:`NullRegistry` keeps
+uninstrumented runs at near-zero overhead and bit-identical outputs.
+See DESIGN.md ("Observability") for the metric naming scheme.
+"""
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    HISTOGRAM_BUCKETS,
+    MetricsRegistry,
+    NullRegistry,
+    NULL_REGISTRY,
+    bucket_index,
+    bucket_upper_bound,
+    get_default_registry,
+    resolve_registry,
+    set_default_registry,
+    use_registry,
+)
+from repro.obs.report import derived_rates, export_json, flatten, format_report
+from repro.obs.tracer import (
+    DEFAULT_RING_SIZE,
+    NullTracer,
+    NULL_TRACER,
+    SpanEvent,
+    Tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HISTOGRAM_BUCKETS",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "bucket_index",
+    "bucket_upper_bound",
+    "get_default_registry",
+    "resolve_registry",
+    "set_default_registry",
+    "use_registry",
+    "derived_rates",
+    "export_json",
+    "flatten",
+    "format_report",
+    "DEFAULT_RING_SIZE",
+    "NullTracer",
+    "NULL_TRACER",
+    "SpanEvent",
+    "Tracer",
+]

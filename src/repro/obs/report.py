@@ -1,0 +1,121 @@
+"""Export surfaces: text dashboard and machine-readable JSON.
+
+:func:`format_report` renders a registry as per-subsystem tables (via the
+experiments' :func:`~repro.experiments.runner.print_table` formatter) with
+derived hit rates next to the raw counts.  :func:`export_json` writes the
+same snapshot in the ``BENCH_*.json`` shape the benchmark tree consumes.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+from pathlib import Path
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+
+def flatten(snapshot: dict, prefix: str = "") -> list[tuple[str, object]]:
+    """Depth-first ``(dotted_name, leaf_value)`` pairs of a snapshot."""
+    rows: list[tuple[str, object]] = []
+    for key in sorted(snapshot):
+        value = snapshot[key]
+        name = f"{prefix}{key}"
+        if isinstance(value, dict) and "count" not in value:
+            rows.extend(flatten(value, prefix=f"{name}."))
+        else:
+            rows.append((name, value))
+    return rows
+
+
+def derived_rates(registry: MetricsRegistry) -> dict[str, float]:
+    """``<prefix>.hit_rate`` for every prefix with hit+miss counters."""
+    names = set(registry.names())
+    rates: dict[str, float] = {}
+    for name in sorted(names):
+        if not name.endswith(".hit"):
+            continue
+        prefix = name[: -len(".hit")]
+        miss_name = f"{prefix}.miss"
+        if miss_name not in names:
+            continue
+        hit = registry.get(name)
+        miss = registry.get(miss_name)
+        if not isinstance(hit, Counter) or not isinstance(miss, Counter):
+            continue
+        total = hit.value + miss.value
+        rates[f"{prefix}.hit_rate"] = hit.value / total if total else 0.0
+    return rates
+
+
+def format_report(
+    registry: MetricsRegistry, title: str = "engine metrics"
+) -> str:
+    """A text dashboard: one table per top-level subsystem.
+
+    Counters and gauges print their value; histograms print count, mean,
+    p50, and max; derived ``*.hit_rate`` rows sit beside their counters.
+    """
+    # Imported here: repro.obs must stay importable from the lowest layers
+    # (storage, btree) without dragging the experiments package along.
+    from repro.experiments.runner import print_table
+
+    rows: list[tuple[str, object]] = []
+    for name, instrument in registry.items():
+        if isinstance(instrument, Histogram):
+            rows.append(
+                (
+                    name,
+                    f"n={instrument.count} mean={instrument.mean:.1f} "
+                    f"p50<={instrument.percentile(0.5):.0f} "
+                    f"max={instrument.max:.0f}",
+                )
+            )
+        elif isinstance(instrument, (Counter, Gauge)):
+            rows.append((name, instrument.value))
+    rows.extend(sorted(derived_rates(registry).items()))
+    if not rows:
+        return f"{title}: (no metrics recorded)"
+    by_subsystem: dict[str, list[tuple[str, object]]] = {}
+    for name, value in sorted(rows):
+        by_subsystem.setdefault(name.split(".", 1)[0], []).append((name, value))
+    # print_table prints as a side effect (the experiment drivers rely on
+    # that); here the caller decides what to do with the text, so swallow
+    # the echo and return the formatted sections only.
+    with contextlib.redirect_stdout(io.StringIO()):
+        sections = [
+            print_table(
+                ["metric", "value"],
+                table_rows,
+                title=f"{title} — {subsystem}",
+            )
+            for subsystem, table_rows in sorted(by_subsystem.items())
+        ]
+    return "\n\n".join(sections)
+
+
+def export_json(
+    registry: MetricsRegistry,
+    path: str | Path | None = None,
+    label: str = "metrics",
+    extra: dict | None = None,
+    indent: int | None = 2,
+) -> str:
+    """Serialize a snapshot (plus derived rates) to JSON.
+
+    Returns the JSON text; with ``path`` also writes it to disk.  The
+    document shape matches the benchmark tree's ``BENCH_*.json`` results:
+    a ``label``, a ``metrics`` tree, and a flat ``derived`` map.
+    """
+    document = {
+        "label": label,
+        "metrics": registry.snapshot(),
+        "derived": derived_rates(registry),
+    }
+    if extra:
+        document.update(extra)
+    text = json.dumps(document, indent=indent, sort_keys=True)
+    if path is not None:
+        Path(path).write_text(text + "\n")
+    return text

@@ -1,0 +1,150 @@
+"""Span tracing against the simulated clock.
+
+A :class:`Tracer` times nested operations (``with tracer.span("lookup")``)
+and charges the *simulated* nanoseconds that elapsed on the
+:class:`~repro.sim.cost_model.CostModel` clock into per-span log2
+latency histograms (``span.<name>.ns``).  Because the clock is the cost
+model's, span latencies are deterministic and mean the same thing as the
+experiment figures — no wall-clock noise.
+
+Recent spans land in a bounded ring buffer (:meth:`Tracer.recent`) so a
+misbehaving run can be inspected without a debugger.  :class:`NullTracer`
+is the no-op twin for uninstrumented paths.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.obs.registry import (
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    resolve_registry,
+)
+
+#: Default capacity of the recent-span ring buffer.
+DEFAULT_RING_SIZE = 256
+
+Clock = Callable[[], float]
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """One finished span, as kept in the ring buffer."""
+
+    name: str
+    start_ns: float
+    end_ns: float
+    depth: int
+    attrs: tuple[tuple[str, object], ...] = ()
+    error: bool = False
+
+    @property
+    def elapsed_ns(self) -> float:
+        return self.end_ns - self.start_ns
+
+
+def _zero_clock() -> float:
+    return 0.0
+
+
+class Tracer:
+    """Times spans on a simulated clock and records them as metrics.
+
+    ``clock`` may be a zero-argument callable returning simulated ns, or
+    any object with a ``now_ns`` attribute (a :class:`CostModel`).  With
+    no clock, spans still count (and nest, and ring-buffer) but measure
+    zero elapsed time.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        clock: Clock | object | None = None,
+        ring_size: int = DEFAULT_RING_SIZE,
+    ) -> None:
+        self._registry = resolve_registry(registry)
+        if clock is None:
+            self._clock: Clock = _zero_clock
+        elif callable(clock):
+            self._clock = clock  # type: ignore[assignment]
+        else:  # duck-typed CostModel
+            self._clock = lambda: clock.now_ns  # type: ignore[attr-defined]
+        self._ring: deque[SpanEvent] = deque(maxlen=ring_size)
+        self._depth = 0
+        self._histograms: dict[str, Histogram] = {}
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._registry
+
+    @property
+    def depth(self) -> int:
+        """Current nesting depth (0 outside any span)."""
+        return self._depth
+
+    @contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[None]:
+        """Time a block; exception-safe (errors still record the span)."""
+        start = self._clock()
+        depth = self._depth
+        self._depth = depth + 1
+        error = False
+        try:
+            yield
+        except BaseException:
+            error = True
+            raise
+        finally:
+            self._depth = depth
+            end = self._clock()
+            self._histogram(name).record(end - start)
+            if error:
+                self._registry.counter(f"span.{name}.errors").inc()
+            self._ring.append(
+                SpanEvent(
+                    name=name,
+                    start_ns=start,
+                    end_ns=end,
+                    depth=depth,
+                    attrs=tuple(sorted(attrs.items())),
+                    error=error,
+                )
+            )
+
+    def _histogram(self, name: str) -> Histogram:
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._registry.histogram(f"span.{name}.ns")
+            self._histograms[name] = hist
+        return hist
+
+    def recent(self, n: int | None = None) -> list[SpanEvent]:
+        """The last ``n`` finished spans, oldest first (all if ``None``)."""
+        events = list(self._ring)
+        return events if n is None else events[-n:]
+
+    def clear(self) -> None:
+        self._ring.clear()
+
+
+class NullTracer(Tracer):
+    """A tracer whose spans cost one try/finally and record nothing."""
+
+    def __init__(self) -> None:
+        super().__init__(NULL_REGISTRY, clock=None, ring_size=1)
+
+    @contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[None]:
+        yield
+
+    def recent(self, n: int | None = None) -> list[SpanEvent]:
+        return []
+
+
+#: Shared inert tracer for components built without one.
+NULL_TRACER = NullTracer()

@@ -20,6 +20,12 @@ from repro.core.index_cache.invalidation import CacheInvalidation
 from repro.core.index_cache.latching import LatchSimulator
 from repro.core.index_cache.policy import CachePolicy
 from repro.errors import CatalogError, QueryError
+from repro.obs.registry import (
+    MetricsRegistry,
+    NULL_REGISTRY,
+    get_default_registry,
+)
+from repro.obs.tracer import Tracer
 from repro.query.table import PlainIndex, Table
 from repro.schema.catalog import Catalog
 from repro.schema.schema import Schema
@@ -42,6 +48,7 @@ class Database:
         cost_model: CostModel | None = None,
         eviction: EvictionPolicy = EvictionPolicy.LRU,
         seed: int = 0,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         """
         Args:
@@ -49,22 +56,39 @@ class Database:
             data_pool_pages: buffer-pool capacity for heap pages.
             index_pool_pages: capacity of a *separate* index pool; ``None``
                 shares the data pool (one unified buffer pool).
-            cost_model: optional simulated-time model; hooked into the data
-                pool (and the index pool when separate).
+            cost_model: simulated-time model hooked into the data pool
+                (and the index pool when separate) and the span tracer's
+                clock; ``None`` creates a fresh :class:`CostModel`.
             eviction: frame replacement policy for the pools.
             seed: seed for cache policies and other stochastic choices.
+            metrics: observability sink for every subsystem; ``None`` uses
+                the ambient default registry if one is installed (see
+                :func:`repro.obs.use_registry`), else a fresh
+                :class:`MetricsRegistry`.  Pass
+                :data:`repro.obs.NULL_REGISTRY` to switch metrics off.
         """
+        if metrics is None:
+            ambient = get_default_registry()
+            metrics = ambient if ambient is not NULL_REGISTRY else MetricsRegistry()
+        self._metrics = metrics
         self._disk = SimulatedDisk(page_size)
+        # The cost model only accumulates simulated nanoseconds — never
+        # consulted by the engine — so defaulting one in keeps behaviour
+        # identical while giving the tracer a real clock.
+        if cost_model is None:
+            cost_model = CostModel()
         self._cost = cost_model
+        self._tracer = Tracer(metrics, clock=cost_model)
         self._data_pool = BufferPool(
-            self._disk, data_pool_pages, policy=eviction, cost_hook=cost_model
+            self._disk, data_pool_pages, policy=eviction, cost_hook=cost_model,
+            registry=metrics,
         )
         if index_pool_pages is None:
             self._index_pool = self._data_pool
         else:
             self._index_pool = BufferPool(
                 self._disk, index_pool_pages, policy=eviction,
-                cost_hook=cost_model,
+                cost_hook=cost_model, registry=metrics,
             )
         self._catalog = Catalog()
         self._rng = DeterministicRng(seed)
@@ -88,8 +112,18 @@ class Database:
         return self._catalog
 
     @property
-    def cost_model(self) -> CostModel | None:
+    def cost_model(self) -> CostModel:
         return self._cost
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The registry every subsystem of this database emits into."""
+        return self._metrics
+
+    @property
+    def tracer(self) -> Tracer:
+        """Span tracer charging simulated time from the cost model."""
+        return self._tracer
 
     # -- DDL --------------------------------------------------------------------
 
@@ -98,7 +132,7 @@ class Database:
     ) -> Table:
         """Create an empty table."""
         heap = HeapFile(self._data_pool, append_only=append_only)
-        table = Table(name, schema, heap)
+        table = Table(name, schema, heap, tracer=self._tracer)
         self._catalog.register_table(name, schema, table)
         return table
 
@@ -117,7 +151,7 @@ class Database:
         )
         tree = BPlusTree(
             self._index_pool, codec.size, RID_SIZE, name=index_name,
-            split_fraction=split_fraction,
+            split_fraction=split_fraction, registry=self._metrics,
         )
         index = PlainIndex(tree, table.heap, table.schema, key_columns)
         table.attach_index(index_name, index)
@@ -145,7 +179,7 @@ class Database:
         )
         tree = BPlusTree(
             self._index_pool, codec.size, RID_SIZE, name=index_name,
-            split_fraction=split_fraction,
+            split_fraction=split_fraction, registry=self._metrics,
         )
         index = CachedBTree(
             tree,
@@ -155,9 +189,12 @@ class Database:
             cached_fields,
             policy=policy,
             rng=self._rng.child(hash(index_name) & 0xFFFF),
-            invalidation=CacheInvalidation(invalidation_log_threshold),
+            invalidation=CacheInvalidation(
+                invalidation_log_threshold, registry=self._metrics
+            ),
             latch=LatchSimulator(latch_contention, self._rng.child(0x1A7C)),
             cost_model=self._cost,
+            registry=self._metrics,
         )
         table.attach_index(index_name, index)
         self._catalog.register_index(

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from repro.core.index_cache.cache import IndexCache
 from repro.core.index_cache.policy import CachePolicy
 from repro.errors import QueryError
+from repro.obs.registry import MetricsRegistry, resolve_registry
 from repro.query.table import PlainIndex, Table
 from repro.schema.record import pack_record_map, unpack_fields, unpack_record
 from repro.storage.heap import Rid
@@ -50,6 +51,7 @@ class FkJoinCache:
         parent_fields: tuple[str, ...],
         policy: CachePolicy | None = None,
         rng: DeterministicRng | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if not child.schema.has_column(fk_column):
             raise QueryError(f"child has no column {fk_column!r}")
@@ -76,8 +78,13 @@ class FkJoinCache:
             entry_size=child.schema.record_size,
             policy=policy,
             rng=rng,
+            registry=registry,
         )
         self.stats = JoinStats()
+        reg = resolve_registry(registry)
+        self._m_probe = reg.counter("query.join.probes")
+        self._m_hit = reg.counter("query.join.hit")
+        self._m_parent_lookup = reg.counter("query.join.parent_lookups")
 
     @property
     def cache(self) -> IndexCache:
@@ -92,6 +99,7 @@ class FkJoinCache:
         be among the configured ``parent_fields``.
         """
         self.stats.probes += 1
+        self._m_probe.inc()
         child_cols = [n for n in project if self._child.schema.has_column(n)]
         parent_cols = [n for n in project if n not in child_cols]
         unknown = [
@@ -115,6 +123,7 @@ class FkJoinCache:
             payload = self._cache.probe(page, tid)
             if payload is not None:
                 self.stats.cache_hits += 1
+                self._m_hit.inc()
                 parent_values = dict(
                     zip(
                         self._payload_schema.names,
@@ -127,6 +136,7 @@ class FkJoinCache:
                     project=tuple(self._payload_schema.names),
                 )
                 self.stats.parent_lookups += 1
+                self._m_parent_lookup.inc()
                 if not result.found or result.values is None:
                     raise QueryError(
                         f"dangling foreign key {self._fk_column}={fk_value!r}"

@@ -16,6 +16,7 @@ from repro.btree.keycodec import KeyCodec, codec_for_columns
 from repro.btree.tree import BPlusTree
 from repro.core.index_cache.cached_index import CachedBTree, LookupResult
 from repro.errors import QueryError
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.query.predicates import Predicate, TruePredicate
 from repro.schema.record import (
     pack_record_map,
@@ -101,11 +102,18 @@ AnyIndex = Union[PlainIndex, CachedBTree]
 class Table:
     """One heap, many indexes, consistent writes."""
 
-    def __init__(self, name: str, schema: Schema, heap: HeapFile) -> None:
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        heap: HeapFile,
+        tracer: Tracer | None = None,
+    ) -> None:
         self._name = name
         self._schema = schema
         self._heap = heap
         self._indexes: dict[str, AnyIndex] = {}
+        self._tracer = tracer if tracer is not None else NULL_TRACER
 
     # -- properties ----------------------------------------------------------
 
@@ -146,13 +154,18 @@ class Table:
 
     # -- writes ---------------------------------------------------------------
 
+    @property
+    def tracer(self) -> Tracer:
+        return self._tracer
+
     def insert(self, row: dict[str, object]) -> Rid:
         """Insert a row into the heap and every index."""
-        record = pack_record_map(self._schema, row)
-        rid = self._heap.insert(record)
-        for index in self._indexes.values():
-            index.insert_key(row, rid)
-        return rid
+        with self._tracer.span("query.insert", table=self._name):
+            record = pack_record_map(self._schema, row)
+            rid = self._heap.insert(record)
+            for index in self._indexes.values():
+                index.insert_key(row, rid)
+            return rid
 
     def update(
         self, index_name: str, key_value: object, changes: dict[str, object]
@@ -168,27 +181,29 @@ class Table:
                 raise QueryError(
                     f"cannot update index key columns {sorted(bad)}"
                 )
-        rid = self._find_rid(index_name, key_value)
-        if rid is None:
-            return False
-        row = unpack_record_map(self._schema, self._heap.fetch(rid))
-        row.update(changes)
-        self._heap.update(rid, pack_record_map(self._schema, row))
-        changed = set(changes)
-        for index in self._indexes.values():
-            index.note_update(row, changed)
-        return True
+        with self._tracer.span("query.update", table=self._name):
+            rid = self._find_rid(index_name, key_value)
+            if rid is None:
+                return False
+            row = unpack_record_map(self._schema, self._heap.fetch(rid))
+            row.update(changes)
+            self._heap.update(rid, pack_record_map(self._schema, row))
+            changed = set(changes)
+            for index in self._indexes.values():
+                index.note_update(row, changed)
+            return True
 
     def delete(self, index_name: str, key_value: object) -> bool:
         """Delete the row found via ``index_name`` from heap and indexes."""
-        rid = self._find_rid(index_name, key_value)
-        if rid is None:
-            return False
-        row = unpack_record_map(self._schema, self._heap.fetch(rid))
-        self._heap.delete(rid)
-        for index in self._indexes.values():
-            index.delete_key(row)
-        return True
+        with self._tracer.span("query.delete", table=self._name):
+            rid = self._find_rid(index_name, key_value)
+            if rid is None:
+                return False
+            row = unpack_record_map(self._schema, self._heap.fetch(rid))
+            self._heap.delete(rid)
+            for index in self._indexes.values():
+                index.delete_key(row)
+            return True
 
     # -- reads ------------------------------------------------------------------
 
@@ -199,7 +214,10 @@ class Table:
         project: tuple[str, ...] | None = None,
     ) -> LookupResult:
         """Point lookup through the named index."""
-        return self.index(index_name).lookup(key_value, project)
+        with self._tracer.span(
+            "query.lookup", table=self._name, index=index_name
+        ):
+            return self.index(index_name).lookup(key_value, project)
 
     def fetch_rid(
         self, rid: Rid, project: tuple[str, ...] | None = None

@@ -1,30 +1,65 @@
-"""Derived per-lookup metrics collected while driving a workload."""
+"""Derived per-lookup metrics collected while driving a workload.
+
+:class:`LookupMetrics` predates the engine-wide :mod:`repro.obs` registry;
+it now *is* a thin view over registry instruments (a hit/miss counter pair
+plus a ``cost_ns`` histogram) kept for back-compat with the experiments
+and their tests.  Pass an explicit registry to fold a workload's lookup
+stream into a shared snapshot; the default is a private registry so the
+historical ``LookupMetrics()`` construction keeps working unchanged.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
+from repro.obs.registry import MetricsRegistry
 from repro.sim.cost_model import CostModel
 from repro.util.units import NS_PER_MS, NS_PER_US
 
 
-@dataclass
 class LookupMetrics:
     """Accumulates lookups against a cost model and derives rates."""
 
-    lookups: int = 0
-    cache_hits: int = 0
-    cache_misses: int = 0
-    total_cost_ns: float = 0.0
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        prefix: str = "lookup",
+    ) -> None:
+        if registry is None:
+            registry = MetricsRegistry()
+        self._registry = registry
+        self._prefix = prefix
+        self._hits = registry.counter(f"{prefix}.hit")
+        self._misses = registry.counter(f"{prefix}.miss")
+        self._cost = registry.histogram(f"{prefix}.cost_ns")
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._registry
 
     def record(self, hit: bool, cost_ns: float) -> None:
         """Fold one lookup's outcome into the totals."""
-        self.lookups += 1
         if hit:
-            self.cache_hits += 1
+            self._hits.inc()
         else:
-            self.cache_misses += 1
-        self.total_cost_ns += cost_ns
+            self._misses.inc()
+        self._cost.record(cost_ns)
+
+    # -- derived rates (the historical dataclass surface) ---------------------
+
+    @property
+    def lookups(self) -> int:
+        return self._cost.count
+
+    @property
+    def cache_hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def cache_misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def total_cost_ns(self) -> float:
+        return self._cost.sum
 
     @property
     def cache_hit_rate(self) -> float:

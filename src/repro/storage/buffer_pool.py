@@ -20,6 +20,7 @@ from enum import Enum
 from typing import Iterator, Protocol
 
 from repro.errors import BufferPoolError
+from repro.obs.registry import MetricsRegistry, resolve_registry
 from repro.storage.constants import PageType
 from repro.storage.disk import SimulatedDisk
 from repro.storage.page import SlottedPage
@@ -60,6 +61,7 @@ class BufferPool:
         capacity_pages: int,
         policy: EvictionPolicy = EvictionPolicy.LRU,
         cost_hook: CostHook | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if capacity_pages <= 0:
             raise BufferPoolError("capacity must be at least one page")
@@ -72,6 +74,12 @@ class BufferPool:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        reg = resolve_registry(registry)
+        self._m_hit = reg.counter("bufferpool.hit")
+        self._m_miss = reg.counter("bufferpool.miss")
+        self._m_eviction = reg.counter("bufferpool.eviction")
+        self._m_writeback = reg.counter("bufferpool.writeback")
+        self._m_resident = reg.gauge("bufferpool.resident_pages")
 
     # -- properties ----------------------------------------------------------
 
@@ -134,11 +142,13 @@ class BufferPool:
         frame = self._frames.get(page_id)
         if frame is not None:
             self._hits += 1
+            self._m_hit.inc()
             if self._cost is not None:
                 self._cost.on_bp_hit()
             self._touch(frame)
         else:
             self._misses += 1
+            self._m_miss.inc()
             if self._cost is not None:
                 self._cost.on_bp_miss()
             data = bytearray(self._disk.read_page(page_id))
@@ -177,6 +187,7 @@ class BufferPool:
             return
         if frame.dirty:
             self._disk.write_page(page_id, bytes(frame.data))
+            self._m_writeback.inc()
             if self._cost is not None:
                 self._cost.on_disk_write()
             frame.dirty = False
@@ -196,6 +207,7 @@ class BufferPool:
             if frame.pin_count == 0:
                 self.flush(page_id)
                 del self._frames[page_id]
+        self._m_resident.set(len(self._frames))
 
     # -- internals -----------------------------------------------------------
 
@@ -204,6 +216,7 @@ class BufferPool:
             self._evict_one()
         frame = _Frame(page_id=page_id, data=data)
         self._frames[page_id] = frame
+        self._m_resident.set(len(self._frames))
         return frame
 
     def _touch(self, frame: _Frame) -> None:
@@ -220,10 +233,13 @@ class BufferPool:
         frame = self._frames[victim]
         if frame.dirty:
             self._disk.write_page(victim, bytes(frame.data))
+            self._m_writeback.inc()
             if self._cost is not None:
                 self._cost.on_disk_write()
         del self._frames[victim]
         self._evictions += 1
+        self._m_eviction.inc()
+        self._m_resident.set(len(self._frames))
 
     def _pick_lru_victim(self) -> int:
         for page_id, frame in self._frames.items():
