@@ -1,0 +1,100 @@
+"""Checksum overhead: integrity must cost (almost) nothing when healthy.
+
+Every write-back stamps a CRC32 and every pool miss verifies one, so the
+no-faults tax of the integrity layer is ``(misses + write-backs) × one
+4 KiB CRC``.  Measured claim: across a 10k-lookup workload on a pool
+small enough to keep missing, that tax stays under 5% of the workload's
+total runtime.  We measure the unit cost directly (best-of timed CRC over
+a page-sized buffer) and multiply by the exact validation count the same
+seeded workload emits — the same isolation approach as
+``bench_obs_overhead``.
+
+A second check pins the semantics: the identical seeded workload run with
+``verify_checksums`` on and off returns identical query results — the
+integrity layer observes pages, it never changes them.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.query.database import Database
+from repro.schema import UINT32, UINT64, Schema, char
+from repro.storage.constants import DEFAULT_PAGE_SIZE
+from repro.util.rng import DeterministicRng
+
+pytestmark = pytest.mark.faults
+
+N_ROWS = 2_000
+N_LOOKUPS = 10_000
+POOL_PAGES = 32  # small on purpose: misses are what trigger verification
+
+
+def _run_workload(verify_checksums):
+    db = Database(
+        data_pool_pages=POOL_PAGES,
+        seed=5,
+        metrics=MetricsRegistry(),
+        verify_checksums=verify_checksums,
+    )
+    schema = Schema.of(("k", UINT64), ("name", char(12)), ("n", UINT32))
+    t = db.create_table("t", schema)
+    db.create_index("t", "pk", ("k",))
+    for i in range(N_ROWS):
+        t.insert({"k": i, "name": f"row{i:08d}", "n": i % 13})
+    rng = DeterministicRng(5)
+    results = []
+    for _ in range(N_LOOKUPS):
+        results.append(t.lookup("pk", rng.randrange(N_ROWS), ("k", "n")).values)
+    return db, results
+
+
+def _time_crc(page_bytes, n, rounds=3):
+    """Best-of-``rounds`` wall time for ``n`` page CRCs."""
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for _ in range(n):
+            zlib.crc32(page_bytes)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_checksum_overhead_under_5_percent(run_check):
+    def body():
+        # 1. Wall-clock the checksummed workload.
+        start = time.perf_counter()
+        db, _ = _run_workload(verify_checksums=True)
+        loop_s = time.perf_counter() - start
+
+        # 2. Count the CRC computations it performed: one per pool miss
+        #    (verify) plus one per write-back (stamp).
+        snap = db.metrics.snapshot()["bufferpool"]
+        validations = snap["miss"] + snap["writeback"]
+        assert validations > 1_000  # the pool really was thrashing
+
+        # 3. Time that many page-sized CRCs in isolation.
+        crc_s = _time_crc(bytes(DEFAULT_PAGE_SIZE), validations)
+
+        overhead = crc_s / loop_s
+        print(
+            f"checksum overhead: {validations} validations, "
+            f"{crc_s * 1e3:.2f} ms of CRC vs {loop_s * 1e3:.1f} ms "
+            f"workload ({overhead:.2%})"
+        )
+        assert overhead < 0.05
+
+    run_check(body)
+
+
+def bench_checksummed_and_unchecked_runs_agree(run_check):
+    def body():
+        _, checked = _run_workload(verify_checksums=True)
+        _, unchecked = _run_workload(verify_checksums=False)
+        assert checked == unchecked
+
+    run_check(body)

@@ -50,6 +50,7 @@ class BPlusTree:
         if not 0.1 <= split_fraction <= 0.9:
             raise IndexError_("split_fraction must be in [0.1, 0.9]")
         reg = resolve_registry(registry)
+        self._registry = reg
         self._m_search = reg.counter("btree.search")
         self._m_descent = reg.counter("btree.descent")
         self._m_insert = reg.counter("btree.insert")
@@ -87,6 +88,15 @@ class BPlusTree:
     @property
     def value_size(self) -> int:
         return self._value_size
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The metrics registry this tree emits into (resolved, never None)."""
+        return self._registry
+
+    @property
+    def split_fraction(self) -> float:
+        return self._split_fraction
 
     @property
     def root_page_id(self) -> int:

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 from repro.core.hot_cold.partitioner import HotColdPartitionedTable
 from repro.core.hot_cold.tracker import AccessTracker
-from repro.errors import WorkloadError
+from repro.errors import StorageError, WorkloadError
 from repro.obs.registry import MetricsRegistry, resolve_registry
 
 
@@ -32,6 +32,9 @@ class RebalanceReport:
     promoted: int
     demoted: int
     hot_rows_after: int
+    #: Moves that hit a storage fault mid-migration and rolled back to a
+    #: consistent partition map (see ``HotColdPartitionedTable._move``).
+    aborted: int = 0
 
 
 class OnlineHotColdManager:
@@ -72,6 +75,7 @@ class OnlineHotColdManager:
         self._m_promotions = reg.counter("hotcold.promotions")
         self._m_demotions = reg.counter("hotcold.demotions")
         self._m_migrated_bytes = reg.counter("hotcold.migrations.bytes")
+        self._m_aborts = reg.counter("hotcold.migration_aborts")
         self._m_hot_rows = reg.gauge("hotcold.hot_rows")
 
     @property
@@ -103,17 +107,28 @@ class OnlineHotColdManager:
 
         Promotions (cold keys hotter than the coldest hot resident) are
         applied before demotions, both bounded by the migration budget.
+        A move that hits a storage fault mid-flight is counted as aborted
+        and skipped — ``HotColdPartitionedTable._move`` guarantees the
+        abort leaves the partition map consistent, and an aborted move
+        still spends budget (its I/O was real).
         """
         self._ops_since_rebalance = 0
         want_hot = set(self._tracker.hottest(self._hot_capacity))
         budget = self._budget
         promoted = 0
         demoted = 0
+        aborted = 0
         for key in want_hot:
             if budget <= 0:
                 break
             if not self._table.is_hot(key):
-                if self._table.promote(key):
+                try:
+                    moved = self._table.promote(key)
+                except StorageError:
+                    aborted += 1
+                    budget -= 1
+                    continue
+                if moved:
                     promoted += 1
                     budget -= 1
         # Demote residents that fell out of the hot set, until the hot
@@ -127,7 +142,15 @@ class OnlineHotColdManager:
             for key in coldest_first:
                 if budget <= 0 or excess <= 0:
                     break
-                if key not in want_hot and self._table.demote(key):
+                if key in want_hot:
+                    continue
+                try:
+                    moved = self._table.demote(key)
+                except StorageError:
+                    aborted += 1
+                    budget -= 1
+                    continue
+                if moved:
                     demoted += 1
                     excess -= 1
                     budget -= 1
@@ -137,11 +160,13 @@ class OnlineHotColdManager:
             promoted=promoted,
             demoted=demoted,
             hot_rows_after=self._table.hot.num_rows,
+            aborted=aborted,
         )
         self.reports.append(report)
         self._m_rebalances.inc()
         self._m_promotions.inc(promoted)
         self._m_demotions.inc(demoted)
+        self._m_aborts.inc(aborted)
         # A migration is a delete+insert of the full row (§3.1), so the
         # bytes moved per rebalance are moves × record width.
         self._m_migrated_bytes.inc(

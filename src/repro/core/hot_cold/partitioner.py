@@ -176,16 +176,34 @@ class HotColdPartitionedTable:
     # -- internals ---------------------------------------------------------------
 
     def _move(self, key_value: object, src: Partition, dst: Partition) -> bool:
+        """Relocate one row, copy-then-delete, failure-atomic for readers.
+
+        The destination copy commits (heap row + index entry) *before*
+        anything is removed from the source, so an I/O failure at any
+        point leaves the partition map consistent for lookups: either the
+        move never happened, or the row transiently exists in both
+        partitions — and the hot-first :meth:`lookup` order resolves the
+        duplicate to the correct bytes in both the demote and the promote
+        direction.  A failed move can be retried verbatim (the dst index
+        insert is an upsert); at worst an aborted move leaks an orphaned,
+        unindexed heap record — space, never answers.
+        """
         key = self.encode_key(key_value)
         rid_bytes = src.tree.search(key)
         if rid_bytes is None:
             return False
         old_rid = Rid.from_bytes(rid_bytes)
         record = src.heap.fetch(old_rid)
-        src.heap.delete(old_rid)
-        src.tree.delete(key)
         new_rid = dst.heap.insert(record)
-        dst.tree.insert(key, new_rid.to_bytes())
+        try:
+            dst.tree.insert(key, new_rid.to_bytes(), upsert=True)
+        except BaseException:
+            # The copy never became visible; withdraw the heap row so the
+            # abort leaves the destination exactly as it was.
+            dst.heap.delete(new_rid)
+            raise
+        src.tree.delete(key)
+        src.heap.delete(old_rid)
         if self._forwarding is not None:
             self._forwarding.record_move(old_rid, new_rid)
         return True

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 from repro.btree.keycodec import KeyCodec, codec_for_columns
 from repro.btree.node import LeafNode
+from repro.btree.rebuild import rebuild_tree_from_heap
 from repro.btree.tree import BPlusTree
 from repro.core.index_cache.cache import IndexCache
 from repro.core.index_cache.invalidation import CacheInvalidation
@@ -315,6 +316,38 @@ class CachedBTree:
         for _, rid_bytes in self._tree.range_scan(lo, hi):
             record = self._heap.fetch(Rid.from_bytes(rid_bytes))
             yield unpack_fields(self._schema, record, project)
+
+    # -- recovery ----------------------------------------------------------------
+
+    def drop_cache(self) -> None:
+        """Drop every cached tuple copy wholesale (recovery path).
+
+        Cached copies are pure derived state, so the cheapest correct
+        response to *any* doubt about them is to throw them all away: one
+        O(1) epoch bump when CSN invalidation is wired, else an explicit
+        zeroing sweep over the leaf windows.
+        """
+        if self._invalidation is not None:
+            self._invalidation.invalidate_all()
+            return
+        pool = self._tree.pool
+        for page_id in self._tree.leaf_page_ids:
+            with pool.page(page_id, dirty=True) as page:
+                self._cache.zero_window(page)
+
+    def rebuild_from_heap(self) -> BPlusTree:
+        """Reconstruct the index from the heap (corruption recovery).
+
+        The replacement tree starts with empty cache windows, and
+        :meth:`drop_cache` bumps the invalidation epoch so no stale cached
+        copy — in memory or already written back — can ever be served.
+        Subsequent lookups refill the cache by the usual piggy-back path.
+        """
+        self._tree = rebuild_tree_from_heap(
+            self._tree, self._heap, self._schema, self._key_columns, self.encode_key
+        )
+        self.drop_cache()
+        return self._tree
 
     # -- introspection -----------------------------------------------------------
 

@@ -36,6 +36,58 @@ class DiskError(StorageError):
     """Out-of-range page id or other simulated-disk failure."""
 
 
+class TransientIOError(StorageError):
+    """A read or write failed transiently (injected or simulated).
+
+    The stored page bytes are intact; retrying the same I/O may succeed.
+    The buffer pool retries these under its
+    :class:`~repro.storage.retry.RetryPolicy`, charging simulated backoff
+    latency through the cost model, before escalating to
+    :class:`RetryExhaustedError`.
+    """
+
+
+class RetryExhaustedError(StorageError):
+    """An I/O kept failing transiently past the retry policy's budget.
+
+    Raised in place of the final :class:`TransientIOError` once
+    ``RetryPolicy.max_attempts`` is spent.  The operation did not take
+    effect; in-memory state is unchanged.
+    """
+
+
+class CorruptPageError(StorageError):
+    """Page bytes read from disk failed checksum or freshness validation.
+
+    Confirmed corruption: re-reads did not produce a page whose CRC32
+    stamp matches its contents (torn/partial write, at-rest bit flip) or
+    whose stamp matches the last write-back (stuck page serving stale
+    bytes).  The page is quarantined by the buffer pool; a
+    :class:`~repro.faults.recovery.RecoveryManager` can self-heal pages
+    whose contents are reconstructible (B+Tree nodes, cache windows).
+
+    Attributes:
+        page_id: the page that failed validation.
+    """
+
+    def __init__(self, page_id: int, message: str = "failed validation") -> None:
+        super().__init__(f"page {page_id} {message}")
+        self.page_id = page_id
+
+
+class FaultPlanError(StorageError):
+    """Malformed fault specification or plan in :mod:`repro.faults`."""
+
+
+class RecoveryError(StorageError):
+    """Self-healing gave up: a heal failed or the heal budget ran out.
+
+    Raised by :class:`~repro.faults.recovery.RecoveryManager` when an
+    operation keeps hitting corrupt pages past ``max_heals``; the
+    underlying :class:`CorruptPageError` is chained as the cause.
+    """
+
+
 class IndexError_(ReproError):
     """Base class for B+Tree failures.
 

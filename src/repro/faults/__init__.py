@@ -1,0 +1,38 @@
+"""Fault injection, integrity checking, and self-healing recovery.
+
+The storage stack's §2-style bit reclamation only pays off if the bits
+survive real-world failure: this package injects deterministic faults
+beneath the buffer pool (:class:`FaultyDisk` + :class:`FaultInjector`),
+verifies what comes back (CRC32 page checksums enforced by the pool,
+:func:`check_database` for structural invariants), and repairs what it
+can (:class:`RecoveryManager` rebuilding redundant index structures from
+the heap).
+
+``repro.faults.harness`` (the end-to-end fault drill and its CLI) is
+deliberately *not* imported here: it pulls in ``repro.query``, which in
+turn uses this package — import it directly when you need it.
+"""
+
+from repro.faults.checker import CheckReport, check_database
+from repro.faults.disk import FaultyDisk, flip_bit
+from repro.faults.injector import SECTOR_SIZE, FaultInjector, FiredFault
+from repro.faults.plan import NO_FAULTS, FaultKind, FaultPlan, FaultSpec
+from repro.faults.recovery import RecoveryManager
+from repro.storage.retry import DEFAULT_RETRY_POLICY, RetryPolicy
+
+__all__ = [
+    "CheckReport",
+    "check_database",
+    "FaultyDisk",
+    "flip_bit",
+    "SECTOR_SIZE",
+    "FaultInjector",
+    "FiredFault",
+    "NO_FAULTS",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "RecoveryManager",
+    "DEFAULT_RETRY_POLICY",
+    "RetryPolicy",
+]

@@ -1,0 +1,56 @@
+"""CLI for the fault drill: ``python -m repro.faults``.
+
+Runs :func:`repro.faults.harness.run_fault_drill` with the given seed and
+sizes, prints the report summary plus any invariant-checker findings, and
+exits non-zero unless the drill passed (zero wrong results, database
+check OK, and the fault ledger balanced).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.faults.harness import run_fault_drill
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults",
+        description=(
+            "Replay a mixed Wikipedia-revision workload under injected "
+            "storage faults and verify every result against ground truth."
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=0, help="drill seed")
+    parser.add_argument(
+        "--ops", type=int, default=3_000, help="mixed operations to replay"
+    )
+    parser.add_argument(
+        "--pages", type=int, default=300, help="Wikipedia pages to generate"
+    )
+    parser.add_argument(
+        "--pool-pages", type=int, default=16, help="buffer-pool frames"
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="also dump the fault log"
+    )
+    args = parser.parse_args(argv)
+
+    report = run_fault_drill(
+        seed=args.seed,
+        n_pages=args.pages,
+        n_ops=args.ops,
+        pool_pages=args.pool_pages,
+    )
+    print(report.summary())
+    for problem in report.check_problems:
+        print(f"  check: {problem}", file=sys.stderr)
+    if args.verbose:
+        for name, value in sorted(report.metrics.get("faults", {}).items()):
+            print(f"  faults.{name} = {value}")
+    return 0 if report.passed else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

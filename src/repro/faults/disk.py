@@ -1,0 +1,73 @@
+"""A :class:`~repro.storage.disk.SimulatedDisk` that misbehaves on cue.
+
+:class:`FaultyDisk` drops in anywhere a ``SimulatedDisk`` is accepted and
+consults a :class:`~repro.faults.injector.FaultInjector` on every page
+I/O.  Transient kinds raise :class:`~repro.errors.TransientIOError`
+*after* the underlying store has counted the attempt (a failed I/O still
+costs an I/O); corruption kinds silently mutate what is returned or
+stored, to be caught downstream by the buffer pool's checksum and
+freshness validation.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TransientIOError
+from repro.faults.injector import FaultInjector, FiredFault
+from repro.faults.plan import FaultKind
+from repro.storage.disk import SimulatedDisk
+
+
+def flip_bit(data: bytes, bit: int) -> bytes:
+    """Return ``data`` with absolute bit index ``bit`` inverted."""
+    buf = bytearray(data)
+    buf[bit // 8] ^= 1 << (bit % 8)
+    return bytes(buf)
+
+
+class FaultyDisk(SimulatedDisk):
+    """Simulated disk wrapper that applies injected faults to page I/O."""
+
+    def __init__(self, page_size: int, injector: FaultInjector) -> None:
+        super().__init__(page_size)
+        self._injector = injector
+
+    @property
+    def injector(self) -> FaultInjector:
+        return self._injector
+
+    def read_page(self, page_id: int) -> bytes:
+        data = super().read_page(page_id)
+        for fault in self._injector.on_read(page_id):
+            if fault.kind is FaultKind.TRANSIENT_READ_ERROR:
+                raise TransientIOError(f"injected transient read of page {page_id}")
+            if fault.kind is FaultKind.READ_BIT_FLIP:
+                # Only the returned copy is corrupted; stored bytes are
+                # intact, so a corrective re-read heals it.
+                data = flip_bit(data, fault.bit)
+        return data
+
+    def write_page(self, page_id: int, data: bytes) -> None:
+        faults = self._injector.on_write(page_id)
+        for fault in faults:
+            if fault.kind is FaultKind.TRANSIENT_WRITE_ERROR:
+                # Counts as an attempted write, applies nothing.
+                self._writes += 1
+                raise TransientIOError(
+                    f"injected transient write of page {page_id}"
+                )
+        stored = bytes(data)
+        for fault in faults:
+            stored = self._apply_at_rest(page_id, stored, fault)
+        super().write_page(page_id, stored)
+
+    def _apply_at_rest(self, page_id: int, new: bytes, fault: FiredFault) -> bytes:
+        if fault.kind is FaultKind.WRITE_BIT_FLIP:
+            return flip_bit(new, fault.bit)
+        if fault.kind is FaultKind.TORN_WRITE:
+            old = self.peek(page_id)
+            return new[: fault.tear_at] + old[fault.tear_at :]
+        if fault.kind is FaultKind.STUCK_WRITE:
+            # The device acks but keeps the old bytes — including their
+            # old, internally valid checksum.
+            return self.peek(page_id)
+        return new

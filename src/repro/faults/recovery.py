@@ -1,0 +1,110 @@
+"""Self-healing recovery from confirmed page corruption.
+
+The buffer pool detects corruption (checksum or freshness mismatch),
+quarantines the page, and raises :class:`~repro.errors.CorruptPageError`.
+What happens next depends on who owned the page, and that is this
+module's job:
+
+* **B+Tree pages are redundant** — every index entry can be recomputed
+  from the heap, so a corrupt node is healed by rebuilding the whole
+  index with :meth:`rebuild_from_heap` (bulk load from a sorted heap
+  scan).  Cached tuple copies ride along: the rebuilt leaves start with
+  empty cache windows and the invalidation epoch is bumped, dropping the
+  old cache wholesale.
+* **Heap pages are the source of truth** — nothing can reconstruct them
+  in this engine (no WAL yet), so a corrupt heap page is unrecoverable
+  and the error propagates.
+
+:class:`RecoveryManager` wraps an operation, heals on corruption, and
+retries it, keeping the ``faults.detected == faults.recovered +
+faults.unrecoverable`` ledger balanced: the pool counts each detection,
+and exactly one resolution is counted here (or in the pool's own
+corrective-re-read path) per detection.
+
+Duck-typed against the ``Database`` surface (catalog + tables + indexes)
+so the module imports nothing from ``repro.query``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CorruptPageError, RecoveryError
+from repro.obs.registry import MetricsRegistry, resolve_registry
+
+
+class RecoveryManager:
+    """Heal-and-retry driver for one database."""
+
+    def __init__(
+        self,
+        database,
+        max_heals: int = 8,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if max_heals < 1:
+            raise RecoveryError("max_heals must be at least 1")
+        self._db = database
+        self._max_heals = max_heals
+        self.heals = 0
+        self.failed_heals = 0
+        metrics = resolve_registry(registry)
+        self._m_recovered = metrics.counter("faults.recovered")
+        self._m_unrecoverable = metrics.counter("faults.unrecoverable")
+        self._m_rebuilds = metrics.counter("recovery.index_rebuilds")
+
+    @property
+    def max_heals(self) -> int:
+        return self._max_heals
+
+    def call(self, fn, *args, **kwargs):
+        """Run ``fn``, healing and retrying on page corruption.
+
+        Each :class:`~repro.errors.CorruptPageError` triggers one
+        :meth:`heal`; the operation is retried until it succeeds, a page
+        proves unrecoverable, or ``max_heals`` distinct heals have been
+        spent (guarding against a corruption storm).
+        """
+        heals_spent = 0
+        while True:
+            try:
+                return fn(*args, **kwargs)
+            except CorruptPageError as exc:
+                if heals_spent >= self._max_heals:
+                    self._m_unrecoverable.inc()
+                    self.failed_heals += 1
+                    raise RecoveryError(
+                        f"gave up after {heals_spent} heal(s); last corrupt "
+                        f"page was {exc.page_id}"
+                    ) from exc
+                if not self.heal(exc.page_id):
+                    raise
+                heals_spent += 1
+
+    def heal(self, page_id: int) -> bool:
+        """Try to repair the structure owning ``page_id``.
+
+        Returns True (and counts ``faults.recovered``) if the owner was
+        an index and it was rebuilt from the heap; False (counting
+        ``faults.unrecoverable``) for heap pages and unowned pages.
+        """
+        index_entry = self._owning_index(page_id)
+        if index_entry is None:
+            self._m_unrecoverable.inc()
+            self.failed_heals += 1
+            return False
+        index_entry.index.rebuild_from_heap()
+        self._m_recovered.inc()
+        self._m_rebuilds.inc()
+        self.heals += 1
+        return True
+
+    # -- internals ------------------------------------------------------------
+
+    def _owning_index(self, page_id: int):
+        """The catalog index entry whose tree owns ``page_id``, else None."""
+        catalog = self._db.catalog
+        for table_entry in catalog.tables():
+            for index_entry in catalog.indexes_of(table_entry.name):
+                tree = index_entry.index.tree
+                if page_id in tree.leaf_page_ids or page_id in tree.internal_page_ids:
+                    return index_entry
+        return None

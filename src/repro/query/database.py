@@ -49,6 +49,9 @@ class Database:
         eviction: EvictionPolicy = EvictionPolicy.LRU,
         seed: int = 0,
         metrics: MetricsRegistry | None = None,
+        fault_injector: "FaultInjector | None" = None,
+        retry_policy: RetryPolicy | None = None,
+        verify_checksums: bool = True,
     ) -> None:
         """
         Args:
@@ -66,12 +69,25 @@ class Database:
                 :func:`repro.obs.use_registry`), else a fresh
                 :class:`MetricsRegistry`.  Pass
                 :data:`repro.obs.NULL_REGISTRY` to switch metrics off.
+            fault_injector: when given, the database runs on a
+                :class:`~repro.faults.disk.FaultyDisk` driven by this
+                injector instead of a pristine :class:`SimulatedDisk`.
+            retry_policy: how the buffer pools respond to transient I/O
+                faults; ``None`` uses the pools' default policy.
+            verify_checksums: stamp a CRC32 on every page write-back and
+                verify it on every pool miss (see ``repro.storage.page``).
         """
         if metrics is None:
             ambient = get_default_registry()
             metrics = ambient if ambient is not NULL_REGISTRY else MetricsRegistry()
         self._metrics = metrics
-        self._disk = SimulatedDisk(page_size)
+        self._fault_injector = fault_injector
+        if fault_injector is not None:
+            from repro.faults.disk import FaultyDisk
+
+            self._disk: SimulatedDisk = FaultyDisk(page_size, fault_injector)
+        else:
+            self._disk = SimulatedDisk(page_size)
         # The cost model only accumulates simulated nanoseconds — never
         # consulted by the engine — so defaulting one in keeps behaviour
         # identical while giving the tracer a real clock.
@@ -81,7 +97,8 @@ class Database:
         self._tracer = Tracer(metrics, clock=cost_model)
         self._data_pool = BufferPool(
             self._disk, data_pool_pages, policy=eviction, cost_hook=cost_model,
-            registry=metrics,
+            registry=metrics, retry_policy=retry_policy,
+            verify_checksums=verify_checksums,
         )
         if index_pool_pages is None:
             self._index_pool = self._data_pool
@@ -89,9 +106,11 @@ class Database:
             self._index_pool = BufferPool(
                 self._disk, index_pool_pages, policy=eviction,
                 cost_hook=cost_model, registry=metrics,
+                retry_policy=retry_policy, verify_checksums=verify_checksums,
             )
         self._catalog = Catalog()
         self._rng = DeterministicRng(seed)
+        self._recovery = None
 
     # -- properties ----------------------------------------------------------
 
@@ -124,6 +143,31 @@ class Database:
     def tracer(self) -> Tracer:
         """Span tracer charging simulated time from the cost model."""
         return self._tracer
+
+    @property
+    def fault_injector(self) -> "FaultInjector | None":
+        """The injector driving this database's disk, if faults are wired."""
+        return self._fault_injector
+
+    @property
+    def recovery(self) -> "RecoveryManager":
+        """Lazily built self-healing driver for this database.
+
+        Wrap fallible operations as ``db.recovery.call(fn, ...)`` to heal
+        corrupt index pages (rebuild from heap) and retry transparently.
+        """
+        if self._recovery is None:
+            from repro.faults.recovery import RecoveryManager
+
+            self._recovery = RecoveryManager(self, registry=self._metrics)
+        return self._recovery
+
+    def check(self) -> "CheckReport":
+        """Run the :func:`repro.faults.checker.check_database` invariant
+        walk over every table and index of this database."""
+        from repro.faults.checker import check_database
+
+        return check_database(self)
 
     # -- DDL --------------------------------------------------------------------
 

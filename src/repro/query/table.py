@@ -13,9 +13,10 @@ from __future__ import annotations
 from typing import Iterator, Union
 
 from repro.btree.keycodec import KeyCodec, codec_for_columns
+from repro.btree.rebuild import rebuild_tree_from_heap
 from repro.btree.tree import BPlusTree
 from repro.core.index_cache.cached_index import CachedBTree, LookupResult
-from repro.errors import QueryError
+from repro.errors import QueryError, ReproError
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.query.predicates import Predicate, TruePredicate
 from repro.schema.record import (
@@ -78,6 +79,19 @@ class PlainIndex:
     def find_rid(self, key_value: object) -> Rid | None:
         rid_bytes = self._tree.search(self.encode_key(key_value))
         return Rid.from_bytes(rid_bytes) if rid_bytes is not None else None
+
+    def rebuild_from_heap(self) -> BPlusTree:
+        """Reconstruct the whole index from the heap (corruption recovery).
+
+        Index pages are redundant: every entry is recomputable from the
+        heap, so a quarantined/corrupt node is healed by bulk-loading a
+        fresh tree from a sorted heap scan.  The old tree's pages are
+        orphaned (the simulated disk only grows, like a tablespace file).
+        """
+        self._tree = rebuild_tree_from_heap(
+            self._tree, self._heap, self._schema, self._key_columns, self.encode_key
+        )
+        return self._tree
 
     def lookup(
         self, key_value: object, project: tuple[str, ...] | None = None
@@ -159,12 +173,32 @@ class Table:
         return self._tracer
 
     def insert(self, row: dict[str, object]) -> Rid:
-        """Insert a row into the heap and every index."""
+        """Insert a row into the heap and every index.
+
+        Failure-atomic: if an index insert fails (e.g. a corrupt index
+        page), the heap row and any index keys already written are
+        withdrawn before the error propagates, so a recovery layer that
+        rebuilds indexes *from the heap* never resurrects a half-inserted
+        row — and the insert can simply be retried.
+        """
         with self._tracer.span("query.insert", table=self._name):
             record = pack_record_map(self._schema, row)
             rid = self._heap.insert(record)
-            for index in self._indexes.values():
-                index.insert_key(row, rid)
+            inserted: list[AnyIndex] = []
+            try:
+                for index in self._indexes.values():
+                    index.insert_key(row, rid)
+                    inserted.append(index)
+            except BaseException:
+                for index in inserted:
+                    try:
+                        index.delete_key(row)
+                    except ReproError:
+                        # This index is the broken one; rebuild-from-heap
+                        # will reconstruct it without the withdrawn row.
+                        pass
+                self._heap.delete(rid)
+                raise
             return rid
 
     def update(
@@ -194,15 +228,35 @@ class Table:
             return True
 
     def delete(self, index_name: str, key_value: object) -> bool:
-        """Delete the row found via ``index_name`` from heap and indexes."""
+        """Delete the row found via ``index_name`` from heap and indexes.
+
+        Failure-atomic, mirroring :meth:`insert`: index entries go first
+        and the heap row last, so while the heap still holds the row a
+        rebuild-from-heap reproduces every index key.  If any step fails,
+        already-deleted keys are re-inserted before the error propagates —
+        the delete either happens completely or not at all, and can be
+        retried verbatim after a heal.
+        """
         with self._tracer.span("query.delete", table=self._name):
             rid = self._find_rid(index_name, key_value)
             if rid is None:
                 return False
             row = unpack_record_map(self._schema, self._heap.fetch(rid))
-            self._heap.delete(rid)
-            for index in self._indexes.values():
-                index.delete_key(row)
+            removed: list[AnyIndex] = []
+            try:
+                for index in self._indexes.values():
+                    index.delete_key(row)
+                    removed.append(index)
+                self._heap.delete(rid)
+            except BaseException:
+                for index in removed:
+                    try:
+                        index.insert_key(row, rid)
+                    except ReproError:
+                        # The broken index; rebuild-from-heap restores the
+                        # key because the heap row is still in place.
+                        pass
+                raise
             return True
 
     # -- reads ------------------------------------------------------------------

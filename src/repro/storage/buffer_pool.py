@@ -9,6 +9,15 @@ simulated time.
 Cache writes from the index cache deliberately do **not** dirty pages
 (§2.1.1: "cache modifications do not dirty the page") — callers signal
 dirtiness explicitly at unpin time, and the cache layer never does.
+
+The pool is also the engine's integrity boundary.  Every write-back stamps
+a CRC32 into the page header (and remembers it as the page's *expected*
+stamp); every fetch miss verifies both, so torn writes, at-rest bit flips,
+and stuck pages surface as :class:`~repro.errors.CorruptPageError` instead
+of silently wrong results.  Transient I/O faults are retried under a
+:class:`~repro.storage.retry.RetryPolicy` with backoff charged through the
+cost model; confirmed-corrupt pages are quarantined so a recovery layer
+(:mod:`repro.faults.recovery`) can rebuild their contents elsewhere.
 """
 
 from __future__ import annotations
@@ -19,11 +28,22 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Iterator, Protocol
 
-from repro.errors import BufferPoolError
+from repro.errors import (
+    BufferPoolError,
+    CorruptPageError,
+    RetryExhaustedError,
+    TransientIOError,
+)
 from repro.obs.registry import MetricsRegistry, resolve_registry
 from repro.storage.constants import PageType
 from repro.storage.disk import SimulatedDisk
-from repro.storage.page import SlottedPage
+from repro.storage.page import (
+    SlottedPage,
+    page_checksum_ok,
+    read_page_checksum,
+    stamp_page_checksum,
+)
+from repro.storage.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 
 
 class CostHook(Protocol):
@@ -62,6 +82,8 @@ class BufferPool:
         policy: EvictionPolicy = EvictionPolicy.LRU,
         cost_hook: CostHook | None = None,
         registry: MetricsRegistry | None = None,
+        retry_policy: RetryPolicy | None = None,
+        verify_checksums: bool = True,
     ) -> None:
         if capacity_pages <= 0:
             raise BufferPoolError("capacity must be at least one page")
@@ -69,17 +91,29 @@ class BufferPool:
         self._capacity = capacity_pages
         self._policy = policy
         self._cost = cost_hook
+        self._retry = retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
+        self._verify_checksums = verify_checksums
         self._frames: "OrderedDict[int, _Frame]" = OrderedDict()
         self._clock_hand = 0
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        #: page id -> CRC32 of the bytes this pool last wrote back; the
+        #: freshness half of validation (catches stuck pages whose stale
+        #: contents still carry an internally consistent stamp).
+        self._expected_crc: dict[int, int] = {}
+        self._quarantined: set[int] = set()
         reg = resolve_registry(registry)
         self._m_hit = reg.counter("bufferpool.hit")
         self._m_miss = reg.counter("bufferpool.miss")
         self._m_eviction = reg.counter("bufferpool.eviction")
         self._m_writeback = reg.counter("bufferpool.writeback")
         self._m_resident = reg.gauge("bufferpool.resident_pages")
+        self._m_quarantine = reg.gauge("bufferpool.quarantined_pages")
+        self._m_detected = reg.counter("faults.detected")
+        self._m_recovered = reg.counter("faults.recovered")
+        self._m_unrecoverable = reg.counter("faults.unrecoverable")
+        self._m_retries = reg.counter("faults.retries")
 
     # -- properties ----------------------------------------------------------
 
@@ -120,11 +154,36 @@ class BufferPool:
             pid for pid, frame in self._frames.items() if frame.pin_count > 0
         ]
 
-    def reset_counters(self) -> None:
-        """Zero hit/miss/eviction counters between experiment phases."""
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        return self._retry
+
+    @property
+    def quarantined_pages(self) -> frozenset[int]:
+        """Pages confirmed corrupt and fenced off from further I/O."""
+        return frozenset(self._quarantined)
+
+    def reset_counters(self, reset_obs: bool = False) -> None:
+        """Zero hit/miss/eviction counters between experiment phases.
+
+        By default only the *local* counters (``hits``/``misses``/
+        ``evictions``, what :attr:`hit_rate` reads) are zeroed; the shared
+        ``bufferpool.*`` obs counters keep accumulating so a run-wide
+        metrics snapshot still sums every phase.  Pass ``reset_obs=True``
+        to zero those too — e.g. when ``format_report`` rows should agree
+        with :attr:`hit_rate` for a single phase.  The
+        ``resident_pages`` gauge is re-synced either way (it reflects the
+        pool's current state, not a phase).
+        """
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        if reset_obs:
+            self._m_hit.reset()
+            self._m_miss.reset()
+            self._m_eviction.reset()
+            self._m_writeback.reset()
+        self._m_resident.set(len(self._frames))
 
     # -- page lifecycle ------------------------------------------------------
 
@@ -138,7 +197,17 @@ class BufferPool:
         return page
 
     def fetch(self, page_id: int) -> SlottedPage:
-        """Pin a page and return a view over its frame bytes."""
+        """Pin a page and return a view over its frame bytes.
+
+        Raises :class:`CorruptPageError` if the page is quarantined or its
+        bytes fail checksum/freshness validation even after the policy's
+        corrective re-reads; raises :class:`RetryExhaustedError` if the
+        disk keeps failing transiently.  The page is pinned only on
+        success, so failed fetches never leak pins.
+        """
+        if page_id in self._quarantined:
+            self._m_detected.inc()
+            raise CorruptPageError(page_id, "is quarantined")
         frame = self._frames.get(page_id)
         if frame is not None:
             self._hits += 1
@@ -151,7 +220,7 @@ class BufferPool:
             self._m_miss.inc()
             if self._cost is not None:
                 self._cost.on_bp_miss()
-            data = bytearray(self._disk.read_page(page_id))
+            data = self._read_page_checked(page_id)
             frame = self._install(page_id, data)
         frame.pin_count += 1
         return SlottedPage(frame.data)
@@ -167,11 +236,26 @@ class BufferPool:
 
     @contextmanager
     def page(self, page_id: int, dirty: bool = False) -> Iterator[SlottedPage]:
-        """Pin for the duration of a ``with`` block."""
+        """Pin for the duration of a ``with`` block.
+
+        ``dirty=True`` marks the page dirty only when the body completes.
+        If the body raises, the mutation may be half-applied, so the frame
+        is restored from a pre-entry snapshot and unpinned *clean* —
+        scheduling write-back of torn in-memory state is exactly the
+        corruption this module exists to prevent.
+        """
         page = self.fetch(page_id)
+        snapshot = bytes(page.buffer) if dirty else None
         try:
             yield page
-        finally:
+        except BaseException:
+            if snapshot is not None:
+                frame = self._frames.get(page_id)
+                if frame is not None:
+                    frame.data[:] = snapshot
+            self.unpin(page_id, dirty=False)
+            raise
+        else:
             self.unpin(page_id, dirty=dirty)
 
     def is_resident(self, page_id: int) -> bool:
@@ -181,15 +265,12 @@ class BufferPool:
     # -- write-back ----------------------------------------------------------
 
     def flush(self, page_id: int) -> None:
-        """Write one page back to disk if dirty."""
+        """Write one page back to disk if dirty (stamping its checksum)."""
         frame = self._frames.get(page_id)
         if frame is None:
             return
         if frame.dirty:
-            self._disk.write_page(page_id, bytes(frame.data))
-            self._m_writeback.inc()
-            if self._cost is not None:
-                self._cost.on_disk_write()
+            self._write_back(frame)
             frame.dirty = False
 
     def flush_all(self) -> None:
@@ -209,7 +290,126 @@ class BufferPool:
                 del self._frames[page_id]
         self._m_resident.set(len(self._frames))
 
+    # -- quarantine ----------------------------------------------------------
+
+    def quarantine(self, page_id: int) -> None:
+        """Fence off a confirmed-corrupt page.
+
+        The frame (if resident) is discarded without write-back and every
+        future :meth:`fetch` fails fast with :class:`CorruptPageError`
+        until a recovery layer rebuilds the page's contents elsewhere.
+        """
+        frame = self._frames.get(page_id)
+        if frame is not None and frame.pin_count > 0:
+            raise BufferPoolError(f"cannot quarantine pinned page {page_id}")
+        self._frames.pop(page_id, None)
+        self._quarantined.add(page_id)
+        self._expected_crc.pop(page_id, None)
+        self._m_resident.set(len(self._frames))
+        self._m_quarantine.set(len(self._quarantined))
+
     # -- internals -----------------------------------------------------------
+
+    def _charge(self, ns: float) -> None:
+        """Charge backoff latency if the cost hook carries a clock."""
+        if ns <= 0 or self._cost is None:
+            return
+        charge = getattr(self._cost, "charge", None)
+        if charge is not None:
+            charge(ns)
+
+    def _read_with_retry(self, page_id: int) -> bytes:
+        """One logical read: transient faults retried with backoff."""
+        incident = False
+        attempt = 0
+        while True:
+            try:
+                data = self._disk.read_page(page_id)
+            except TransientIOError as exc:
+                if not incident:
+                    incident = True
+                    self._m_detected.inc()
+                attempt += 1
+                if attempt >= self._retry.max_attempts:
+                    self._m_unrecoverable.inc()
+                    raise RetryExhaustedError(
+                        f"read of page {page_id} failed "
+                        f"{self._retry.max_attempts} times: {exc}"
+                    ) from exc
+                self._m_retries.inc()
+                self._charge(self._retry.backoff_for(attempt - 1))
+                continue
+            if incident:
+                self._m_recovered.inc()
+            return data
+
+    def _write_with_retry(self, page_id: int, data: bytes) -> None:
+        """One logical write: transient faults retried with backoff."""
+        incident = False
+        attempt = 0
+        while True:
+            try:
+                self._disk.write_page(page_id, data)
+            except TransientIOError as exc:
+                if not incident:
+                    incident = True
+                    self._m_detected.inc()
+                attempt += 1
+                if attempt >= self._retry.max_attempts:
+                    self._m_unrecoverable.inc()
+                    raise RetryExhaustedError(
+                        f"write of page {page_id} failed "
+                        f"{self._retry.max_attempts} times: {exc}"
+                    ) from exc
+                self._m_retries.inc()
+                self._charge(self._retry.backoff_for(attempt - 1))
+                continue
+            if incident:
+                self._m_recovered.inc()
+            return
+
+    def _read_page_checked(self, page_id: int) -> bytearray:
+        """Read + validate a page, healing transient read corruption.
+
+        Integrity: the CRC32 stamp must match the bytes.  Freshness: if
+        this pool wrote the page before, the stamp must equal the CRC it
+        wrote (else the disk served stale bytes — a stuck page).  A
+        mismatch gets up to ``corrupt_rereads`` corrective re-reads (a
+        read-path bit flip heals; at-rest damage does not); confirmed
+        corruption quarantines the page and raises.
+        """
+        raw = self._read_with_retry(page_id)
+        if self._page_ok(page_id, raw):
+            return bytearray(raw)
+        self._m_detected.inc()
+        for reread in range(self._retry.corrupt_rereads):
+            self._charge(self._retry.backoff_for(reread))
+            raw = self._read_with_retry(page_id)
+            if self._page_ok(page_id, raw):
+                self._m_recovered.inc()
+                return bytearray(raw)
+        self.quarantine(page_id)
+        raise CorruptPageError(page_id, "failed checksum validation")
+
+    def _page_ok(self, page_id: int, raw: bytes) -> bool:
+        if not self._verify_checksums:
+            return True
+        if not page_checksum_ok(raw):
+            return False
+        expected = self._expected_crc.get(page_id)
+        return expected is None or read_page_checksum(raw) == expected
+
+    def _write_back(self, frame: _Frame) -> None:
+        """Stamp, write (with retry), and record the expected stamp."""
+        crc = None
+        if self._verify_checksums:
+            crc = stamp_page_checksum(frame.data)
+        self._write_with_retry(frame.page_id, bytes(frame.data))
+        if crc is not None:
+            self._expected_crc[frame.page_id] = crc
+        self._m_writeback.inc()
+        if self._cost is not None:
+            self._cost.on_disk_write()
 
     def _install(self, page_id: int, data: bytearray) -> _Frame:
         if len(self._frames) >= self._capacity:
@@ -232,10 +432,7 @@ class BufferPool:
             victim = self._pick_clock_victim()
         frame = self._frames[victim]
         if frame.dirty:
-            self._disk.write_page(victim, bytes(frame.data))
-            self._m_writeback.inc()
-            if self._cost is not None:
-                self._cost.on_disk_write()
+            self._write_back(frame)
         del self._frames[victim]
         self._evictions += 1
         self._m_eviction.inc()

@@ -22,8 +22,18 @@ DEFAULT_PAGE_SIZE = 4096
 #: Fixed page header:
 #:   magic(2) page_id(4) page_type(1) flags(1) slot_count(2)
 #:   free_lo(2) free_hi(2) cache_csn(8) next_page(4) level(1)
-#:   reserved(5)  = 32 bytes
+#:   checksum(4) reserved(1)  = 32 bytes
 PAGE_HEADER_SIZE = 32
+
+#: Byte offset of the CRC32 page checksum within the header (carved out
+#: of the formerly reserved tail).  Stamped by the buffer pool at
+#: write-back over every page byte *except* this field, verified on the
+#: next fetch miss; a zero page (never written back) is treated as
+#: unstamped.
+PAGE_CHECKSUM_OFFSET = 27
+
+#: Width of the CRC32 checksum field.
+PAGE_CHECKSUM_SIZE = 4
 
 #: Sentinel for "no next page" in the next_page header field.
 NO_PAGE = 0xFFFFFFFF

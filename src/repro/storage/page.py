@@ -24,17 +24,29 @@ Header fields (little-endian)::
     free_lo    u16   first byte past the directory
     free_hi    u16   first byte of the lowest record
     cache_csn  u64   per-page cache sequence number (§2.1.2)
-    reserved   u16
+    next_page  u32
+    level      u8
+    checksum   u32   CRC32 over the page with this field zeroed
+    reserved   u8
+
+The checksum is storage-integrity state, not page-content state: it is
+stamped by the buffer pool immediately before a write-back and verified
+when the page next comes off disk, so torn writes and at-rest bit flips
+surface as :class:`~repro.errors.CorruptPageError` instead of silently
+wrong query results.
 """
 
 from __future__ import annotations
 
+import zlib
 from typing import Iterator
 
 from repro.errors import InvalidRidError, PageFormatError, PageFullError
 from repro.storage.constants import (
     FOOTER_MAGIC,
     NO_PAGE,
+    PAGE_CHECKSUM_OFFSET,
+    PAGE_CHECKSUM_SIZE,
     PAGE_FOOTER_SIZE,
     PAGE_HEADER_SIZE,
     PAGE_MAGIC,
@@ -52,7 +64,40 @@ _OFF_FREE_HI = 12
 _OFF_CACHE_CSN = 14
 _OFF_NEXT_PAGE = 22
 _OFF_LEVEL = 26
+_OFF_CHECKSUM = PAGE_CHECKSUM_OFFSET
 _TOMBSTONE_OFFSET = 0
+
+
+def compute_page_checksum(buffer: bytes | bytearray) -> int:
+    """CRC32 over the page bytes with the checksum field treated as zero."""
+    crc = zlib.crc32(buffer[:_OFF_CHECKSUM])
+    crc = zlib.crc32(bytes(PAGE_CHECKSUM_SIZE), crc)
+    return zlib.crc32(buffer[_OFF_CHECKSUM + PAGE_CHECKSUM_SIZE :], crc)
+
+
+def read_page_checksum(buffer: bytes | bytearray) -> int:
+    """The stored CRC32 stamp (0 on a never-stamped page)."""
+    return int.from_bytes(
+        buffer[_OFF_CHECKSUM : _OFF_CHECKSUM + PAGE_CHECKSUM_SIZE], "little"
+    )
+
+
+def stamp_page_checksum(buffer: bytearray) -> int:
+    """Stamp the current CRC32 into the checksum field; returns the CRC."""
+    crc = compute_page_checksum(buffer)
+    buffer[_OFF_CHECKSUM : _OFF_CHECKSUM + PAGE_CHECKSUM_SIZE] = crc.to_bytes(
+        4, "little"
+    )
+    return crc
+
+
+def page_checksum_ok(buffer: bytes | bytearray) -> bool:
+    """True if the stamp matches the contents, or the page was never
+    stamped (all-zero bytes, as fresh allocations are)."""
+    stored = read_page_checksum(buffer)
+    if compute_page_checksum(buffer) == stored:
+        return True
+    return stored == 0 and not any(buffer)
 
 
 class SlottedPage:
@@ -165,6 +210,15 @@ class SlottedPage:
     @next_page.setter
     def next_page(self, value: int | None) -> None:
         self._put_u32(_OFF_NEXT_PAGE, NO_PAGE if value is None else value)
+
+    @property
+    def checksum(self) -> int:
+        """The stored CRC32 stamp (see :func:`stamp_page_checksum`)."""
+        return read_page_checksum(self._buf)
+
+    def checksum_ok(self) -> bool:
+        """True if the stored stamp matches the page bytes."""
+        return page_checksum_ok(self._buf)
 
     @property
     def level(self) -> int:

@@ -1,0 +1,60 @@
+"""Bounded retry with simulated-clock backoff for transient I/O faults.
+
+The paper's bit-reclaiming subsystems treat cached state as safely
+discardable; the storage stack beneath them must in turn treat *transient*
+failures (the §2 "storage goes wrong" cases that are not corruption) as
+retryable.  :class:`RetryPolicy` is the knob: how many attempts one logical
+I/O gets and how much simulated latency each backoff charges through the
+:class:`~repro.sim.cost_model.CostModel`, so experiments under fault
+injection still report meaningful simulated times.
+
+Lives in ``repro.storage`` (not ``repro.faults``) because the buffer pool
+enforces it on every disk I/O; the faults package re-exports it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FaultPlanError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the buffer pool responds to transient faults and bad reads.
+
+    Attributes:
+        max_attempts: total tries per logical I/O (first attempt included)
+            before a :class:`~repro.errors.TransientIOError` escalates to
+            :class:`~repro.errors.RetryExhaustedError`.
+        backoff_ns: simulated latency charged before the first retry.
+        backoff_multiplier: exponential growth factor per further retry.
+        corrupt_rereads: extra reads allowed when a page fails checksum
+            validation, distinguishing a transient read-path bit flip
+            (heals on re-read) from at-rest corruption (confirmed, raising
+            :class:`~repro.errors.CorruptPageError`).
+    """
+
+    max_attempts: int = 4
+    backoff_ns: float = 50_000.0
+    backoff_multiplier: float = 2.0
+    corrupt_rereads: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise FaultPlanError("max_attempts must be at least 1")
+        if self.backoff_ns < 0:
+            raise FaultPlanError("backoff_ns must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise FaultPlanError("backoff_multiplier must be >= 1")
+        if self.corrupt_rereads < 0:
+            raise FaultPlanError("corrupt_rereads must be non-negative")
+
+    def backoff_for(self, retry_index: int) -> float:
+        """Backoff before the ``retry_index``-th retry (0-based), in ns."""
+        return self.backoff_ns * self.backoff_multiplier**retry_index
+
+
+#: The pool's default: three retries with 50 µs/100 µs/200 µs backoff and
+#: one corrective re-read on checksum mismatch.
+DEFAULT_RETRY_POLICY = RetryPolicy()

@@ -35,3 +35,26 @@ def test_catching_the_root_catches_subsystems():
         raise errors.PageFullError("x")
     with pytest.raises(errors.StorageError):
         raise errors.InvalidRidError("x")
+
+
+def test_fault_layer_errors_are_storage_errors():
+    for exc_type in (
+        errors.TransientIOError,
+        errors.RetryExhaustedError,
+        errors.CorruptPageError,
+        errors.FaultPlanError,
+        errors.RecoveryError,
+    ):
+        assert issubclass(exc_type, errors.StorageError), exc_type
+
+
+def test_corrupt_page_error_carries_the_page_id():
+    exc = errors.CorruptPageError(42, "failed checksum validation")
+    assert exc.page_id == 42
+    assert "page 42" in str(exc)
+
+
+def test_every_error_has_a_docstring():
+    for obj in vars(errors).values():
+        if isinstance(obj, type) and issubclass(obj, Exception):
+            assert obj.__doc__, f"{obj.__name__} is undocumented"

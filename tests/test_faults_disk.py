@@ -1,0 +1,165 @@
+"""FaultyDisk: each fault kind's observable disk behaviour, determinism."""
+
+import pytest
+
+from repro.errors import TransientIOError
+from repro.faults import (
+    SECTOR_SIZE,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    FaultyDisk,
+    flip_bit,
+)
+
+pytestmark = pytest.mark.faults
+
+PAGE = 4096
+
+
+def make_disk(*specs, seed=0):
+    injector = FaultInjector(
+        seed=seed, plan=FaultPlan.of(*specs), page_size=PAGE
+    )
+    return FaultyDisk(PAGE, injector), injector
+
+
+def fill(disk, payload=b"\xAB"):
+    pid = disk.allocate_page()
+    disk.write_page(pid, payload * PAGE)
+    return pid
+
+
+def test_flip_bit_is_an_involution():
+    data = bytes(range(256))
+    flipped = flip_bit(data, 1003)
+    assert flipped != data
+    assert flip_bit(flipped, 1003) == data
+
+
+def test_transient_read_raises_then_recovers():
+    disk, injector = make_disk(
+        FaultSpec(FaultKind.TRANSIENT_READ_ERROR, at_nth=1)
+    )
+    pid = fill(disk)
+    with pytest.raises(TransientIOError):
+        disk.read_page(pid)
+    # Stored bytes were never touched; the retry succeeds.
+    assert disk.read_page(pid) == b"\xAB" * PAGE
+    assert injector.injected == 1
+
+
+def test_read_bit_flip_corrupts_only_the_returned_copy():
+    disk, injector = make_disk(FaultSpec(FaultKind.READ_BIT_FLIP, at_nth=1))
+    pid = fill(disk)
+    corrupted = disk.read_page(pid)
+    clean = disk.read_page(pid)
+    assert corrupted != clean
+    assert clean == b"\xAB" * PAGE
+    fault = injector.log[0]
+    assert corrupted == flip_bit(clean, fault.bit)
+
+
+def test_transient_write_raises_and_keeps_old_bytes():
+    disk, _ = make_disk(FaultSpec(FaultKind.TRANSIENT_WRITE_ERROR, at_nth=2))
+    pid = fill(disk)  # write #1: clean
+    writes_before = disk.writes
+    with pytest.raises(TransientIOError):
+        disk.write_page(pid, b"\xCD" * PAGE)  # write #2: transient
+    assert disk.peek(pid) == b"\xAB" * PAGE
+    # A failed I/O still costs an I/O.
+    assert disk.writes == writes_before + 1
+    disk.write_page(pid, b"\xCD" * PAGE)
+    assert disk.peek(pid) == b"\xCD" * PAGE
+
+
+def test_write_bit_flip_corrupts_at_rest():
+    disk, injector = make_disk(FaultSpec(FaultKind.WRITE_BIT_FLIP, at_nth=2))
+    pid = fill(disk)
+    disk.write_page(pid, b"\xCD" * PAGE)
+    stored = disk.peek(pid)
+    assert stored != b"\xCD" * PAGE
+    assert stored == flip_bit(b"\xCD" * PAGE, injector.log[0].bit)
+
+
+def test_torn_write_keeps_old_suffix_on_sector_boundary():
+    disk, injector = make_disk(FaultSpec(FaultKind.TORN_WRITE, at_nth=2))
+    pid = fill(disk)
+    disk.write_page(pid, b"\xCD" * PAGE)
+    tear_at = injector.log[0].tear_at
+    assert tear_at % SECTOR_SIZE == 0
+    assert 0 < tear_at < PAGE
+    stored = disk.peek(pid)
+    assert stored[:tear_at] == b"\xCD" * tear_at
+    assert stored[tear_at:] == b"\xAB" * (PAGE - tear_at)
+
+
+def test_stuck_write_silently_keeps_old_bytes():
+    disk, _ = make_disk(FaultSpec(FaultKind.STUCK_WRITE, at_nth=2))
+    pid = fill(disk)
+    disk.write_page(pid, b"\xCD" * PAGE)  # acked but dropped
+    assert disk.peek(pid) == b"\xAB" * PAGE
+
+
+def test_page_filter_restricts_targets():
+    disk, injector = make_disk(
+        FaultSpec(
+            FaultKind.STUCK_WRITE,
+            probability=1.0,
+            page_filter=lambda pid: pid == 1,
+        )
+    )
+    p0 = fill(disk)
+    p1 = fill(disk)  # matched: this fill already sticks (page stays zero)
+    disk.write_page(p0, b"\xCD" * PAGE)
+    disk.write_page(p1, b"\xCD" * PAGE)
+    assert disk.peek(p0) == b"\xCD" * PAGE  # filtered out: applied
+    assert disk.peek(p1) == bytes(PAGE)  # matched: every write stuck
+    assert [f.page_id for f in injector.log] == [p1, p1]
+
+
+def test_max_times_caps_fires():
+    disk, injector = make_disk(
+        FaultSpec(FaultKind.STUCK_WRITE, probability=1.0, max_times=2)
+    )
+    pid = fill(disk)  # fire 1: the fill itself sticks (page stays zero)
+    disk.write_page(pid, b"\xCD" * PAGE)  # fire 2
+    disk.write_page(pid, b"\xEE" * PAGE)  # cap reached: applied
+    assert injector.injected == 2
+    assert disk.peek(pid) == b"\xEE" * PAGE
+
+
+def test_same_seed_reproduces_the_same_fault_log():
+    def run(seed):
+        disk, injector = make_disk(
+            FaultSpec(FaultKind.READ_BIT_FLIP, probability=0.3),
+            FaultSpec(FaultKind.WRITE_BIT_FLIP, probability=0.3),
+            seed=seed,
+        )
+        pid = fill(disk)
+        for i in range(20):
+            disk.write_page(pid, bytes([i]) * PAGE)
+            disk.read_page(pid)
+        return [
+            (f.seq, f.kind, f.page_id, f.bit, f.tear_at)
+            for f in injector.log
+        ]
+
+    assert run(42) == run(42)
+    assert run(42) != run(43)
+
+
+def test_arm_resets_trigger_state_but_not_the_log():
+    disk, injector = make_disk(
+        FaultSpec(FaultKind.STUCK_WRITE, at_nth=1)
+    )
+    pid = fill(disk)  # at_nth=1 fires on the fill
+    assert injector.injected == 1
+    injector.arm(FaultPlan.of(FaultSpec(FaultKind.STUCK_WRITE, at_nth=1)))
+    disk.write_page(pid, b"\xCD" * PAGE)  # fresh spec state: fires again
+    assert injector.injected == 2
+    injector.disarm()
+    disk.write_page(pid, b"\xEE" * PAGE)
+    assert injector.injected == 2
+    assert disk.peek(pid) == b"\xEE" * PAGE

@@ -96,6 +96,35 @@ def test_context_manager_pins_and_unpins():
     assert not pool.is_resident(pid)
 
 
+def test_context_manager_restores_snapshot_and_unpins_clean_on_error():
+    pool, disk = make_pool()
+    pid = pool.new_page(PageType.HEAP).page_id
+    pool.unpin(pid, dirty=True)
+    pool.flush(pid)
+    before = bytes(pool.fetch(pid).buffer)
+    pool.unpin(pid)
+    with pytest.raises(RuntimeError):
+        with pool.page(pid, dirty=True) as page:
+            page.insert(b"half-applied mutation")
+            raise RuntimeError("boom")
+    # The torn in-memory state was rolled back, the pin released, and the
+    # frame left clean (no write-back of the aborted mutation scheduled).
+    assert pool.pinned_pages == []
+    assert bytes(pool.fetch(pid).buffer) == before
+    pool.unpin(pid)
+    pool.flush_all()
+    pool.drop_clean()
+    assert not pool.is_resident(pid)  # clean, so droppable
+
+
+def test_clock_all_pinned_raises():
+    pool, _ = make_pool(capacity=2, policy=EvictionPolicy.CLOCK)
+    pool.new_page(PageType.HEAP)  # stays pinned
+    pool.new_page(PageType.HEAP)  # stays pinned
+    with pytest.raises(BufferPoolError):
+        pool.new_page(PageType.HEAP)
+
+
 def test_clock_policy_evicts_unreferenced():
     pool, _ = make_pool(capacity=2, policy=EvictionPolicy.CLOCK)
     p0 = pool.new_page(PageType.HEAP).page_id
@@ -152,6 +181,28 @@ def test_reset_counters():
     pool.unpin(pid)
     pool.reset_counters()
     assert pool.hits == pool.misses == pool.evictions == 0
+
+
+def test_reset_counters_keeps_obs_counters_by_default():
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    disk = SimulatedDisk(256)
+    pool = BufferPool(disk, 4, registry=registry)
+    pid = pool.new_page(PageType.HEAP).page_id
+    pool.unpin(pid)
+    pool.fetch(pid)
+    pool.unpin(pid)
+    pool.reset_counters()
+    # Local phase counters reset; the run-wide obs counters keep summing.
+    assert pool.hits == 0
+    snap = registry.snapshot()["bufferpool"]
+    assert snap["hit"] == 1
+    assert snap["resident_pages"] == pool.resident_pages
+    pool.reset_counters(reset_obs=True)
+    snap = registry.snapshot()["bufferpool"]
+    assert snap["hit"] == 0
+    assert snap["resident_pages"] == pool.resident_pages
 
 
 def test_pinned_pages_tracking():
