@@ -1,0 +1,139 @@
+"""Batched read fast path: reduction assertions and the regression gate.
+
+Three jobs:
+
+* assert the tentpole acceptance claim — a Zipf batch through
+  ``Table.lookup_many`` costs at least 2× fewer buffer-pool accesses
+  than the per-key loop, on both the plain and the §2.1 cached index,
+  with identical results (the driver raises if answers diverge);
+* append a trajectory point to ``BENCH_batched_read.json`` at the repo
+  root, so successive runs accumulate a history of the deterministic
+  access counts;
+* **gate**: fail the run if the batched path's access counts regressed
+  more than 10% against the committed baseline
+  (``benchmarks/baselines/batched_read.json``).
+
+Everything gated is an operation count (pool hits+misses, FSM pages
+examined) — never wall time — so the gate is machine-independent.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import batched
+from repro.experiments.runner import print_table
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+TRAJECTORY_PATH = REPO_ROOT / "BENCH_batched_read.json"
+BASELINE_PATH = Path(__file__).resolve().parent / "baselines" / "batched_read.json"
+
+#: Allowed regression vs the committed baseline before the gate fails.
+REGRESSION_TOLERANCE = 0.10
+
+
+@pytest.fixture(scope="module")
+def result():
+    return batched.run()
+
+
+def bench_batched_read_reduction(result, run_check):
+    """Acceptance: ≥2× fewer pool fetches than the per-key loop."""
+
+    def body():
+        print_table(
+            ["path", "scalar fetches", "batched fetches", "reduction"],
+            [
+                ("plain index", result.plain_scalar_fetches,
+                 result.plain_batched_fetches,
+                 f"{result.plain_reduction:.2f}x"),
+                ("cached index", result.cached_scalar_fetches,
+                 result.cached_batched_fetches,
+                 f"{result.cached_reduction:.2f}x"),
+            ],
+            title="Batched read fast path (Zipf batches)",
+        )
+        assert result.plain_reduction >= 2.0
+        assert result.cached_reduction >= 2.0
+        # Batching never does more pool work than scalar, full stop.
+        assert result.plain_batched_fetches <= result.plain_scalar_fetches
+        assert result.cached_batched_fetches <= result.cached_scalar_fetches
+
+    run_check(body)
+
+
+def bench_batched_read_fsm_bucketing(result, run_check):
+    """The size-bucketed FSM examines far fewer candidates per insert."""
+
+    def body():
+        print_table(
+            ["free-space map", "pages examined"],
+            [
+                ("first-fit linear scan", result.fsm_linear_examined),
+                ("size-bucketed", result.fsm_bucketed_examined),
+            ],
+            title=f"FSM candidate search ({result.fsm_speedup:.1f}x fewer)",
+        )
+        assert result.fsm_speedup >= 5.0
+
+    run_check(body)
+
+
+def bench_batched_read_trajectory_gate(result, run_check):
+    """Emit the trajectory point; fail on >10% regression vs baseline."""
+
+    def body():
+        point = {
+            "n_rows": result.n_rows,
+            "batch_size": result.batch_size,
+            "n_batches": result.n_batches,
+            "plain_scalar_fetches": result.plain_scalar_fetches,
+            "plain_batched_fetches": result.plain_batched_fetches,
+            "cached_scalar_fetches": result.cached_scalar_fetches,
+            "cached_batched_fetches": result.cached_batched_fetches,
+            "fsm_linear_examined": result.fsm_linear_examined,
+            "fsm_bucketed_examined": result.fsm_bucketed_examined,
+        }
+        if TRAJECTORY_PATH.exists():
+            document = json.loads(TRAJECTORY_PATH.read_text())
+        else:
+            document = {"bench": "batched_read", "points": []}
+        document["points"].append(point)
+        TRAJECTORY_PATH.write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"trajectory point #{len(document['points'])} -> "
+              f"{TRAJECTORY_PATH.name}")
+
+        baseline = json.loads(BASELINE_PATH.read_text())
+        for metric in (
+            "plain_batched_fetches",
+            "cached_batched_fetches",
+            "fsm_bucketed_examined",
+        ):
+            recorded = baseline[metric]
+            ceiling = recorded * (1.0 + REGRESSION_TOLERANCE)
+            assert point[metric] <= ceiling, (
+                f"{metric} regressed: {point[metric]} > {recorded} "
+                f"(+{REGRESSION_TOLERANCE:.0%} tolerance)"
+            )
+
+    run_check(body)
+
+
+def bench_batched_read_lookup_many_timing(benchmark):
+    """Timed unit: one warm 64-key batch on the plain index."""
+    db, table = batched._build(
+        cached=False, n_rows=2_000, pool_pages=256, seed=1
+    )
+    keys = [(i * 37) % 2_000 for i in range(64)]
+    table.lookup_many("pk", keys, batched.PROJECTION)  # warm the pool
+
+    def probe():
+        return table.lookup_many("pk", keys, batched.PROJECTION)
+
+    results = benchmark.pedantic(probe, rounds=5, iterations=2)
+    assert all(r.found for r in results)

@@ -18,7 +18,7 @@ Design notes relevant to the paper:
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from repro.errors import (
     DuplicateKeyError,
@@ -31,6 +31,12 @@ from repro.obs.registry import MetricsRegistry, resolve_registry
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.constants import PageType
 from repro.storage.page import SlottedPage
+
+
+#: Leaf-chain continuations a batched probe tries before re-descending.
+#: A hop costs one page access; a descent costs ``height`` of them, so a
+#: short bounded lookahead is never worse than eagerly re-descending.
+MAX_CHAIN_HOPS = 2
 
 
 class BPlusTree:
@@ -53,6 +59,9 @@ class BPlusTree:
         self._registry = reg
         self._m_search = reg.counter("btree.search")
         self._m_descent = reg.counter("btree.descent")
+        self._m_batch_keys = reg.counter("btree.batch.keys")
+        self._m_batch_probes = reg.counter("btree.batch.probes")
+        self._m_batch_chain_hops = reg.counter("btree.batch.chain_hops")
         self._m_insert = reg.counter("btree.insert")
         self._m_delete = reg.counter("btree.delete")
         self._m_split_leaf = reg.counter("btree.split.leaf")
@@ -159,6 +168,177 @@ class BPlusTree:
 
     def contains(self, key: bytes) -> bool:
         return self.search(key) is not None
+
+    def lookup_many(self, keys: "Iterable[bytes]") -> dict[bytes, bytes | None]:
+        """Batched exact lookups: sorted probes share descents and leaves.
+
+        Keys are deduped and probed in ascending order, so a run of keys
+        that lands on one leaf costs a single inner-node descent plus a
+        single leaf pin, and a probe whose key lives on an adjacent leaf
+        follows the leaf sibling chain (one page access) instead of
+        re-descending from the root (``height`` page accesses).  Returns
+        ``key -> value-or-None`` for every requested key; results are
+        identical to calling :meth:`search` once per key.
+        """
+        key_list = list(keys)
+        for key in key_list:
+            self._check_key(key)
+        out: dict[bytes, bytes | None] = {}
+        probes = sorted(set(key_list))
+        if not probes:
+            return out
+        self._m_batch_keys.inc(len(key_list))
+        self._m_batch_probes.inc(len(probes))
+        self._m_search.inc(len(probes))
+        for _, page, run in self.leaf_runs(probes):
+            leaf = self._leaf(page)
+            for key in run:
+                pos, found = leaf.find(key)
+                out[key] = leaf.value_at(pos) if found else None
+        return out
+
+    def range_batch(
+        self, ranges: "list[tuple[bytes | None, bytes | None]]"
+    ) -> list[list[tuple[bytes, bytes]]]:
+        """Batched range scans sharing descents across sorted ``lo`` bounds.
+
+        Each ``(lo, hi)`` behaves like ``list(range_scan(lo, hi))``;
+        results are returned aligned with the *input* order.  Ranges are
+        processed in ascending ``lo`` order so a range starting in or
+        just after the previous range's last leaf continues along the
+        leaf chain instead of re-descending.
+        """
+        for lo, hi in ranges:
+            if lo is not None:
+                self._check_key(lo)
+            if hi is not None:
+                self._check_key(hi)
+        results: list[list[tuple[bytes, bytes]]] = [[] for _ in ranges]
+        order = sorted(
+            range(len(ranges)),
+            key=lambda i: (ranges[i][0] is not None, ranges[i][0] or b""),
+        )
+        cursor: tuple[int, SlottedPage] | None = None
+        try:
+            for i in order:
+                lo, hi = ranges[i]
+                collected = results[i]
+                # Position on the leaf owning ``lo`` (or the leftmost).
+                held, cursor = cursor, None
+                if lo is None:
+                    if held is not None:
+                        self._pool.unpin(held[0])
+                    first = self._leftmost_leaf()
+                    cursor = (first, self._pool.fetch(first))
+                else:
+                    cursor = self._seek_leaf_forward(held, lo, for_scan=True)
+                # Walk the chain collecting entries in [lo, hi).
+                bound = lo
+                while True:
+                    page_id, page = cursor
+                    leaf = self._leaf(page)
+                    start = 0
+                    if bound is not None:
+                        start, _ = leaf.find(bound)
+                        bound = None
+                    done = False
+                    for pos in range(start, leaf.count):
+                        key, value = leaf.entry_at(pos)
+                        if hi is not None and key >= hi:
+                            done = True
+                            break
+                        collected.append((key, value))
+                    next_id = page.next_page
+                    if done or next_id is None:
+                        break
+                    cursor = None
+                    self._pool.unpin(page_id)
+                    cursor = (next_id, self._pool.fetch(next_id))
+        finally:
+            if cursor is not None:
+                self._pool.unpin(cursor[0])
+        return results
+
+    def leaf_runs(
+        self, keys: Iterable[bytes]
+    ) -> Iterator[tuple[int, SlottedPage, list[bytes]]]:
+        """Group probe keys into per-leaf runs, sharing descents and pins.
+
+        Dedupes and sorts the keys, then yields ``(leaf_id, page, run)``
+        where ``page`` is the pinned leaf that decides every key in
+        ``run`` (consecutive sorted keys landing on one leaf).  The pin
+        is held only while the consumer is inside the ``yield`` — this is
+        the hook the cached index uses to probe a leaf's cache window
+        once per run instead of once per key.  Pages must not be dirtied
+        by consumers (batched reads are a read-only path).
+        """
+        probes = sorted(set(keys))
+        cursor: tuple[int, SlottedPage] | None = None
+        try:
+            i = 0
+            while i < len(probes):
+                held, cursor = cursor, None
+                cursor = self._seek_leaf_forward(held, probes[i])
+                page_id, page = cursor
+                leaf = self._leaf(page)
+                count = leaf.count
+                last = leaf.key_at(count - 1) if count else None
+                rightmost = page.next_page is None
+                run = [probes[i]]
+                i += 1
+                while i < len(probes) and (
+                    rightmost or (last is not None and probes[i] <= last)
+                ):
+                    run.append(probes[i])
+                    i += 1
+                yield page_id, page, run
+        finally:
+            if cursor is not None:
+                self._pool.unpin(cursor[0])
+
+    def _seek_leaf_forward(
+        self,
+        cursor: tuple[int, SlottedPage] | None,
+        key: bytes,
+        for_scan: bool = False,
+    ) -> tuple[int, SlottedPage]:
+        """Advance a pinned leaf cursor to a leaf that decides ``key``.
+
+        Probes must arrive in ascending key order.  Tries up to
+        ``MAX_CHAIN_HOPS`` sibling hops before falling back to a full
+        descent.  For point probes a leaf "decides" the key when the key
+        is <= its last key (a miss there is a miss in the tree, because
+        sibling ranges are contiguous); for scans (``for_scan=True``) the
+        cursor must land on the true owner leaf, so a cursor whose first
+        key is past ``key`` re-descends instead of under-reporting.
+        Always returns a pinned ``(page_id, page)``; on error no pin is
+        leaked (the incoming pin is released before any fallible step).
+        """
+        if cursor is not None:
+            page_id, page = cursor
+            hops = 0
+            while True:
+                leaf = self._leaf(page)
+                count = leaf.count
+                if for_scan and (count == 0 or key < leaf.key_at(0)):
+                    # Scans need the owner leaf: entries >= key may live
+                    # on an earlier leaf than this cursor.
+                    self._pool.unpin(page_id)
+                    break
+                if count and key <= leaf.key_at(count - 1):
+                    return page_id, page
+                next_id = page.next_page
+                if next_id is None:
+                    return page_id, page  # rightmost leaf decides
+                self._pool.unpin(page_id)
+                if hops >= MAX_CHAIN_HOPS:
+                    break  # too far ahead: re-descend
+                self._m_batch_chain_hops.inc()
+                hops += 1
+                page = self._pool.fetch(next_id)
+                page_id = next_id
+        leaf_id = self.find_leaf(key)
+        return leaf_id, self._pool.fetch(leaf_id)
 
     def range_scan(
         self, lo: bytes | None = None, hi: bytes | None = None

@@ -118,6 +118,13 @@ class OnlineHotColdManager:
         promoted = 0
         demoted = 0
         aborted = 0
+        # Batched record prefetch: pull the move sources in page order,
+        # one pin per page, so the per-key copy-then-delete moves below
+        # find their records already pooled.
+        self._table.warm_records(
+            [k for k in want_hot if not self._table.is_hot(k)][: budget],
+            hot=False,
+        )
         for key in want_hot:
             if budget <= 0:
                 break
@@ -139,6 +146,10 @@ class OnlineHotColdManager:
                 residents, key=self._tracker.count_of
             )
             excess = self._table.hot.num_rows - self._hot_capacity
+            demote_candidates = [
+                k for k in coldest_first if k not in want_hot
+            ][: min(budget, excess)]
+            self._table.warm_records(demote_candidates, hot=True)
             for key in coldest_first:
                 if budget <= 0 or excess <= 0:
                     break

@@ -13,6 +13,8 @@ applied lazily per key (O(1) per access, no sweep).
 
 from __future__ import annotations
 
+import math
+
 from repro.errors import WorkloadError
 
 
@@ -68,10 +70,18 @@ class AccessTracker:
         return ranked[:k]
 
     def hot_set(self, fraction: float) -> list[object]:
-        """The hottest ``fraction`` of *tracked* keys."""
+        """The hottest ``fraction`` of *tracked* keys.
+
+        The set size is ``ceil(len * fraction)``: any nonzero fraction
+        over a nonempty tracker yields at least one key.  (Banker's
+        ``round()`` was used here once and silently returned an *empty*
+        hot set for e.g. one key at fraction 0.5 — ``round(0.5) == 0`` —
+        so a clustering pass moved nothing; ``ceil`` makes small-but-
+        nonzero requests err toward including the boundary key.)
+        """
         if not 0.0 <= fraction <= 1.0:
             raise WorkloadError("fraction must be in [0, 1]")
-        k = round(len(self._counts) * fraction)
+        k = math.ceil(len(self._counts) * fraction)
         return self.hottest(k)
 
     def keys_above(self, threshold: float) -> list[object]:

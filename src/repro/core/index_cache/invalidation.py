@@ -159,6 +159,43 @@ class CacheInvalidation:
         self._stamp(page, current_pos)
         return False
 
+    def validate_heap_page(self, page: SlottedPage, cache: IndexCache) -> bool:
+        """The :meth:`validate_page` variant for caches over *heap* pages.
+
+        A heap page has no sorted key region, so there is no page key
+        range to match predicates against.  What the predicates identify
+        is the cached items' *tuple ids* (the §2.2 FkJoinCache uses the
+        parent's encoded key as the tuple id), so the match range is
+        derived from the tids actually cached in the page's window.
+        Epoch semantics are identical to :meth:`validate_page`; the tid
+        scan only happens when the page is behind the predicate log.
+
+        Returns True if the window was zeroed.
+        """
+        stamp = page.cache_csn
+        epoch_p = stamp >> _EPOCH_SHIFT
+        pos_p = stamp & _POS_MASK
+        current_pos = len(self._log)
+        if epoch_p != self._epoch:
+            cache.zero_window(page)
+            self._stamp(page, current_pos)
+            self.pages_zeroed += 1
+            self._m_zeroed.inc()
+            return True
+        if pos_p < current_pos:
+            tids = [tid for _, tid, _ in cache.entries(page)]
+            if tids:
+                first, last = min(tids), max(tids)
+                for predicate in self._log[pos_p:current_pos]:
+                    if predicate.matches_range(first, last):
+                        cache.zero_window(page)
+                        self._stamp(page, current_pos)
+                        self.pages_zeroed += 1
+                        self._m_zeroed.inc()
+                        return True
+        self._stamp(page, current_pos)
+        return False
+
     def _stamp(self, page: SlottedPage, position: int) -> None:
         # Stamping is a cache modification: it must not dirty the page, so
         # it only touches frame bytes (the caller unpins with dirty=False).

@@ -23,6 +23,7 @@ from pathlib import Path
 
 from repro.experiments import (
     ablations,
+    batched,
     capacity,
     encoding_waste,
     fig2a,
@@ -44,6 +45,7 @@ _DRIVERS = {
     "fill_factor": fill_factor.main,
     "headline": headline.main,
     "ablations": ablations.main,
+    "batched": batched.main,
 }
 
 DEFAULT_JSON_PATH = "experiments_metrics.json"

@@ -155,8 +155,7 @@ def run_fault_drill(
     next_rev_id = max(keys) + 1
     template = dict(data.revision_rows[0])
 
-    def verify_lookup(key: int) -> int:
-        result = db.recovery.call(table.lookup, "rev_pk", key, PROJECTION)
+    def check_result(key: int, result) -> int:
         expected = mirror.get(key)
         if expected is None:
             return 0 if not result.found else 1
@@ -165,10 +164,29 @@ def run_fault_drill(
         want = {name: expected[name] for name in PROJECTION}
         return 0 if result.values == want else 1
 
+    def verify_lookup(key: int) -> int:
+        result = db.recovery.call(table.lookup, "rev_pk", key, PROJECTION)
+        return check_result(key, result)
+
+    def verify_lookup_many(batch: list[int]) -> int:
+        results = db.recovery.call(
+            table.lookup_many, "rev_pk", batch, PROJECTION
+        )
+        return sum(check_result(k, r) for k, r in zip(batch, results))
+
     for _ in range(n_ops):
         draw = rng.random()
         key = keys[rng.randrange(len(keys))]
-        if draw < 0.70:
+        if draw < 0.15:
+            # The batched read fast path under fire: a small multi-key
+            # probe (duplicates allowed) must agree with the mirror on
+            # every position, exactly like the scalar path.
+            batch = [key] + [
+                keys[rng.randrange(len(keys))]
+                for _ in range(rng.randint(1, 5))
+            ]
+            wrong += verify_lookup_many(batch)
+        elif draw < 0.70:
             wrong += verify_lookup(key)
         elif draw < 0.85:
             if key in mirror:

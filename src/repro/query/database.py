@@ -13,6 +13,8 @@ by hand.  Two pools by default:
 
 from __future__ import annotations
 
+import zlib
+
 from repro.btree.keycodec import codec_for_columns
 from repro.btree.tree import BPlusTree
 from repro.core.index_cache.cached_index import CachedBTree
@@ -232,7 +234,11 @@ class Database:
             key_columns,
             cached_fields,
             policy=policy,
-            rng=self._rng.child(hash(index_name) & 0xFFFF),
+            # crc32, not hash(): str hashes are salted per process
+            # (PYTHONHASHSEED), which made the swap policy's random
+            # walk — and thus cache layout and metrics — differ
+            # between otherwise identical runs.
+            rng=self._rng.child(zlib.crc32(index_name.encode()) & 0xFFFF),
             invalidation=CacheInvalidation(
                 invalidation_log_threshold, registry=self._metrics
             ),

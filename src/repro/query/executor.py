@@ -10,6 +10,13 @@ pages: when a query joins ``child.fk -> parent.pk``, the joined parent
 fields are cached in the free window of the child tuple's own heap page.
 The next join probe for that child tuple is answered from the page it was
 already reading — no parent index descent, no parent heap access.
+
+Consistency: the cache registers itself as a write observer on the parent
+table, so every parent update/delete logs a predicate in a
+:class:`~repro.core.index_cache.invalidation.CacheInvalidation` instance.
+Each probe validates the child heap page against that log first
+(:meth:`CacheInvalidation.validate_heap_page`), zeroing stale windows
+before they can serve old parent fields.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.index_cache.cache import IndexCache
+from repro.core.index_cache.invalidation import CacheInvalidation
 from repro.core.index_cache.policy import CachePolicy
 from repro.errors import QueryError
 from repro.obs.registry import MetricsRegistry, resolve_registry
@@ -33,6 +41,7 @@ class JoinStats:
     probes: int = 0
     cache_hits: int = 0
     parent_lookups: int = 0
+    invalidations: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -52,6 +61,7 @@ class FkJoinCache:
         policy: CachePolicy | None = None,
         rng: DeterministicRng | None = None,
         registry: MetricsRegistry | None = None,
+        invalidation: CacheInvalidation | None = None,
     ) -> None:
         if not child.schema.has_column(fk_column):
             raise QueryError(f"child has no column {fk_column!r}")
@@ -69,6 +79,7 @@ class FkJoinCache:
         self._parent = parent
         self._parent_index = parent_index
         self._parent_index_name = parent_index_name
+        self._parent_key_column = parent_index.key_columns[0]
         self._fk_column = fk_column
         self._payload_schema = parent.schema.project(list(parent_fields))
         # Heap pages have no "key region" in the B+Tree sense; treat the
@@ -80,15 +91,49 @@ class FkJoinCache:
             rng=rng,
             registry=registry,
         )
+        self._invalidation = (
+            invalidation
+            if invalidation is not None
+            else CacheInvalidation(registry=registry)
+        )
+        parent.attach_write_observer(self)
         self.stats = JoinStats()
         reg = resolve_registry(registry)
         self._m_probe = reg.counter("query.join.probes")
         self._m_hit = reg.counter("query.join.hit")
         self._m_parent_lookup = reg.counter("query.join.parent_lookups")
+        self._m_invalidation = reg.counter("query.join.stale_invalidations")
 
     @property
     def cache(self) -> IndexCache:
         return self._cache
+
+    @property
+    def invalidation(self) -> CacheInvalidation:
+        return self._invalidation
+
+    # -- parent write observation (invalidation) -----------------------------
+
+    def note_parent_update(self, row: dict[str, object], changed: set) -> None:
+        """Parent row updated: log a predicate if cached fields may be stale."""
+        if self._parent_key_column in changed:
+            # The parent key itself moved; entries cached under the old key
+            # can no longer be identified from the new row.  Fall back to
+            # the O(1) full invalidation.
+            self._invalidation.invalidate_all()
+            return
+        if changed & set(self._payload_schema.names):
+            self._invalidation.note_update(
+                self._tid_for(row[self._parent_key_column])
+            )
+
+    def note_parent_delete(self, row: dict[str, object]) -> None:
+        """Parent row deleted: cached join payloads for its key are stale."""
+        self._invalidation.note_update(
+            self._tid_for(row[self._parent_key_column])
+        )
+
+    # -- probes ----------------------------------------------------------------
 
     def join_fetch(
         self, child_rid: Rid, project: tuple[str, ...]
@@ -100,26 +145,17 @@ class FkJoinCache:
         """
         self.stats.probes += 1
         self._m_probe.inc()
-        child_cols = [n for n in project if self._child.schema.has_column(n)]
-        parent_cols = [n for n in project if n not in child_cols]
-        unknown = [
-            n for n in parent_cols if not self._payload_schema.has_column(n)
-        ]
-        if unknown:
-            raise QueryError(f"columns {unknown} not in cached parent fields")
+        child_cols, parent_cols, fetch_cols = self._split_projection(project)
 
         pool = self._child.heap.pool
         with pool.page(child_rid.page_id) as page:
             record = page.read(child_rid.slot)
-            row = unpack_fields(
-                self._child.schema, record, child_cols + [self._fk_column]
-            )
+            row = unpack_fields(self._child.schema, record, fetch_cols)
             if not parent_cols:
                 return {n: row[n] for n in project}
+            self._validate(page)
             fk_value = row[self._fk_column]
-            # Tuple id for the cache: the parent key in index encoding,
-            # NUL-padded to the cache's fixed 8-byte tuple-id width.
-            tid = self._parent_index.encode_key(fk_value).ljust(8, b"\x00")
+            tid = self._tid_for(fk_value)
             payload = self._cache.probe(page, tid)
             if payload is not None:
                 self.stats.cache_hits += 1
@@ -147,3 +183,123 @@ class FkJoinCache:
                 )
             merged = {**{n: row[n] for n in child_cols}, **parent_values}
             return {n: merged[n] for n in project}
+
+    def join_fetch_many(
+        self, child_rids: list[Rid], project: tuple[str, ...]
+    ) -> list[dict[str, object]]:
+        """Batched :meth:`join_fetch`: one pin per child page, batched parent
+        lookups for the misses.
+
+        Child pages are pinned page-ordered via
+        :meth:`~repro.storage.buffer_pool.BufferPool.pages_many` and every
+        cache is probed while its page is held; only the missing parent
+        keys go through the parent's batched
+        :meth:`~repro.query.table.Table.lookup_many`.  Results align
+        positionally with ``child_rids`` and equal a per-RID
+        :meth:`join_fetch` loop (modulo which probes hit the cache: a key
+        missed twice in one batch still counts one parent lookup per
+        probe, exactly like the scalar loop, but is filled once).
+        """
+        child_cols, parent_cols, fetch_cols = self._split_projection(project)
+        if not child_rids:
+            return []
+
+        pool = self._child.heap.pool
+        results: list[dict[str, object] | None] = [None] * len(child_rids)
+        # Probes the pinned pass could not answer: (position, child row,
+        # fk value, cache tid, page_id).
+        misses: list[tuple[int, dict[str, object], object, bytes, int]] = []
+        with pool.pages_many(rid.page_id for rid in child_rids) as pages:
+            for pos, rid in enumerate(child_rids):
+                page = pages[rid.page_id]
+                self.stats.probes += 1
+                self._m_probe.inc()
+                record = page.read(rid.slot)
+                row = unpack_fields(self._child.schema, record, fetch_cols)
+                if not parent_cols:
+                    results[pos] = {n: row[n] for n in project}
+                    continue
+                self._validate(page)
+                fk_value = row[self._fk_column]
+                tid = self._tid_for(fk_value)
+                payload = self._cache.probe(page, tid)
+                if payload is None:
+                    misses.append((pos, row, fk_value, tid, rid.page_id))
+                    continue
+                self.stats.cache_hits += 1
+                self._m_hit.inc()
+                parent_values = dict(
+                    zip(
+                        self._payload_schema.names,
+                        unpack_record(self._payload_schema, payload),
+                    )
+                )
+                merged = {**{n: row[n] for n in child_cols}, **parent_values}
+                results[pos] = {n: merged[n] for n in project}
+
+        if misses:
+            # Parent lookups happen with no child pins held (the parent
+            # descent needs buffer frames of its own) and are batched:
+            # duplicate fk values resolve through one shared probe.
+            looked_up = self._parent.lookup_many(
+                self._parent_index_name,
+                [fk_value for _, _, fk_value, _, _ in misses],
+                project=tuple(self._payload_schema.names),
+            )
+            self.stats.parent_lookups += len(misses)
+            self._m_parent_lookup.inc(len(misses))
+            by_page: dict[int, list[tuple[bytes, bytes]]] = {}
+            filled: set[tuple[int, bytes]] = set()
+            for (pos, row, fk_value, tid, page_id), result in zip(
+                misses, looked_up
+            ):
+                if not result.found or result.values is None:
+                    raise QueryError(
+                        f"dangling foreign key {self._fk_column}={fk_value!r}"
+                    )
+                parent_values = dict(result.values)
+                merged = {**{n: row[n] for n in child_cols}, **parent_values}
+                results[pos] = {n: merged[n] for n in project}
+                if (page_id, tid) not in filled:
+                    filled.add((page_id, tid))
+                    by_page.setdefault(page_id, []).append(
+                        (tid, pack_record_map(self._payload_schema, parent_values))
+                    )
+            for page_id in sorted(by_page):
+                with pool.page(page_id) as page:
+                    for tid, packed in by_page[page_id]:
+                        self._cache.insert(page, tid, packed)
+        return results  # type: ignore[return-value]
+
+    # -- internals -----------------------------------------------------------
+
+    def _split_projection(
+        self, project: tuple[str, ...]
+    ) -> tuple[list[str], list[str], list[str]]:
+        """Split ``project`` into child/parent columns plus the unpack list.
+
+        The unpack list always carries the FK column exactly once — naming
+        it in ``project`` must not duplicate it (``unpack_fields`` would
+        reject the repeat).
+        """
+        child_cols = [n for n in project if self._child.schema.has_column(n)]
+        parent_cols = [n for n in project if n not in child_cols]
+        unknown = [
+            n for n in parent_cols if not self._payload_schema.has_column(n)
+        ]
+        if unknown:
+            raise QueryError(f"columns {unknown} not in cached parent fields")
+        fetch_cols = list(child_cols)
+        if self._fk_column not in fetch_cols:
+            fetch_cols.append(self._fk_column)
+        return child_cols, parent_cols, fetch_cols
+
+    def _tid_for(self, fk_value: object) -> bytes:
+        # Tuple id for the cache: the parent key in index encoding,
+        # NUL-padded to the cache's fixed 8-byte tuple-id width.
+        return self._parent_index.encode_key(fk_value).ljust(8, b"\x00")
+
+    def _validate(self, page) -> None:
+        if self._invalidation.validate_heap_page(page, self._cache):
+            self.stats.invalidations += 1
+            self._m_invalidation.inc()

@@ -109,6 +109,51 @@ class PlainIndex:
             from_cache=False,
         )
 
+    def lookup_many(
+        self,
+        key_values: list[object],
+        project: tuple[str, ...] | None = None,
+    ) -> list[LookupResult]:
+        """Batched point lookups: shared index descents, page-ordered heap.
+
+        Results align positionally with ``key_values`` and are identical
+        to calling :meth:`lookup` per key; duplicate keys are resolved
+        once.  The index is probed through
+        :meth:`~repro.btree.tree.BPlusTree.lookup_many` (sorted probes,
+        leaf-chain continuation) and the resulting RIDs are fetched
+        through the page-ordered :meth:`~repro.storage.heap.HeapFile.fetch_many`.
+        """
+        project = project if project is not None else self._schema.names
+        encoded = [self.encode_key(kv) for kv in key_values]
+        if not encoded:
+            return []
+        self.lookups += len(set(encoded))
+        rid_bytes = self._tree.lookup_many(encoded)
+        rids = {
+            key: Rid.from_bytes(value)
+            for key, value in rid_bytes.items()
+            if value is not None
+        }
+        records = self._heap.fetch_many(list(rids.values()))
+        self.heap_fetches += len(rids)
+        by_key: dict[bytes, LookupResult] = {}
+        results: list[LookupResult] = []
+        for key in encoded:
+            result = by_key.get(key)
+            if result is None:
+                rid = rids.get(key)
+                if rid is None:
+                    result = LookupResult(None, found=False, from_cache=False)
+                else:
+                    result = LookupResult(
+                        unpack_fields(self._schema, records[rid], project),
+                        found=True,
+                        from_cache=False,
+                    )
+                by_key[key] = result
+            results.append(result)
+        return results
+
 
 AnyIndex = Union[PlainIndex, CachedBTree]
 
@@ -128,6 +173,10 @@ class Table:
         self._heap = heap
         self._indexes: dict[str, AnyIndex] = {}
         self._tracer = tracer if tracer is not None else NULL_TRACER
+        #: Write observers (e.g. FkJoinCaches keyed on this table as the
+        #: join parent) notified after every update/delete so derived
+        #: caches living *outside* this table's indexes can invalidate.
+        self._write_observers: list = []
 
     # -- properties ----------------------------------------------------------
 
@@ -165,6 +214,17 @@ class Table:
         if name in self._indexes:
             raise QueryError(f"index {name!r} already attached")
         self._indexes[name] = index
+
+    def attach_write_observer(self, observer) -> None:
+        """Register a write observer.
+
+        Observers receive ``note_parent_update(row, changed)`` after every
+        applied update and ``note_parent_delete(row)`` after every applied
+        delete, with the *new* full row dict.  This is how caches derived
+        from this table's rows but stored elsewhere (the §2.2 FkJoinCache
+        keeps parent fields in child heap pages) hook into invalidation.
+        """
+        self._write_observers.append(observer)
 
     # -- writes ---------------------------------------------------------------
 
@@ -225,6 +285,8 @@ class Table:
             changed = set(changes)
             for index in self._indexes.values():
                 index.note_update(row, changed)
+            for observer in self._write_observers:
+                observer.note_parent_update(row, changed)
             return True
 
     def delete(self, index_name: str, key_value: object) -> bool:
@@ -257,6 +319,8 @@ class Table:
                         # key because the heap row is still in place.
                         pass
                 raise
+            for observer in self._write_observers:
+                observer.note_parent_delete(row)
             return True
 
     # -- reads ------------------------------------------------------------------
@@ -272,6 +336,25 @@ class Table:
             "query.lookup", table=self._name, index=index_name
         ):
             return self.index(index_name).lookup(key_value, project)
+
+    def lookup_many(
+        self,
+        index_name: str,
+        key_values: list[object],
+        project: tuple[str, ...] | None = None,
+    ) -> list[LookupResult]:
+        """Batched point lookups through the named index.
+
+        The batched read fast path: probe keys are sorted so index
+        descents are shared across adjacent keys, and heap RIDs are
+        fetched page-ordered with each page pinned once (see
+        ``BufferPool.fetch_many``).  Results align positionally with
+        ``key_values`` and equal a per-key :meth:`lookup` loop.
+        """
+        with self._tracer.span(
+            "query.lookup_many", table=self._name, index=index_name
+        ):
+            return self.index(index_name).lookup_many(list(key_values), project)
 
     def fetch_rid(
         self, rid: Rid, project: tuple[str, ...] | None = None

@@ -26,7 +26,7 @@ from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
 from enum import Enum
-from typing import Iterator, Protocol
+from typing import Iterable, Iterator, Protocol
 
 from repro.errors import (
     BufferPoolError,
@@ -94,6 +94,12 @@ class BufferPool:
         self._retry = retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
         self._verify_checksums = verify_checksums
         self._frames: "OrderedDict[int, _Frame]" = OrderedDict()
+        #: CLOCK state: a stable ring of resident page ids plus a hand
+        #: *index into that ring*.  The ring mutates only when pages enter
+        #: or leave the pool (never rebuilt per eviction), so the hand
+        #: always resumes at the last victim's successor and reference
+        #: bits keep their second-chance meaning across evictions.
+        self._clock_ring: list[int] = []
         self._clock_hand = 0
         self._hits = 0
         self._misses = 0
@@ -110,6 +116,8 @@ class BufferPool:
         self._m_writeback = reg.counter("bufferpool.writeback")
         self._m_resident = reg.gauge("bufferpool.resident_pages")
         self._m_quarantine = reg.gauge("bufferpool.quarantined_pages")
+        self._m_batch_requests = reg.counter("bufferpool.batch.requests")
+        self._m_batch_distinct = reg.counter("bufferpool.batch.distinct")
         self._m_detected = reg.counter("faults.detected")
         self._m_recovered = reg.counter("faults.recovered")
         self._m_unrecoverable = reg.counter("faults.unrecoverable")
@@ -168,12 +176,20 @@ class BufferPool:
 
         By default only the *local* counters (``hits``/``misses``/
         ``evictions``, what :attr:`hit_rate` reads) are zeroed; the shared
-        ``bufferpool.*`` obs counters keep accumulating so a run-wide
-        metrics snapshot still sums every phase.  Pass ``reset_obs=True``
-        to zero those too — e.g. when ``format_report`` rows should agree
-        with :attr:`hit_rate` for a single phase.  The
-        ``resident_pages`` gauge is re-synced either way (it reflects the
-        pool's current state, not a phase).
+        obs counters keep accumulating so a run-wide metrics snapshot
+        still sums every phase.  Pass ``reset_obs=True`` to zero those
+        too — e.g. when ``format_report`` rows should agree with
+        :attr:`hit_rate` for a single phase.
+
+        Contract: ``reset_obs=True`` resets **every** counter this pool
+        increments — the ``bufferpool.*`` family (including the
+        ``bufferpool.batch.*`` batching counters) *and* the ``faults.*``
+        family (detected/recovered/unrecoverable/retries) the pool bumps
+        on its integrity path.  Note that registry counters are shared by
+        name: another component writing the same ``faults.*`` names (e.g.
+        a second pool on the same registry) sees its contributions zeroed
+        as well.  The ``resident_pages`` gauge is re-synced either way
+        (it reflects the pool's current state, not a phase).
         """
         self._hits = 0
         self._misses = 0
@@ -183,6 +199,12 @@ class BufferPool:
             self._m_miss.reset()
             self._m_eviction.reset()
             self._m_writeback.reset()
+            self._m_batch_requests.reset()
+            self._m_batch_distinct.reset()
+            self._m_detected.reset()
+            self._m_recovered.reset()
+            self._m_unrecoverable.reset()
+            self._m_retries.reset()
         self._m_resident.set(len(self._frames))
 
     # -- page lifecycle ------------------------------------------------------
@@ -258,6 +280,55 @@ class BufferPool:
         else:
             self.unpin(page_id, dirty=dirty)
 
+    def fetch_many(self, page_ids: Iterable[int]) -> dict[int, SlottedPage]:
+        """Pin a batch of pages, each **distinct** page exactly once.
+
+        This is the batched-read fast path: callers with a multi-key
+        operation (RID batch scan, shared-descent index probe, workload
+        replay) hand over every page they will touch and the pool
+
+        * dedupes the request list, so a page asked for ``k`` times is
+          pinned (and charged) once instead of ``k`` times, and
+        * fetches misses in ascending page order, so disk access is
+          sequential-friendly instead of probe-ordered.
+
+        Returns ``page_id -> SlottedPage`` for the distinct pages.  Each
+        page carries one pin; release with :meth:`unpin` per page or use
+        :meth:`pages_many`.  On any fetch error the pins already taken
+        are released before the error propagates, so failed batches never
+        leak pins.
+        """
+        ids = list(page_ids)
+        distinct = sorted(set(ids))
+        pages: dict[int, SlottedPage] = {}
+        try:
+            for page_id in distinct:
+                pages[page_id] = self.fetch(page_id)
+        except BaseException:
+            for page_id in pages:
+                self.unpin(page_id)
+            raise
+        self._m_batch_requests.inc(len(ids))
+        self._m_batch_distinct.inc(len(distinct))
+        return pages
+
+    @contextmanager
+    def pages_many(
+        self, page_ids: Iterable[int]
+    ) -> Iterator[dict[int, SlottedPage]]:
+        """Pin a batch for the duration of a ``with`` block (read path).
+
+        All pages are unpinned **clean** on exit: the batched read path
+        never dirties pages (cache fills deliberately don't dirty — see
+        the module docstring), and writers use :meth:`page` per page.
+        """
+        pages = self.fetch_many(page_ids)
+        try:
+            yield pages
+        finally:
+            for page_id in pages:
+                self.unpin(page_id)
+
     def is_resident(self, page_id: int) -> bool:
         """True if the page currently occupies a frame (no cost charged)."""
         return page_id in self._frames
@@ -288,6 +359,7 @@ class BufferPool:
             if frame.pin_count == 0:
                 self.flush(page_id)
                 del self._frames[page_id]
+                self._ring_remove(page_id)
         self._m_resident.set(len(self._frames))
 
     # -- quarantine ----------------------------------------------------------
@@ -302,7 +374,8 @@ class BufferPool:
         frame = self._frames.get(page_id)
         if frame is not None and frame.pin_count > 0:
             raise BufferPoolError(f"cannot quarantine pinned page {page_id}")
-        self._frames.pop(page_id, None)
+        if self._frames.pop(page_id, None) is not None:
+            self._ring_remove(page_id)
         self._quarantined.add(page_id)
         self._expected_crc.pop(page_id, None)
         self._m_resident.set(len(self._frames))
@@ -416,8 +489,32 @@ class BufferPool:
             self._evict_one()
         frame = _Frame(page_id=page_id, data=data)
         self._frames[page_id] = frame
+        if self._policy is EvictionPolicy.CLOCK:
+            # New pages join the ring at the tail: the hand reaches them
+            # only after sweeping every older resident once.
+            self._clock_ring.append(page_id)
         self._m_resident.set(len(self._frames))
         return frame
+
+    def _ring_remove(self, page_id: int) -> None:
+        """Drop a page from the CLOCK ring, keeping the hand anchored.
+
+        If the removed page sat before the hand, the hand shifts down so
+        it still points at the same *page*; if the hand pointed at the
+        removed page itself (the just-picked victim), it now points at
+        the victim's successor — exactly where the next sweep resumes.
+        """
+        if self._policy is not EvictionPolicy.CLOCK:
+            return
+        try:
+            idx = self._clock_ring.index(page_id)
+        except ValueError:  # pragma: no cover - ring tracks frames exactly
+            return
+        self._clock_ring.pop(idx)
+        if idx < self._clock_hand:
+            self._clock_hand -= 1
+        if self._clock_hand >= len(self._clock_ring):
+            self._clock_hand = 0
 
     def _touch(self, frame: _Frame) -> None:
         if self._policy is EvictionPolicy.LRU:
@@ -434,6 +531,7 @@ class BufferPool:
         if frame.dirty:
             self._write_back(frame)
         del self._frames[victim]
+        self._ring_remove(victim)
         self._evictions += 1
         self._m_eviction.inc()
         self._m_resident.set(len(self._frames))
@@ -445,18 +543,23 @@ class BufferPool:
         raise BufferPoolError("all frames pinned; cannot evict")
 
     def _pick_clock_victim(self) -> int:
-        page_ids = list(self._frames)
-        n = len(page_ids)
+        ring = self._clock_ring
+        n = len(ring)
         # Two sweeps: the first clears reference bits, the second must find
         # an unreferenced, unpinned frame if any frame is unpinned at all.
+        # The hand is left ON the victim; its removal from the ring then
+        # re-anchors the hand to the victim's successor (``_ring_remove``).
         for _ in range(2 * n):
-            page_id = page_ids[self._clock_hand % n]
-            self._clock_hand += 1
+            if self._clock_hand >= n:
+                self._clock_hand = 0
+            page_id = ring[self._clock_hand]
             frame = self._frames[page_id]
             if frame.pin_count > 0:
+                self._clock_hand += 1
                 continue
             if frame.referenced:
                 frame.referenced = False
+                self._clock_hand += 1
                 continue
             return page_id
         raise BufferPoolError("all frames pinned; cannot evict")

@@ -118,6 +118,38 @@ class HeapFile:
         with self._pool.page(rid.page_id) as page:
             return page.read(rid.slot)
 
+    def fetch_many(self, rids: list[Rid]) -> dict[Rid, bytes]:
+        """Read a batch of records, pinning each heap page once.
+
+        The page-ordered RID batch scan of the batched read path: RIDs
+        are grouped by page through :meth:`BufferPool.fetch_many` (which
+        dedupes and sorts), so ``k`` records on one page cost one pool
+        access instead of ``k``.  Duplicate RIDs are fine.  Returns
+        ``rid -> record bytes`` for every requested RID.
+
+        Batches touching more distinct pages than the pool can pin at
+        once are split into page-ordered chunks of at most half the pool
+        capacity, so an arbitrarily large batch never deadlocks eviction
+        (and each page is still pinned exactly once overall).
+        """
+        for rid in rids:
+            self._check_owned(rid)
+        by_page: dict[int, list[Rid]] = {}
+        for rid in rids:
+            by_page.setdefault(rid.page_id, []).append(rid)
+        out: dict[Rid, bytes] = {}
+        ordered = sorted(by_page)
+        chunk = max(1, self._pool.capacity // 2)
+        for i in range(0, len(ordered), chunk):
+            page_ids = ordered[i:i + chunk]
+            with self._pool.pages_many(page_ids) as pages:
+                for page_id in page_ids:
+                    page = pages[page_id]
+                    for rid in by_page[page_id]:
+                        if rid not in out:
+                            out[rid] = page.read(rid.slot)
+        return out
+
     def update(self, rid: Rid, data: bytes) -> None:
         """Overwrite the record at ``rid`` in place (same length)."""
         self._check_owned(rid)

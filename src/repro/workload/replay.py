@@ -43,21 +43,54 @@ def replay(
     operations: Iterable[Operation],
     project: tuple[str, ...] | None = None,
     stop_on_error: bool = True,
+    lookup_batch_size: int = 1,
 ) -> ReplayResult:
     """Apply a trace to ``table`` through ``index_name``.
 
     LOOKUP uses ``op.key``; INSERT needs ``op.row``; UPDATE needs
     ``op.key`` and ``op.changes``; DELETE needs ``op.key``.  Errors either
     raise (default) or are collected in the result.
+
+    ``lookup_batch_size > 1`` turns on the batched read fast path: runs
+    of *consecutive* LOOKUP operations are grouped and issued through
+    :meth:`~repro.query.table.Table.lookup_many` (up to that many per
+    call).  Any write operation flushes the pending batch first, so the
+    replay observes exactly the per-op results and ordering of the
+    scalar path — only the physical access pattern changes.
     """
+    if lookup_batch_size < 1:
+        raise WorkloadError("lookup_batch_size must be >= 1")
     result = ReplayResult()
+    pending: list[Operation] = []
+
+    def flush() -> None:
+        if not pending:
+            return
+        batch, pending[:] = list(pending), []
+        try:
+            found = table.lookup_many(
+                index_name, [op.key for op in batch], project
+            )
+            result.lookups_found += sum(1 for r in found if r.found)
+        except Exception as exc:
+            if stop_on_error:
+                raise
+            result.errors.append(f"lookup_batch(×{len(batch)}): {exc}")
+
     for op in operations:
         try:
             if op.kind is OpKind.LOOKUP:
                 result.lookups += 1
+                if lookup_batch_size > 1:
+                    pending.append(op)
+                    if len(pending) >= lookup_batch_size:
+                        flush()
+                    continue
                 if table.lookup(index_name, op.key, project).found:
                     result.lookups_found += 1
-            elif op.kind is OpKind.INSERT:
+                continue
+            flush()
+            if op.kind is OpKind.INSERT:
                 if op.row is None:
                     raise WorkloadError("INSERT operation without a row")
                 table.insert(op.row)
@@ -76,6 +109,7 @@ def replay(
             if stop_on_error:
                 raise
             result.errors.append(f"{op.kind.value}({op.key!r}): {exc}")
+    flush()
     return result
 
 

@@ -91,3 +91,27 @@ def test_decay_validation():
         AccessTracker(decay=0.0)
     with pytest.raises(WorkloadError):
         AccessTracker(decay=1.5)
+
+
+def test_hot_set_nonzero_fraction_never_empty():
+    """ceil semantics: any nonzero fraction of a nonempty tracker yields
+    at least one key (banker's round() used to return [] for 1 key at
+    fraction 0.5, so clustering passes silently moved nothing)."""
+    t = AccessTracker()
+    t.record("only")
+    assert t.hot_set(0.5) == ["only"]
+    assert t.hot_set(0.01) == ["only"]
+    assert t.hot_set(0.0) == []
+
+
+def test_hot_set_rounds_up_not_bankers():
+    t = AccessTracker()
+    for i in range(5):
+        for _ in range(5 - i):
+            t.record(i)
+    # 5 * 0.5 = 2.5 -> ceil -> 3 (round() would give banker's 2).
+    assert t.hot_set(0.5) == [0, 1, 2]
+    # 5 * 0.3 = 1.5 -> ceil -> 2 (round() would give banker's 2 too,
+    # but 5 * 0.1 = 0.5 -> ceil -> 1 where round() gave 0).
+    assert t.hot_set(0.1) == [0]
+    assert len(t.hot_set(1.0)) == 5

@@ -8,8 +8,53 @@ def test_note_and_find():
     fsm.note(1, 100)
     fsm.note(2, 50)
     assert fsm.find_page_with(60) == 1
-    assert fsm.find_page_with(40) == 1  # first fit, insertion order
+    # Approximate best fit: the smallest sufficient bucket wins, so the
+    # 50-byte page (bucket [32, 63]) beats the 100-byte one for need=40.
+    assert fsm.find_page_with(40) == 2
     assert fsm.find_page_with(200) is None
+
+
+def test_best_fit_prefers_smaller_bucket_insertion_order_within():
+    fsm = FreeSpaceMap()
+    fsm.note(1, 4000)
+    fsm.note(2, 70)
+    fsm.note(3, 90)  # same bucket as page 2: [64, 127]
+    assert fsm.find_page_with(65) == 2  # insertion order within the bucket
+    assert fsm.find_page_with(80) == 3  # page 2 too small, checked per-page
+    assert fsm.find_page_with(128) == 1
+
+
+def test_boundary_bucket_members_checked_individually():
+    fsm = FreeSpaceMap()
+    fsm.note(1, 33)  # bucket [32, 63], below need
+    assert fsm.find_page_with(40) is None
+    fsm.note(2, 63)  # same bucket, qualifies
+    assert fsm.find_page_with(40) == 2
+
+
+def test_bucket_moves_track_note_updates():
+    fsm = FreeSpaceMap()
+    fsm.note(1, 100)
+    fsm.note(1, 10)  # moved to a lower bucket
+    assert fsm.find_page_with(50) is None
+    assert fsm.find_page_with(9) == 1
+    fsm.note(1, 3000)  # moved back up
+    assert fsm.find_page_with(2000) == 1
+
+
+def test_matches_linear_scan_reference():
+    """The bucketed search finds a page iff a linear scan would."""
+    fsm = FreeSpaceMap()
+    sizes = {i: (i * 37) % 501 for i in range(200)}
+    for page_id, free in sizes.items():
+        fsm.note(page_id, free)
+    for need in (1, 2, 10, 100, 250, 499, 500, 501):
+        got = fsm.find_page_with(need)
+        expect_any = any(free >= need for free in sizes.values())
+        if expect_any:
+            assert got is not None and sizes[got] >= need
+        else:
+            assert got is None
 
 
 def test_note_overwrites():

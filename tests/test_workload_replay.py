@@ -99,3 +99,34 @@ def test_build_mixed_trace_validation():
             10, [1], lambda k: {}, lambda k: {}, lambda i: i,
             lookup_frac=0.9, update_frac=0.2,
         )
+
+
+def test_replay_lookup_batching_matches_scalar():
+    """lookup_batch_size groups consecutive LOOKUPs through lookup_many
+    without changing any observable result."""
+    def run(batch_size):
+        table = build_table()
+        ops = build_mixed_trace(
+            600, list(range(50)),
+            make_row=lambda k: {"id": k, "name": "new", "score": 0},
+            make_changes=lambda k: {"score": 9},
+            next_key=lambda i: 1000 + i,
+            seed=4,
+        )
+        result = replay(table, "pk", ops, lookup_batch_size=batch_size)
+        state = sorted(tuple(sorted(r.items())) for r in table.scan())
+        return result, state
+
+    scalar_result, scalar_state = run(1)
+    batched_result, batched_state = run(16)
+    assert batched_result.lookups == scalar_result.lookups
+    assert batched_result.lookups_found == scalar_result.lookups_found
+    assert batched_result.updates_applied == scalar_result.updates_applied
+    assert batched_result.deletes_applied == scalar_result.deletes_applied
+    assert batched_state == scalar_state
+
+
+def test_replay_lookup_batch_size_validation():
+    table = build_table()
+    with pytest.raises(WorkloadError):
+        replay(table, "pk", [], lookup_batch_size=0)
