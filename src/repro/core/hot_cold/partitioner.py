@@ -76,6 +76,8 @@ class HotColdPartitionedTable:
         hot: Partition,
         cold: Partition,
         forwarding: ForwardingTable | None = None,
+        wal=None,
+        wal_label: str = "hot_cold",
     ) -> None:
         if hot.tree.value_size != RID_SIZE or cold.tree.value_size != RID_SIZE:
             raise QueryError("partition indexes must be RID-valued")
@@ -87,6 +89,12 @@ class HotColdPartitionedTable:
         self._hot = hot
         self._cold = cold
         self._forwarding = forwarding
+        # Optional WalWriter (duck-typed).  Partition heaps are not
+        # catalog tables, so moves are logged as HOT_COLD_MOVE markers —
+        # a forensic trail of src→dst relocations that replay skips (it
+        # is not a heap-op kind), not a redo obligation.
+        self._wal = wal
+        self._wal_label = wal_label
         self.hot_lookups = 0
         self.cold_lookups = 0
         self.demotions = 0
@@ -294,4 +302,6 @@ class HotColdPartitionedTable:
         src.heap.delete(old_rid)
         if self._forwarding is not None:
             self._forwarding.record_move(old_rid, new_rid)
+        if self._wal is not None:
+            self._wal.log_hot_cold_move(self._wal_label, old_rid, new_rid)
         return True

@@ -75,6 +75,30 @@ class CorruptPageError(StorageError):
         self.page_id = page_id
 
 
+class WalError(StorageError):
+    """Write-ahead-log protocol violation or unreplayable log contents.
+
+    Raised by :mod:`repro.wal` for malformed records handed to the
+    writer, and by the replayer when a structurally valid log cannot be
+    applied (e.g. a redo record that does not fit its page even after
+    compaction).  Torn or bit-flipped log *tails* are NOT errors: the
+    replayer detects them via CRC framing and truncates cleanly.
+    """
+
+
+class SimulatedCrashError(StorageError):
+    """The simulated machine lost power mid-I/O.
+
+    Raised by a :class:`~repro.faults.disk.FaultyDisk` when a
+    ``CRASH_POINT`` fault fires (the page write is torn first, exactly
+    as a real power cut leaves it) and by a
+    :class:`~repro.wal.log.WalDevice` when an append runs past an armed
+    crash byte.  Unlike :class:`TransientIOError` this must never be
+    retried: the process is "dead" — harnesses catch it, throw away all
+    in-memory state, and restart from disk + WAL.
+    """
+
+
 class FaultPlanError(StorageError):
     """Malformed fault specification or plan in :mod:`repro.faults`."""
 

@@ -32,6 +32,7 @@ from repro.experiments import (
     fig3,
     fill_factor,
     headline,
+    wal,
 )
 from repro.obs import MetricsRegistry, derived_rates, use_registry
 
@@ -46,6 +47,7 @@ _DRIVERS = {
     "headline": headline.main,
     "ablations": ablations.main,
     "batched": batched.main,
+    "wal": wal.main,
 }
 
 DEFAULT_JSON_PATH = "experiments_metrics.json"

@@ -11,7 +11,7 @@ freshness validation.
 
 from __future__ import annotations
 
-from repro.errors import TransientIOError
+from repro.errors import SimulatedCrashError, TransientIOError
 from repro.faults.injector import FaultInjector, FiredFault
 from repro.faults.plan import FaultKind
 from repro.storage.disk import SimulatedDisk
@@ -55,10 +55,25 @@ class FaultyDisk(SimulatedDisk):
                 raise TransientIOError(
                     f"injected transient write of page {page_id}"
                 )
+        crash: FiredFault | None = None
         stored = bytes(data)
         for fault in faults:
+            if fault.kind is FaultKind.CRASH_POINT:
+                # Power cut mid-write: the sector prefix lands, the rest
+                # keeps the old bytes, and then the machine dies.  The
+                # torn page is applied *before* raising so what a
+                # restart finds on disk is exactly what the cut left.
+                crash = fault
+                old = self.peek(page_id)
+                stored = stored[: fault.tear_at] + old[fault.tear_at :]
+                continue
             stored = self._apply_at_rest(page_id, stored, fault)
         super().write_page(page_id, stored)
+        if crash is not None:
+            raise SimulatedCrashError(
+                f"power cut during write of page {page_id} "
+                f"(torn at byte {crash.tear_at})"
+            )
 
     def _apply_at_rest(self, page_id: int, new: bytes, fault: FiredFault) -> bytes:
         if fault.kind is FaultKind.WRITE_BIT_FLIP:

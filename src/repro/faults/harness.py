@@ -1,19 +1,28 @@
 """The end-to-end fault drill: a Wikipedia workload replayed under fire.
 
 ``run_fault_drill`` builds a :class:`~repro.query.database.Database` on a
-:class:`~repro.faults.disk.FaultyDisk`, loads the synthetic Wikipedia
-revision table with a §2.1 cached index, arms a mixed fault plan
-(transient read/write errors and read bit flips anywhere; at-rest
-corruption — write bit flips, torn writes, stuck writes — aimed at index
-pages, which are rebuildable), and replays a mixed
+:class:`~repro.faults.disk.FaultyDisk` with a write-ahead log, loads the
+synthetic Wikipedia revision table with a §2.1 cached index, arms a mixed
+fault plan (transient read/write errors and read bit flips anywhere;
+at-rest corruption — write bit flips, torn writes, stuck writes — aimed
+at index pages, plus bit flips and torn writes aimed at *heap* pages,
+which the WAL makes redo-recoverable), and replays a mixed
 lookup/update/insert/delete workload through the
 :class:`~repro.faults.recovery.RecoveryManager`.
 
-Every operation's outcome is verified against an in-memory mirror of the
-table, so the drill's headline number — ``wrong_results`` — is literal:
-how many times the engine returned an answer that differed from ground
-truth.  With checksums, retry, and self-healing on, the expected value is
-zero no matter how many faults were injected.
+On top of the per-I/O faults the drill now pulls the power: at scheduled
+points a :data:`~repro.faults.plan.FaultKind.CRASH_POINT` tears whatever
+page is mid-write, all in-memory state is discarded, and the database is
+restarted with :func:`repro.wal.replay.recover`.  The ground-truth mirror
+is rebuilt *independently* by folding the durable log records, so the
+drill verifies both crash-consistency directions: every durable write
+survives the restart, and nothing that missed the log resurrects.
+
+Every operation's outcome is verified against the mirror, so the drill's
+headline number — ``wrong_results`` — is literal: how many times the
+engine returned an answer that differed from ground truth.  With
+checksums, retry, self-healing, and WAL replay on, the expected value is
+zero no matter how many faults were injected or restarts forced.
 
 This module imports ``repro.query`` and ``repro.workload``; it is kept
 out of ``repro.faults.__init__`` to avoid an import cycle — reach it as
@@ -25,12 +34,16 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass, field
 
+from repro.errors import SimulatedCrashError
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.faults.recovery import RecoveryManager
 from repro.obs.registry import MetricsRegistry
 from repro.query.database import Database
+from repro.schema.record import unpack_record_map
 from repro.storage.retry import RetryPolicy
 from repro.util.rng import DeterministicRng
+from repro.wal.record import HEAP_OP_TYPES, RecordType, scan_wal
 from repro.workload.wikipedia import REVISION_SCHEMA, WikipediaConfig, generate
 
 #: Fields the drill's cached index keeps in leaf free space; lookups
@@ -57,6 +70,12 @@ class DrillReport:
     check_problems: list[str] = field(default_factory=list)
     digest: str = ""
     metrics: dict = field(default_factory=dict)
+    #: Heap pages materialized from WAL history (runtime heals + replay).
+    heap_page_rebuilds: int = 0
+    #: Power cuts survived via :func:`repro.wal.replay.recover`.
+    crash_restarts: int = 0
+    #: Redo records the WAL writer emitted over the whole drill.
+    wal_records: int = 0
 
     @property
     def ledger_balanced(self) -> bool:
@@ -77,6 +96,9 @@ class DrillReport:
             f"{self.faults_detected} detected = {self.faults_recovered} "
             f"recovered + {self.faults_unrecoverable} unrecoverable, "
             f"{self.retries} retries, {self.index_rebuilds} index rebuild(s), "
+            f"{self.heap_page_rebuilds} heap page(s) redo-recovered, "
+            f"{self.crash_restarts} crash restart(s), "
+            f"{self.wal_records} WAL record(s), "
             f"{self.quarantined_pages} page(s) quarantined, "
             f"{self.wrong_results} wrong result(s), "
             f"check={'OK' if self.check_ok else 'FAILED'}, "
@@ -84,15 +106,19 @@ class DrillReport:
         )
 
 
-def default_plan(is_index_page) -> FaultPlan:
+def default_plan(is_index_page, is_heap_page=None) -> FaultPlan:
     """The drill's standard mix.
 
-    At-rest corruption is aimed at index pages only: the drill proves
-    *recovery*, and in an engine without a WAL a corrupted heap page is
-    honest data loss, not something to paper over.  Transient faults and
-    read-path flips hit everything — they heal by retry/re-read.
+    Transient faults and read-path flips hit everything — they heal by
+    retry/re-read.  At-rest corruption aimed at index pages heals by
+    rebuild-from-heap.  When ``is_heap_page`` is given (a WAL is
+    attached), bit flips and torn writes are aimed at heap pages too:
+    their full history is in the log, so they heal by redo.  Stuck
+    writes stay index-only — a heap page that keeps its old, internally
+    valid bytes is only caught by the pool's freshness memory, which a
+    restart legitimately loses.
     """
-    return FaultPlan.of(
+    specs = [
         FaultSpec(FaultKind.TRANSIENT_READ_ERROR, probability=0.02),
         FaultSpec(FaultKind.TRANSIENT_WRITE_ERROR, probability=0.02),
         FaultSpec(FaultKind.READ_BIT_FLIP, probability=0.02),
@@ -101,7 +127,40 @@ def default_plan(is_index_page) -> FaultPlan:
         ),
         FaultSpec(FaultKind.TORN_WRITE, probability=0.02, page_filter=is_index_page),
         FaultSpec(FaultKind.STUCK_WRITE, probability=0.02, page_filter=is_index_page),
-    )
+    ]
+    if is_heap_page is not None:
+        specs += [
+            FaultSpec(
+                FaultKind.WRITE_BIT_FLIP, probability=0.01, page_filter=is_heap_page
+            ),
+            FaultSpec(
+                FaultKind.TORN_WRITE, probability=0.01, page_filter=is_heap_page
+            ),
+        ]
+    return FaultPlan.of(*specs)
+
+
+def _mirror_from_wal(records) -> dict[int, dict[str, object]]:
+    """Fold durable heap records into ``rev_id -> row`` ground truth.
+
+    Independent of the engine's replay: this is the *definition* of what
+    a crash may keep — exactly the operations whose records reached the
+    device — against which the restarted database is then verified.
+    """
+    by_rid: dict[tuple[int, int], bytes] = {}
+    for rec in records:
+        if rec.rtype not in HEAP_OP_TYPES:
+            continue
+        rid = (rec.page_id, rec.slot)
+        if rec.rtype is RecordType.DELETE:
+            by_rid.pop(rid, None)
+        else:
+            by_rid[rid] = rec.payload
+    mirror: dict[int, dict[str, object]] = {}
+    for payload in by_rid.values():
+        row = unpack_record_map(REVISION_SCHEMA, payload)
+        mirror[row["rev_id"]] = row
+    return mirror
 
 
 def run_fault_drill(
@@ -111,12 +170,19 @@ def run_fault_drill(
     n_ops: int = 3_000,
     pool_pages: int = 16,
     plan: FaultPlan | None = None,
+    wal: bool = True,
+    crash_restarts: int = 2,
+    checkpoint_every: int = 1_000,
 ) -> DrillReport:
     """Replay a mixed Wikipedia-revision workload under injected faults.
 
     Deterministic end to end: the same arguments produce the same faults,
-    the same recoveries, and the same report digest, bit for bit.
+    the same recoveries, the same restarts, and the same report digest,
+    bit for bit.  ``wal=False`` reverts to the PR-2 drill (no durability,
+    no heap-targeted faults, no restarts).
     """
+    from repro.wal.replay import recover  # late: harness ← query ← wal
+
     metrics = MetricsRegistry()
     injector = FaultInjector(seed=seed, registry=metrics)
     db = Database(
@@ -127,6 +193,7 @@ def run_fault_drill(
         # Three corrective re-reads: at a 2% read-flip rate, one re-read
         # would misdiagnose back-to-back flips as at-rest corruption.
         retry_policy=RetryPolicy(corrupt_rereads=3),
+        wal=bool(wal),
     )
     table = db.create_table("revision", REVISION_SCHEMA)
     index = db.create_cached_index(
@@ -144,14 +211,25 @@ def run_fault_drill(
         mirror[row["rev_id"]] = dict(row)
 
     def is_index_page(page_id: int) -> bool:
-        tree = index.tree  # re-read: rebuilds swap the tree out
+        tree = index.tree  # re-read: rebuilds/restarts swap the tree out
         return page_id in tree._leaf_ids or page_id in tree._internal_ids
 
-    injector.arm(plan if plan is not None else default_plan(is_index_page))
+    def is_heap_page(page_id: int) -> bool:
+        return table.heap.owns_page(page_id)  # re-read: restarts swap it
+
+    if plan is not None:
+        drill_plan = plan
+    else:
+        drill_plan = default_plan(
+            is_index_page, is_heap_page if wal else None
+        )
+    injector.arm(drill_plan)
 
     rng = DeterministicRng(seed)
     keys = sorted(mirror)
     wrong = 0
+    restarts_done = 0
+    quarantined_total = 0
     next_rev_id = max(keys) + 1
     template = dict(data.revision_rows[0])
 
@@ -174,7 +252,51 @@ def run_fault_drill(
         )
         return sum(check_result(k, r) for k, r in zip(batch, results))
 
-    for _ in range(n_ops):
+    def restart() -> None:
+        """Pull the power mid-write-back, then recover from disk + WAL."""
+        nonlocal db, table, index, next_rev_id, restarts_done, quarantined_total
+        quarantined_total += len(
+            db.data_pool.quarantined_pages | db.index_pool.quarantined_pages
+        )
+        injector.arm(FaultPlan.of(FaultSpec(FaultKind.CRASH_POINT, at_nth=1)))
+        try:
+            db.data_pool.flush_all()
+            db.index_pool.flush_all()
+        except SimulatedCrashError:
+            pass  # the power cut we ordered; RAM is gone either way
+        injector.disarm()
+        db, _report = recover(
+            db.wal,
+            disk=db.disk,
+            data_pool_pages=pool_pages,
+            seed=seed,
+            metrics=metrics,
+            retry_policy=RetryPolicy(corrupt_rereads=3),
+        )
+        table = db.table("revision")
+        index = table.index("rev_pk")
+        # Ground truth = the durable log, folded independently of the
+        # engine's own replay.  Keys ever seen stay probed: a key whose
+        # insert missed the log must now look up as absent.
+        durable = _mirror_from_wal(scan_wal(db.wal.device.data).records)
+        mirror.clear()
+        mirror.update(durable)
+        keys[:] = sorted(set(keys) | set(mirror))
+        if keys:
+            next_rev_id = max(next_rev_id, keys[-1] + 1)
+        restarts_done += 1
+        injector.arm(drill_plan)
+
+    crash_ops = frozenset(
+        round(n_ops * (j + 1) / (crash_restarts + 1))
+        for j in range(crash_restarts if wal else 0)
+    )
+
+    for op_i in range(n_ops):
+        if op_i in crash_ops:
+            restart()
+        if wal and checkpoint_every and op_i and op_i % checkpoint_every == 0:
+            db.checkpoint()
         draw = rng.random()
         key = keys[rng.randrange(len(keys))]
         if draw < 0.15:
@@ -234,9 +356,23 @@ def run_fault_drill(
                   fault.tear_at)).encode()
         )
 
+    if wal:
+        # Cached lookups can answer without the heap, so a heap page
+        # corrupted at rest may still be undetected; a full scan through
+        # a wide-budget healer redo-recovers any stragglers before the
+        # invariant walk (which reports, rather than heals, corruption).
+        sweeper = RecoveryManager(db, max_heals=256, registry=metrics)
+        sweeper.call(lambda: sum(1 for _ in table.scan()))
+
     check = db.check()
     snapshot = metrics.snapshot()
     faults = snapshot.get("faults", {})
+    recovery = snapshot.get("recovery", {})
+    wal_stats = snapshot.get("wal", {})
+    replay_stats = wal_stats.get("replay", {})
+    # Everything in the report is bit-for-bit reproducible; replay wall
+    # time is the one wall-clock instrument, so it stays out.
+    replay_stats.pop("ns", None)
     return DrillReport(
         seed=seed,
         operations=n_ops,
@@ -246,12 +382,16 @@ def run_fault_drill(
         faults_recovered=faults.get("recovered", 0),
         faults_unrecoverable=faults.get("unrecoverable", 0),
         retries=faults.get("retries", 0),
-        index_rebuilds=db.recovery.heals,
-        quarantined_pages=len(
+        index_rebuilds=recovery.get("index_rebuilds", 0),
+        quarantined_pages=quarantined_total + len(
             db.data_pool.quarantined_pages | db.index_pool.quarantined_pages
         ),
         check_ok=check.ok,
         check_problems=list(check.problems),
         digest=digest.hexdigest(),
         metrics=snapshot,
+        heap_page_rebuilds=recovery.get("heap_page_rebuilds", 0)
+        + replay_stats.get("page_rebuilds", 0),
+        crash_restarts=restarts_done,
+        wal_records=wal_stats.get("records", 0),
     )

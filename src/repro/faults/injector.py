@@ -132,7 +132,7 @@ class FaultInjector:
         tear_at = None
         if kind in (FaultKind.READ_BIT_FLIP, FaultKind.WRITE_BIT_FLIP):
             bit = self._rng.randrange(self._page_size * 8)
-        elif kind is FaultKind.TORN_WRITE:
+        elif kind in (FaultKind.TORN_WRITE, FaultKind.CRASH_POINT):
             sectors = max(1, self._page_size // SECTOR_SIZE)
             # At least one sector makes it, at least one doesn't (else the
             # write would be complete or fully stuck, not torn).

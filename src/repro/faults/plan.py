@@ -43,6 +43,12 @@ class FaultKind(Enum):
     #: its old (internally valid) checksum — only the freshness check
     #: can catch it.
     STUCK_WRITE = "stuck_write"
+    #: Power cut mid-write: the page is torn exactly like
+    #: :attr:`TORN_WRITE`, then the "machine dies" —
+    #: :class:`~repro.errors.SimulatedCrashError` propagates and must
+    #: never be retried.  Harnesses discard all in-memory state and
+    #: restart via WAL replay (:func:`repro.wal.replay.recover`).
+    CRASH_POINT = "crash_point"
 
 
 _READ_KINDS = frozenset({FaultKind.TRANSIENT_READ_ERROR, FaultKind.READ_BIT_FLIP})
@@ -52,6 +58,7 @@ _WRITE_KINDS = frozenset(
         FaultKind.WRITE_BIT_FLIP,
         FaultKind.TORN_WRITE,
         FaultKind.STUCK_WRITE,
+        FaultKind.CRASH_POINT,
     }
 )
 

@@ -11,9 +11,12 @@ module's job:
   scan).  Cached tuple copies ride along: the rebuilt leaves start with
   empty cache windows and the invalidation epoch is bumped, dropping the
   old cache wholesale.
-* **Heap pages are the source of truth** — nothing can reconstruct them
-  in this engine (no WAL yet), so a corrupt heap page is unrecoverable
-  and the error propagates.
+* **Heap pages are the source of truth** — but with a write-ahead log
+  attached (``Database(wal=...)``) their full history is in the log, so
+  a corrupt heap page is *redo-recovered*: its last logged state is
+  materialized from the WAL (:func:`repro.wal.replay.rebuild_heap_page`)
+  and written back over the quarantined bytes.  Without a WAL it remains
+  honest data loss and the error propagates.
 
 :class:`RecoveryManager` wraps an operation, heals on corruption, and
 retries it, keeping the ``faults.detected == faults.recovered +
@@ -46,10 +49,12 @@ class RecoveryManager:
         self._max_heals = max_heals
         self.heals = 0
         self.failed_heals = 0
+        self.heap_rebuilds = 0
         metrics = resolve_registry(registry)
         self._m_recovered = metrics.counter("faults.recovered")
         self._m_unrecoverable = metrics.counter("faults.unrecoverable")
         self._m_rebuilds = metrics.counter("recovery.index_rebuilds")
+        self._m_heap_rebuilds = metrics.counter("recovery.heap_page_rebuilds")
 
     @property
     def max_heals(self) -> int:
@@ -83,21 +88,80 @@ class RecoveryManager:
         """Try to repair the structure owning ``page_id``.
 
         Returns True (and counts ``faults.recovered``) if the owner was
-        an index and it was rebuilt from the heap; False (counting
-        ``faults.unrecoverable``) for heap pages and unowned pages.
+        an index (rebuilt from the heap) or a heap file on a database
+        with a WAL (page redone from log history); False (counting
+        ``faults.unrecoverable``) for WAL-less heap pages and unowned
+        pages.
         """
         index_entry = self._owning_index(page_id)
-        if index_entry is None:
-            self._m_unrecoverable.inc()
-            self.failed_heals += 1
-            return False
-        index_entry.index.rebuild_from_heap()
-        self._m_recovered.inc()
-        self._m_rebuilds.inc()
-        self.heals += 1
-        return True
+        if index_entry is not None:
+            while True:
+                try:
+                    index_entry.index.rebuild_from_heap()
+                    break
+                except CorruptPageError as exc:
+                    # The rebuild scans the whole heap and can trip over
+                    # a heap page corrupted at rest; redo-recover it and
+                    # resume, or give up on both pages at once.
+                    if self._recover_heap(exc.page_id):
+                        continue
+                    self._m_unrecoverable.inc()  # the heap page
+                    self._m_unrecoverable.inc()  # the aborted index heal
+                    self.failed_heals += 2
+                    return False
+            wal = getattr(self._db, "wal", None)
+            if wal is not None and getattr(index_entry.index, "cached_fields", None):
+                wal.log_index_cache_drop(index_entry.name)
+            self._m_recovered.inc()
+            self._m_rebuilds.inc()
+            self.heals += 1
+            return True
+        if self._recover_heap(page_id):
+            return True
+        self._m_unrecoverable.inc()
+        self.failed_heals += 1
+        return False
 
     # -- internals ------------------------------------------------------------
+
+    def _recover_heap(self, page_id: int) -> bool:
+        """:meth:`_heal_heap_page` plus the success-side accounting."""
+        if not self._heal_heap_page(page_id):
+            return False
+        self._m_recovered.inc()
+        self._m_heap_rebuilds.inc()
+        self.heals += 1
+        self.heap_rebuilds += 1
+        return True
+
+    def _heal_heap_page(self, page_id: int) -> bool:
+        """Redo-recover a quarantined heap page from the WAL, if possible.
+
+        The log holds the page's full change history (the log is never
+        truncated in this simulation), so folding every record touching
+        ``page_id`` reproduces its last logged state.  Changes made but
+        not yet logged cannot exist: the pool's flush-before-evict rule
+        means any state that reached the disk was logged first, and the
+        in-memory frame was discarded by quarantine.
+        """
+        wal = getattr(self._db, "wal", None)
+        if wal is None or self._owning_heap(page_id) is None:
+            return False
+        from repro.wal.record import scan_wal
+        from repro.wal.replay import rebuild_heap_page
+
+        records = scan_wal(wal.all_bytes()).records
+        data = rebuild_heap_page(records, page_id, self._db.disk.page_size)
+        self._db.data_pool.restore_page(page_id, data)
+        return True
+
+    def _owning_heap(self, page_id: int):
+        """The heap file owning ``page_id``, else None."""
+        for table_entry in self._db.catalog.tables():
+            heap = table_entry.table.heap
+            if heap.owns_page(page_id):
+                return heap
+        return None
 
     def _owning_index(self, page_id: int):
         """The catalog index entry whose tree owns ``page_id``, else None."""

@@ -37,6 +37,7 @@ from repro.storage.constants import DEFAULT_PAGE_SIZE
 from repro.storage.disk import SimulatedDisk
 from repro.storage.heap import HeapFile, RID_SIZE
 from repro.util.rng import DeterministicRng
+from repro.wal.log import index_meta, table_meta
 
 
 class Database:
@@ -54,6 +55,9 @@ class Database:
         fault_injector: "FaultInjector | None" = None,
         retry_policy: RetryPolicy | None = None,
         verify_checksums: bool = True,
+        wal: "WalWriter | bool | None" = None,
+        wal_group_commit: int = 8,
+        disk: SimulatedDisk | None = None,
     ) -> None:
         """
         Args:
@@ -78,18 +82,49 @@ class Database:
                 faults; ``None`` uses the pools' default policy.
             verify_checksums: stamp a CRC32 on every page write-back and
                 verify it on every pool miss (see ``repro.storage.page``).
+            wal: durability.  ``True`` builds a fresh
+                :class:`~repro.wal.log.WalWriter` (group commit of
+                ``wal_group_commit`` records); a writer instance attaches
+                as-is (how recovery hands a survived log back in);
+                ``None``/``False`` runs without a WAL, as before.
+            wal_group_commit: records per group-commit batch when
+                ``wal=True``.
+            disk: attach an existing disk instead of creating one — the
+                crash-restart path, where the "hardware" (disk + WAL
+                device) survives and only RAM is lost.  Mutually
+                exclusive with ``fault_injector`` (pass a ready
+                :class:`~repro.faults.disk.FaultyDisk` instead).
         """
         if metrics is None:
             ambient = get_default_registry()
             metrics = ambient if ambient is not NULL_REGISTRY else MetricsRegistry()
         self._metrics = metrics
         self._fault_injector = fault_injector
-        if fault_injector is not None:
+        if disk is not None:
+            if fault_injector is not None:
+                raise QueryError(
+                    "pass either an existing disk or a fault_injector, not both"
+                )
+            if disk.page_size != page_size:
+                raise QueryError(
+                    f"attached disk has page_size {disk.page_size}, "
+                    f"database wants {page_size}"
+                )
+            self._disk = disk
+            self._fault_injector = getattr(disk, "injector", None)
+        elif fault_injector is not None:
             from repro.faults.disk import FaultyDisk
 
-            self._disk: SimulatedDisk = FaultyDisk(page_size, fault_injector)
+            self._disk = FaultyDisk(page_size, fault_injector)
         else:
             self._disk = SimulatedDisk(page_size)
+        if wal is True:
+            from repro.wal.log import WalWriter
+
+            wal = WalWriter(
+                registry=metrics, group_commit_records=wal_group_commit
+            )
+        self._wal = wal or None
         # The cost model only accumulates simulated nanoseconds — never
         # consulted by the engine — so defaulting one in keeps behaviour
         # identical while giving the tracer a real clock.
@@ -100,7 +135,7 @@ class Database:
         self._data_pool = BufferPool(
             self._disk, data_pool_pages, policy=eviction, cost_hook=cost_model,
             registry=metrics, retry_policy=retry_policy,
-            verify_checksums=verify_checksums,
+            verify_checksums=verify_checksums, wal=self._wal,
         )
         if index_pool_pages is None:
             self._index_pool = self._data_pool
@@ -109,6 +144,7 @@ class Database:
                 self._disk, index_pool_pages, policy=eviction,
                 cost_hook=cost_model, registry=metrics,
                 retry_policy=retry_policy, verify_checksums=verify_checksums,
+                wal=self._wal,
             )
         self._catalog = Catalog()
         self._rng = DeterministicRng(seed)
@@ -152,6 +188,18 @@ class Database:
         return self._fault_injector
 
     @property
+    def wal(self) -> "WalWriter | None":
+        """The write-ahead log writer, when durability is on."""
+        return self._wal
+
+    def checkpoint(self) -> int:
+        """Append a fuzzy checkpoint record (see
+        :meth:`repro.wal.log.WalWriter.checkpoint`); returns its LSN."""
+        if self._wal is None:
+            raise QueryError("checkpoint requires a database built with wal=")
+        return self._wal.checkpoint(self)
+
+    @property
     def recovery(self) -> "RecoveryManager":
         """Lazily built self-healing driver for this database.
 
@@ -178,8 +226,10 @@ class Database:
     ) -> Table:
         """Create an empty table."""
         heap = HeapFile(self._data_pool, append_only=append_only)
-        table = Table(name, schema, heap, tracer=self._tracer)
+        table = Table(name, schema, heap, tracer=self._tracer, wal=self._wal)
         self._catalog.register_table(name, schema, table)
+        if self._wal is not None:
+            self._wal.log_create_table(table_meta(name, schema, heap))
         return table
 
     def create_index(
@@ -201,9 +251,11 @@ class Database:
         )
         index = PlainIndex(tree, table.heap, table.schema, key_columns)
         table.attach_index(index_name, index)
-        self._catalog.register_index(
+        entry = self._catalog.register_index(
             index_name, table_name, tuple(key_columns), index
         )
+        if self._wal is not None:
+            self._wal.log_create_index(index_meta(entry))
         return index
 
     def create_cached_index(
@@ -246,6 +298,101 @@ class Database:
             cost_model=self._cost,
             registry=self._metrics,
         )
+        table.attach_index(index_name, index)
+        entry = self._catalog.register_index(
+            index_name, table_name, tuple(key_columns), index
+        )
+        if self._wal is not None:
+            self._wal.log_create_index(index_meta(entry))
+        return index
+
+    # -- recovery DDL ------------------------------------------------------------
+    #
+    # The restore_* constructors are the WAL replayer's side door: they
+    # re-register catalog objects over *existing* data (adopted heap
+    # pages, indexes rebuilt from those heaps) and therefore skip both
+    # the empty-table restriction and DDL logging — the log already
+    # contains the original CREATE records.
+
+    def restore_table(
+        self,
+        name: str,
+        schema: Schema,
+        page_ids: list[int],
+        append_only: bool = False,
+    ) -> Table:
+        """Register a table over existing heap pages (WAL replay)."""
+        heap = HeapFile(self._data_pool, append_only=append_only)
+        heap.adopt_pages(list(page_ids))
+        table = Table(name, schema, heap, tracer=self._tracer, wal=self._wal)
+        self._catalog.register_table(name, schema, table)
+        return table
+
+    def restore_index(
+        self,
+        table_name: str,
+        index_name: str,
+        key_columns: tuple[str, ...],
+        split_fraction: float = 0.5,
+    ) -> PlainIndex:
+        """Recreate a plain index and bulk-load it from the (restored)
+        heap — indexes are derived data, never redone record-by-record."""
+        table = self.table(table_name)
+        codec = codec_for_columns(
+            [table.schema.column(c) for c in key_columns]
+        )
+        tree = BPlusTree(
+            self._index_pool, codec.size, RID_SIZE, name=index_name,
+            split_fraction=split_fraction, registry=self._metrics,
+        )
+        index = PlainIndex(tree, table.heap, table.schema, key_columns)
+        index.rebuild_from_heap()
+        table.attach_index(index_name, index)
+        self._catalog.register_index(
+            index_name, table_name, tuple(key_columns), index
+        )
+        return index
+
+    def restore_cached_index(
+        self,
+        table_name: str,
+        index_name: str,
+        key_columns: tuple[str, ...],
+        cached_fields: tuple[str, ...],
+        policy: CachePolicy | None = None,
+        invalidation_log_threshold: int = 1024,
+        latch_contention: float = 0.0,
+        split_fraction: float = 0.5,
+    ) -> CachedBTree:
+        """Recreate a §2.1 cached index from the (restored) heap.
+
+        The cache itself starts cold: cached tuple copies are the most
+        derived data of all and are simply dropped by a crash.
+        """
+        table = self.table(table_name)
+        codec = codec_for_columns(
+            [table.schema.column(c) for c in key_columns]
+        )
+        tree = BPlusTree(
+            self._index_pool, codec.size, RID_SIZE, name=index_name,
+            split_fraction=split_fraction, registry=self._metrics,
+        )
+        index = CachedBTree(
+            tree,
+            table.heap,
+            table.schema,
+            key_columns,
+            cached_fields,
+            policy=policy,
+            rng=self._rng.child(zlib.crc32(index_name.encode()) & 0xFFFF),
+            invalidation=CacheInvalidation(
+                invalidation_log_threshold, registry=self._metrics
+            ),
+            latch=LatchSimulator(latch_contention, self._rng.child(0x1A7C)),
+            cost_model=self._cost,
+            registry=self._metrics,
+        )
+        index.rebuild_from_heap()
         table.attach_index(index_name, index)
         self._catalog.register_index(
             index_name, table_name, tuple(key_columns), index

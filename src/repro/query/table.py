@@ -167,12 +167,20 @@ class Table:
         schema: Schema,
         heap: HeapFile,
         tracer: Tracer | None = None,
+        wal=None,
     ) -> None:
         self._name = name
         self._schema = schema
         self._heap = heap
         self._indexes: dict[str, AnyIndex] = {}
         self._tracer = tracer if tracer is not None else NULL_TRACER
+        #: Optional repro.wal.log.WalWriter (duck-typed to avoid the
+        #: import cycle).  When set, every heap mutation follows the
+        #: reserve-LSN / apply-with-LSN / append-record protocol, and the
+        #: failure-atomic compensation paths log their undo as ordinary
+        #: redo records so replay always lands on the state the engine
+        #: actually reached.
+        self._wal = wal
         #: Write observers (e.g. FkJoinCaches keyed on this table as the
         #: join parent) notified after every update/delete so derived
         #: caches living *outside* this table's indexes can invalidate.
@@ -243,7 +251,7 @@ class Table:
         """
         with self._tracer.span("query.insert", table=self._name):
             record = pack_record_map(self._schema, row)
-            rid = self._heap.insert(record)
+            rid = self._wal_insert(record)
             inserted: list[AnyIndex] = []
             try:
                 for index in self._indexes.values():
@@ -257,7 +265,7 @@ class Table:
                         # This index is the broken one; rebuild-from-heap
                         # will reconstruct it without the withdrawn row.
                         pass
-                self._heap.delete(rid)
+                self._wal_delete(rid)
                 raise
             return rid
 
@@ -281,7 +289,7 @@ class Table:
                 return False
             row = unpack_record_map(self._schema, self._heap.fetch(rid))
             row.update(changes)
-            self._heap.update(rid, pack_record_map(self._schema, row))
+            self._wal_update(rid, pack_record_map(self._schema, row))
             changed = set(changes)
             for index in self._indexes.values():
                 index.note_update(row, changed)
@@ -309,7 +317,7 @@ class Table:
                 for index in self._indexes.values():
                     index.delete_key(row)
                     removed.append(index)
-                self._heap.delete(rid)
+                self._wal_delete(rid)
             except BaseException:
                 for index in removed:
                     try:
@@ -376,6 +384,39 @@ class Table:
                 yield {name: row[name] for name in project}
 
     # -- internals ---------------------------------------------------------------
+
+    def _wal_insert(self, record: bytes) -> Rid:
+        """Heap insert under the WAL protocol.
+
+        The LSN is reserved *before* the heap touches any page (the
+        dirtied frame must carry it), and the redo record is appended
+        immediately after — before any other pool activity — so the
+        flush-before-evict rule can never see a stamped frame whose
+        record is not at least buffered.  A heap failure abandons the
+        LSN: gaps are legal.
+        """
+        if self._wal is None:
+            return self._heap.insert(record)
+        lsn = self._wal.reserve_lsn()
+        rid = self._heap.insert(record, lsn=lsn)
+        self._wal.log_insert(self._name, rid, record, lsn=lsn)
+        return rid
+
+    def _wal_update(self, rid: Rid, record: bytes) -> None:
+        if self._wal is None:
+            self._heap.update(rid, record)
+            return
+        lsn = self._wal.reserve_lsn()
+        self._heap.update(rid, record, lsn=lsn)
+        self._wal.log_update(self._name, rid, record, lsn=lsn)
+
+    def _wal_delete(self, rid: Rid) -> None:
+        if self._wal is None:
+            self._heap.delete(rid)
+            return
+        lsn = self._wal.reserve_lsn()
+        self._heap.delete(rid, lsn=lsn)
+        self._wal.log_delete(self._name, rid, lsn=lsn)
 
     def _find_rid(self, index_name: str, key_value: object) -> Rid | None:
         index = self.index(index_name)

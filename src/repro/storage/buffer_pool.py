@@ -70,6 +70,14 @@ class _Frame:
     pin_count: int = 0
     dirty: bool = False
     referenced: bool = True  # clock bit
+    #: Highest WAL LSN stamped on this frame (0 = no logged change).
+    #: The flush-before-evict rule: the log must be durable through
+    #: this LSN before the frame's bytes may reach disk.
+    page_lsn: int = 0
+    #: LSN of the *first* change since the frame was last clean — the
+    #: fuzzy-checkpoint ``redo_from`` contribution.  Reset when the
+    #: frame is flushed.
+    rec_lsn: int = 0
 
 
 class BufferPool:
@@ -84,10 +92,15 @@ class BufferPool:
         registry: MetricsRegistry | None = None,
         retry_policy: RetryPolicy | None = None,
         verify_checksums: bool = True,
+        wal=None,
     ) -> None:
         if capacity_pages <= 0:
             raise BufferPoolError("capacity must be at least one page")
         self._disk = disk
+        #: Optional repro.wal.log.WalWriter (duck-typed; this module must
+        #: not import repro.wal).  When set, every write-back first calls
+        #: ``wal.flush_to(frame.page_lsn)`` — the WAL rule.
+        self._wal = wal
         self._capacity = capacity_pages
         self._policy = policy
         self._cost = cost_hook
@@ -171,6 +184,32 @@ class BufferPool:
         """Pages confirmed corrupt and fenced off from further I/O."""
         return frozenset(self._quarantined)
 
+    @property
+    def wal(self):
+        """The attached WAL writer (or None when running without one)."""
+        return self._wal
+
+    @wal.setter
+    def wal(self, writer) -> None:
+        self._wal = writer
+
+    def page_lsn(self, page_id: int) -> int:
+        """The resident frame's stamped LSN (0 if clean-tracked or absent)."""
+        frame = self._frames.get(page_id)
+        return frame.page_lsn if frame is not None else 0
+
+    def dirty_rec_lsns(self) -> list[int]:
+        """``rec_lsn`` of every dirty resident frame with a logged change.
+
+        The fuzzy-checkpoint input: the minimum of these is the oldest
+        LSN whose effects might not be on disk yet.
+        """
+        return [
+            f.rec_lsn
+            for f in self._frames.values()
+            if f.dirty and f.rec_lsn > 0
+        ]
+
     def reset_counters(self, reset_obs: bool = False) -> None:
         """Zero hit/miss/eviction counters between experiment phases.
 
@@ -205,6 +244,12 @@ class BufferPool:
             self._m_recovered.reset()
             self._m_unrecoverable.reset()
             self._m_retries.reset()
+            if self._wal is not None:
+                # Same contract, extended: an attached WAL writer's
+                # ``wal.*`` instruments are counters this pool's write
+                # path drives (via flush_to), so a full obs reset zeroes
+                # them too.
+                self._wal.reset_metrics()
         self._m_resident.set(len(self._frames))
 
     # -- page lifecycle ------------------------------------------------------
@@ -247,20 +292,34 @@ class BufferPool:
         frame.pin_count += 1
         return SlottedPage(frame.data)
 
-    def unpin(self, page_id: int, dirty: bool = False) -> None:
-        """Release one pin; ``dirty=True`` schedules a write-back."""
+    def unpin(self, page_id: int, dirty: bool = False, lsn: int | None = None) -> None:
+        """Release one pin; ``dirty=True`` schedules a write-back.
+
+        ``lsn`` stamps the frame with the WAL LSN of the change just
+        applied (only meaningful with ``dirty=True``): ``page_lsn``
+        advances to it and ``rec_lsn`` latches it if this is the first
+        change since the frame was last clean.
+        """
         frame = self._frames.get(page_id)
         if frame is None or frame.pin_count <= 0:
             raise BufferPoolError(f"page {page_id} is not pinned")
         frame.pin_count -= 1
         if dirty:
             frame.dirty = True
+            if lsn is not None:
+                if lsn > frame.page_lsn:
+                    frame.page_lsn = lsn
+                if frame.rec_lsn == 0:
+                    frame.rec_lsn = lsn
 
     @contextmanager
-    def page(self, page_id: int, dirty: bool = False) -> Iterator[SlottedPage]:
+    def page(
+        self, page_id: int, dirty: bool = False, lsn: int | None = None
+    ) -> Iterator[SlottedPage]:
         """Pin for the duration of a ``with`` block.
 
-        ``dirty=True`` marks the page dirty only when the body completes.
+        ``dirty=True`` marks the page dirty only when the body completes;
+        ``lsn`` is passed through to :meth:`unpin` on that success path.
         If the body raises, the mutation may be half-applied, so the frame
         is restored from a pre-entry snapshot and unpinned *clean* —
         scheduling write-back of torn in-memory state is exactly the
@@ -278,7 +337,7 @@ class BufferPool:
             self.unpin(page_id, dirty=False)
             raise
         else:
-            self.unpin(page_id, dirty=dirty)
+            self.unpin(page_id, dirty=dirty, lsn=lsn)
 
     def fetch_many(self, page_ids: Iterable[int]) -> dict[int, SlottedPage]:
         """Pin a batch of pages, each **distinct** page exactly once.
@@ -343,6 +402,7 @@ class BufferPool:
         if frame.dirty:
             self._write_back(frame)
             frame.dirty = False
+            frame.rec_lsn = 0
 
     def flush_all(self) -> None:
         """Write back every dirty resident page."""
@@ -472,8 +532,40 @@ class BufferPool:
         expected = self._expected_crc.get(page_id)
         return expected is None or read_page_checksum(raw) == expected
 
+    def restore_page(self, page_id: int, data: bytes) -> None:
+        """Overwrite a page's on-disk bytes with recovered contents.
+
+        The recovery-layer entry point for WAL-rebuilt heap pages: the
+        quarantine (if any) is lifted, the bytes are stamped and written,
+        and the expected-CRC freshness record is updated so the next
+        fetch validates against the *restored* contents.  The page must
+        not be resident (quarantine already evicted it; callers
+        restoring a non-quarantined page should flush + drop it first).
+        """
+        if len(data) != self._disk.page_size:
+            raise BufferPoolError(
+                f"restored page must be {self._disk.page_size} bytes, "
+                f"got {len(data)}"
+            )
+        if page_id in self._frames:
+            raise BufferPoolError(
+                f"cannot restore resident page {page_id}; evict it first"
+            )
+        buf = bytearray(data)
+        crc = stamp_page_checksum(buf) if self._verify_checksums else None
+        self._write_with_retry(page_id, bytes(buf))
+        if crc is not None:
+            self._expected_crc[page_id] = crc
+        if self._cost is not None:
+            self._cost.on_disk_write()
+        self._quarantined.discard(page_id)
+        self._m_quarantine.set(len(self._quarantined))
+
     def _write_back(self, frame: _Frame) -> None:
         """Stamp, write (with retry), and record the expected stamp."""
+        if self._wal is not None and frame.page_lsn > 0:
+            # The WAL rule: no page reaches disk ahead of its log.
+            self._wal.flush_to(frame.page_lsn)
         crc = None
         if self._verify_checksums:
             crc = stamp_page_checksum(frame.data)

@@ -92,8 +92,13 @@ class HeapFile:
 
     # -- operations ----------------------------------------------------------
 
-    def insert(self, data: bytes) -> Rid:
-        """Insert a record, returning its physical address."""
+    def insert(self, data: bytes, lsn: int | None = None) -> Rid:
+        """Insert a record, returning its physical address.
+
+        ``lsn`` stamps the dirtied frame for the WAL's flush-before-evict
+        rule (callers reserve it before applying, then log the record
+        with the RID this returns).
+        """
         page_id = self._choose_page(len(data))
         if page_id is None:
             page = self._pool.new_page(PageType.HEAP)
@@ -103,10 +108,10 @@ class HeapFile:
             try:
                 slot = page.insert(data)
             finally:
-                self._pool.unpin(page_id, dirty=True)
+                self._pool.unpin(page_id, dirty=True, lsn=lsn)
             self._fsm.note(page_id, self._free_after(page))
         else:
-            with self._pool.page(page_id, dirty=True) as page:
+            with self._pool.page(page_id, dirty=True, lsn=lsn) as page:
                 slot = page.insert(data)
                 self._fsm.note(page_id, self._free_after(page))
         self._num_records += 1
@@ -150,16 +155,16 @@ class HeapFile:
                             out[rid] = page.read(rid.slot)
         return out
 
-    def update(self, rid: Rid, data: bytes) -> None:
+    def update(self, rid: Rid, data: bytes, lsn: int | None = None) -> None:
         """Overwrite the record at ``rid`` in place (same length)."""
         self._check_owned(rid)
-        with self._pool.page(rid.page_id, dirty=True) as page:
+        with self._pool.page(rid.page_id, dirty=True, lsn=lsn) as page:
             page.update(rid.slot, data)
 
-    def delete(self, rid: Rid) -> None:
+    def delete(self, rid: Rid, lsn: int | None = None) -> None:
         """Delete the record at ``rid``."""
         self._check_owned(rid)
-        with self._pool.page(rid.page_id, dirty=True) as page:
+        with self._pool.page(rid.page_id, dirty=True, lsn=lsn) as page:
             page.delete(rid.slot)
             # Tombstoned record bytes are not reclaimed until compaction, so
             # the page's free window is unchanged; only note directory reuse.
@@ -172,6 +177,27 @@ class HeapFile:
             with self._pool.page(page_id) as page:
                 for slot, data in page.records():
                     yield Rid(page_id, slot), data
+
+    def adopt_pages(self, page_ids: list[int]) -> None:
+        """Take ownership of existing heap pages (WAL-replay restore).
+
+        Replaces any current page list.  Free-space accounting and the
+        live-record count are rebuilt by walking the adopted pages, so
+        the heap behaves exactly as if it had produced them itself.
+        """
+        self._page_ids = list(page_ids)
+        self._page_id_set = set(self._page_ids)
+        self._fsm = FreeSpaceMap()
+        count = 0
+        for page_id in self._page_ids:
+            with self._pool.page(page_id) as page:
+                self._fsm.note(page_id, self._free_after(page))
+                count += sum(1 for _ in page.live_slots())
+        self._num_records = count
+
+    def owns_page(self, page_id: int) -> bool:
+        """True if ``page_id`` belongs to this heap."""
+        return page_id in self._page_id_set
 
     def compact_page(self, page_id: int) -> None:
         """Compact one page, reclaiming tombstoned record bytes."""

@@ -323,6 +323,77 @@ class SlottedPage:
             )
         self._set_slot_entry(slot, _TOMBSTONE_OFFSET, length)
 
+    @property
+    def is_formatted(self) -> bool:
+        """True if the buffer carries this module's magic (i.e. has been
+        through :meth:`format`); fresh zeroed pages are not."""
+        return self._get_u16(_OFF_MAGIC) == PAGE_MAGIC
+
+    def place_at(self, slot: int, data: bytes) -> None:
+        """Materialize ``data`` at exactly ``slot`` (heap-mode redo only).
+
+        Unlike :meth:`insert`, which picks its own slot (reusing the
+        lowest tombstone), WAL redo must reproduce the slot the original
+        run chose — including slots past the current directory end when
+        earlier inserts on this page were never redone (their effects
+        were already durable).  Intervening missing slots are created as
+        tombstones; the directory never shifts, so existing RIDs stay
+        valid.  Compacts once if the free window is tight (compaction is
+        not logged, so redo may need more contiguous room than the
+        original run did).
+        """
+        if not data:
+            raise PageFullError("cannot place an empty record")
+        count = self.slot_count
+        if slot < count and self.slot_is_live(slot):
+            raise InvalidRidError(
+                f"slot {slot} on page {self.page_id} is live; redo must "
+                f"delete before re-placing"
+            )
+        grow = max(0, slot + 1 - count)
+        need = len(data) + grow * SLOT_ENTRY_SIZE
+        lo, hi = self.free_window()
+        if hi - lo < need:
+            self.compact()
+            lo, hi = self.free_window()
+            if hi - lo < need:
+                raise PageFullError(
+                    f"page {self.page_id}: redo needs {need} bytes, "
+                    f"have {hi - lo} after compaction"
+                )
+        if grow:
+            for s in range(count, slot + 1):
+                self._set_slot_entry(s, _TOMBSTONE_OFFSET, 0)
+            self._put_u16(_OFF_SLOT_COUNT, slot + 1)
+            self._put_u16(_OFF_FREE_LO, lo + grow * SLOT_ENTRY_SIZE)
+            hi = self._get_u16(_OFF_FREE_HI)
+        new_hi = hi - len(data)
+        self._buf[new_hi:hi] = data
+        self._put_u16(_OFF_FREE_HI, new_hi)
+        self._set_slot_entry(slot, new_hi, len(data))
+
+    def reserve_tombstones(self, new_count: int) -> None:
+        """Extend the directory to ``new_count`` entries, all tombstones.
+
+        Page-rebuild companion to :meth:`place_at`: a page whose
+        highest-numbered slots were all deleted still needs those
+        directory entries so future inserts reuse them exactly as the
+        pre-crash page would have.
+        """
+        count = self.slot_count
+        if new_count <= count:
+            return
+        grow = new_count - count
+        lo, hi = self.free_window()
+        if hi - lo < grow * SLOT_ENTRY_SIZE:
+            raise PageFullError(
+                f"page {self.page_id}: no room for {grow} directory entries"
+            )
+        for s in range(count, new_count):
+            self._set_slot_entry(s, _TOMBSTONE_OFFSET, 0)
+        self._put_u16(_OFF_SLOT_COUNT, new_count)
+        self._put_u16(_OFF_FREE_LO, lo + grow * SLOT_ENTRY_SIZE)
+
     # -- ordered-directory operations (B+Tree nodes) -------------------------
     #
     # B+Tree nodes keep their directory sorted by key, so they never use

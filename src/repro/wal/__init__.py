@@ -1,0 +1,54 @@
+"""Write-ahead logging: redo records, group commit, crash recovery.
+
+The package splits along the import graph:
+
+* :mod:`repro.wal.record` — the frame codec (CRC-framed, LSN-stamped
+  redo records) and the torn-tail-tolerant scanner.
+* :mod:`repro.wal.log` — the simulated log device and the
+  :class:`WalWriter` (group commit, fuzzy checkpoints).
+* :mod:`repro.wal.replay` — crash recovery.  **Not** re-exported here:
+  ``repro.query.database`` imports this package at module load, and the
+  replayer imports ``Database`` back, so pulling replay in at package
+  level would create an import cycle.  Import it explicitly as
+  ``from repro.wal.replay import recover``.
+"""
+
+from repro.wal.log import (
+    WalDevice,
+    WalWriter,
+    checkpoint_meta,
+    index_meta,
+    schema_meta,
+    table_meta,
+)
+from repro.wal.record import (
+    FRAME_HEADER_SIZE,
+    HEAP_OP_TYPES,
+    MAX_PAYLOAD,
+    PAYLOAD_PREFIX_SIZE,
+    RecordType,
+    ScanResult,
+    WalRecord,
+    encode_frame,
+    frame_boundaries,
+    scan_wal,
+)
+
+__all__ = [
+    "FRAME_HEADER_SIZE",
+    "HEAP_OP_TYPES",
+    "MAX_PAYLOAD",
+    "PAYLOAD_PREFIX_SIZE",
+    "RecordType",
+    "ScanResult",
+    "WalDevice",
+    "WalRecord",
+    "WalWriter",
+    "checkpoint_meta",
+    "encode_frame",
+    "frame_boundaries",
+    "index_meta",
+    "scan_wal",
+    "schema_meta",
+    "table_meta",
+]

@@ -1,0 +1,338 @@
+"""The write-ahead log: an append-only device and a group-commit writer.
+
+``repro``'s durability rule is **flush-before-evict** (redo-only,
+ARIES-lite): an operation reserves an LSN, applies its page changes with
+that LSN stamped on every dirtied frame, then appends a redo record.
+Records sit in the writer's in-memory buffer until either
+
+* a *group commit* fills (``group_commit_records`` buffered frames are
+  appended to the device as one blob — one simulated device write for N
+  records), or
+* the buffer pool is about to write back a page whose ``page_lsn``
+  exceeds the durable LSN, in which case :meth:`WalWriter.flush_to`
+  forces the buffer out first — the classic WAL invariant that no data
+  page reaches disk ahead of its log.
+
+A crash loses the buffer (those operations were never durable, exactly
+like a lost ``fsync``); the device's byte prefix is what survives.  The
+log is never truncated in this simulation — checkpoints bound *replay
+time*, not log size, standing in for archival to cold storage.
+
+Imports nothing from ``repro.query``: checkpointing walks the database
+duck-typed (catalog + heaps + pools), so ``Database`` can import this
+module without a cycle.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulatedCrashError, WalError
+from repro.obs.registry import MetricsRegistry, resolve_registry
+from repro.storage.heap import Rid
+from repro.wal.record import RecordType, WalRecord, encode_frame, scan_wal
+
+
+class WalDevice:
+    """Append-only simulated log device with crash hooks.
+
+    ``crash_after(n)`` arms a power cut at absolute byte ``n``: the
+    append that would cross it keeps only the prefix up to ``n`` (a torn
+    log tail, detected later by frame CRCs) and raises
+    :class:`~repro.errors.SimulatedCrashError`.  ``truncate_at`` is the
+    restart-side counterpart used to discard a detected torn tail.
+    """
+
+    def __init__(self, initial: bytes = b"") -> None:
+        self._data = bytearray(initial)
+        self._appends = 0
+        self._crash_at: int | None = None
+
+    @property
+    def data(self) -> bytes:
+        """The durable byte stream (what survives a crash)."""
+        return bytes(self._data)
+
+    @property
+    def size(self) -> int:
+        return len(self._data)
+
+    @property
+    def appends(self) -> int:
+        """Completed device appends (the group-commit denominator)."""
+        return self._appends
+
+    def crash_after(self, total_bytes: int) -> None:
+        """Arm a simulated power cut at absolute byte ``total_bytes``."""
+        if total_bytes < len(self._data):
+            raise WalError(
+                f"crash byte {total_bytes} is already durable "
+                f"({len(self._data)} bytes on device)"
+            )
+        self._crash_at = total_bytes
+
+    def append(self, blob: bytes) -> None:
+        if self._crash_at is not None:
+            if len(self._data) + len(blob) > self._crash_at:
+                keep = self._crash_at - len(self._data)
+                self._data += blob[:keep]
+                self._crash_at = None
+                raise SimulatedCrashError(
+                    f"power cut mid-append at log byte {len(self._data)}"
+                )
+        self._data += blob
+        self._appends += 1
+
+    def truncate_at(self, n_bytes: int) -> None:
+        """Discard everything past byte ``n_bytes`` (torn-tail cleanup)."""
+        if not 0 <= n_bytes <= len(self._data):
+            raise WalError(
+                f"truncate point {n_bytes} outside device of {len(self._data)}"
+            )
+        del self._data[n_bytes:]
+
+
+class WalWriter:
+    """LSN allocator + group-commit redo-record writer.
+
+    The LSN protocol: callers :meth:`reserve_lsn` *before* touching any
+    page (so dirtied frames can be stamped), then append the matching
+    record once the operation's page changes are applied.  An operation
+    that fails between the two simply abandons its LSN — gaps are legal
+    (see :mod:`repro.wal.record`) — and appends compensation records for
+    whatever it undid, reusing the normal record types, so the log
+    always redoes to the state the engine actually reached.
+    """
+
+    def __init__(
+        self,
+        device: WalDevice | None = None,
+        registry: MetricsRegistry | None = None,
+        group_commit_records: int = 8,
+    ) -> None:
+        if group_commit_records < 1:
+            raise WalError("group_commit_records must be >= 1")
+        self._device = device if device is not None else WalDevice()
+        self._group = group_commit_records
+        self._buffer: list[bytes] = []
+        self._buffered_lsn = 0
+        # Continue the LSN sequence of whatever the device already holds
+        # (a writer over a survived log after restart).
+        durable = scan_wal(self._device.data)
+        self._flushed_lsn = durable.max_lsn
+        self._next_lsn = durable.max_lsn + 1
+        self._last_checkpoint_lsn = 0
+        reg = resolve_registry(registry)
+        self._m_records = reg.counter("wal.records")
+        self._m_bytes = reg.counter("wal.bytes")
+        self._m_flushes = reg.counter("wal.flushes")
+        self._m_batch = reg.histogram("wal.group_commit.batch_records")
+        self._m_checkpoints = reg.counter("wal.checkpoints")
+        self._m_kind = {
+            rtype: reg.counter(f"wal.kind.{rtype.name.lower()}")
+            for rtype in RecordType
+        }
+
+    # -- properties ----------------------------------------------------------
+
+    @property
+    def device(self) -> WalDevice:
+        return self._device
+
+    @property
+    def next_lsn(self) -> int:
+        """The LSN the next reservation will return."""
+        return self._next_lsn
+
+    @property
+    def flushed_lsn(self) -> int:
+        """Highest LSN known durable on the device."""
+        return self._flushed_lsn
+
+    @property
+    def buffered_records(self) -> int:
+        """Records waiting in the group-commit buffer (lost on crash)."""
+        return len(self._buffer)
+
+    @property
+    def last_checkpoint_lsn(self) -> int:
+        return self._last_checkpoint_lsn
+
+    # -- LSN + record protocol ----------------------------------------------
+
+    def reserve_lsn(self) -> int:
+        """Allocate the next LSN (call before applying page changes)."""
+        lsn = self._next_lsn
+        self._next_lsn += 1
+        return lsn
+
+    def log_insert(
+        self, table: str, rid: Rid, payload: bytes, lsn: int | None = None
+    ) -> int:
+        return self._log(WalRecord(
+            lsn=self._resolve(lsn), rtype=RecordType.INSERT, table=table,
+            page_id=rid.page_id, slot=rid.slot, payload=bytes(payload),
+        ))
+
+    def log_update(
+        self, table: str, rid: Rid, payload: bytes, lsn: int | None = None
+    ) -> int:
+        return self._log(WalRecord(
+            lsn=self._resolve(lsn), rtype=RecordType.UPDATE, table=table,
+            page_id=rid.page_id, slot=rid.slot, payload=bytes(payload),
+        ))
+
+    def log_delete(self, table: str, rid: Rid, lsn: int | None = None) -> int:
+        return self._log(WalRecord(
+            lsn=self._resolve(lsn), rtype=RecordType.DELETE, table=table,
+            page_id=rid.page_id, slot=rid.slot,
+        ))
+
+    def log_create_table(self, meta: dict) -> int:
+        return self._log(WalRecord(
+            lsn=self.reserve_lsn(), rtype=RecordType.CREATE_TABLE, meta=meta
+        ))
+
+    def log_create_index(self, meta: dict) -> int:
+        return self._log(WalRecord(
+            lsn=self.reserve_lsn(), rtype=RecordType.CREATE_INDEX, meta=meta
+        ))
+
+    def log_hot_cold_move(self, label: str, src: Rid, dst: Rid) -> int:
+        return self._log(WalRecord(
+            lsn=self.reserve_lsn(), rtype=RecordType.HOT_COLD_MOVE, table=label,
+            page_id=src.page_id, slot=src.slot,
+            aux_page=dst.page_id, aux_slot=dst.slot,
+        ))
+
+    def log_index_cache_drop(self, index_name: str) -> int:
+        return self._log(WalRecord(
+            lsn=self.reserve_lsn(), rtype=RecordType.INDEX_CACHE_DROP,
+            table=index_name,
+        ))
+
+    # -- durability ----------------------------------------------------------
+
+    def flush(self) -> None:
+        """Append every buffered frame to the device as one blob."""
+        if not self._buffer:
+            return
+        blob = b"".join(self._buffer)
+        batch = len(self._buffer)
+        # On a crash mid-append the buffer is conceptually lost with the
+        # rest of RAM; clearing it first keeps this object honest if a
+        # harness keeps using it after catching SimulatedCrashError.
+        self._buffer = []
+        buffered_lsn = self._buffered_lsn
+        self._device.append(blob)
+        self._flushed_lsn = buffered_lsn
+        self._m_flushes.inc()
+        self._m_batch.record(batch)
+        self._m_bytes.inc(len(blob))
+
+    def flush_to(self, lsn: int) -> None:
+        """Make every record with LSN <= ``lsn`` durable (WAL rule hook).
+
+        The buffer pool calls this before writing back a page stamped
+        with ``page_lsn = lsn``; group commit means the whole buffer
+        goes, not just the prefix.
+        """
+        if lsn > self._flushed_lsn:
+            self.flush()
+
+    def checkpoint(self, db) -> int:
+        """Append a fuzzy checkpoint for ``db`` and flush.
+
+        No pages are forced out.  The record carries a catalog snapshot
+        (tables with their page lists and schemas, indexes with their
+        geometry) plus ``redo_from`` — the minimum ``rec_lsn`` over
+        dirty data-pool frames.  Every change with a smaller LSN is
+        already on disk, so replay after a later crash starts there.
+        """
+        dirty = db.data_pool.dirty_rec_lsns()
+        if db.index_pool is not db.data_pool:
+            dirty = list(dirty) + list(db.index_pool.dirty_rec_lsns())
+        lsn = self.reserve_lsn()
+        redo_from = min([x for x in dirty if x > 0], default=lsn)
+        meta = checkpoint_meta(db)
+        meta["redo_from"] = min(redo_from, lsn)
+        self._log(WalRecord(lsn=lsn, rtype=RecordType.CHECKPOINT, meta=meta))
+        self.flush()
+        self._last_checkpoint_lsn = lsn
+        self._m_checkpoints.inc()
+        return lsn
+
+    def all_bytes(self) -> bytes:
+        """Durable bytes plus the still-buffered frames (for *in-process*
+        consumers like the heap-page healer; a crash sees only
+        ``device.data``)."""
+        return self._device.data + b"".join(self._buffer)
+
+    def reset_metrics(self) -> None:
+        """Zero every ``wal.*`` instrument this writer increments."""
+        self._m_records.reset()
+        self._m_bytes.reset()
+        self._m_flushes.reset()
+        self._m_batch.reset()
+        self._m_checkpoints.reset()
+        for counter in self._m_kind.values():
+            counter.reset()
+
+    # -- internals -----------------------------------------------------------
+
+    def _resolve(self, lsn: int | None) -> int:
+        return lsn if lsn is not None else self.reserve_lsn()
+
+    def _log(self, record: WalRecord) -> int:
+        self._buffer.append(encode_frame(record))
+        if record.lsn > self._buffered_lsn:
+            self._buffered_lsn = record.lsn
+        self._m_records.inc()
+        self._m_kind[record.rtype].inc()
+        if len(self._buffer) >= self._group:
+            self.flush()
+        return record.lsn
+
+
+# -- catalog metadata ---------------------------------------------------------
+
+
+def schema_meta(schema) -> list[list]:
+    """JSON-safe encoding of a :class:`~repro.schema.schema.Schema`."""
+    return [
+        [c.name, c.ctype.kind.value, c.ctype.size, c.ctype.name]
+        for c in schema.columns
+    ]
+
+
+def table_meta(name: str, schema, heap) -> dict:
+    """CREATE_TABLE / checkpoint entry for one table."""
+    return {
+        "name": name,
+        "append_only": bool(heap.append_only),
+        "page_ids": list(heap.page_ids),
+        "schema": schema_meta(schema),
+    }
+
+
+def index_meta(entry) -> dict:
+    """CREATE_INDEX / checkpoint entry for one catalog index entry."""
+    index = entry.index
+    cached_fields = getattr(index, "cached_fields", None)
+    return {
+        "name": entry.name,
+        "table": entry.table_name,
+        "key_columns": list(entry.key_columns),
+        "kind": "cached" if cached_fields is not None else "plain",
+        "cached_fields": list(cached_fields) if cached_fields is not None else [],
+        "split_fraction": index.tree.split_fraction,
+    }
+
+
+def checkpoint_meta(db) -> dict:
+    """Catalog snapshot for a fuzzy checkpoint (duck-typed db walk)."""
+    tables = []
+    indexes = []
+    for tentry in db.catalog.tables():
+        tables.append(table_meta(tentry.name, tentry.schema, tentry.table.heap))
+        for ientry in db.catalog.indexes_of(tentry.name):
+            indexes.append(index_meta(ientry))
+    return {"tables": tables, "indexes": indexes}

@@ -89,3 +89,108 @@ def test_after_restart_invalidates_persisted_caches():
 def test_after_restart_epoch_wraps_safely():
     recovered = CacheInvalidation.after_restart(0xFFFFFFFF << 32)
     assert recovered.csn_index >= 1
+
+
+# -- WAL-era regressions ------------------------------------------------------
+#
+# PR 2 left a coverage gap here: heap pages corrupted at rest were
+# "honestly unrecoverable" and no test pinned what a WAL changes about
+# that.  These do.
+
+
+def _wal_database():
+    from repro.faults.injector import FaultInjector
+    from repro.obs.registry import MetricsRegistry
+    from repro.query.database import Database
+    from repro.schema.schema import Schema
+    from repro.schema.types import UINT32, char
+
+    schema = Schema.of(("id", UINT32), ("name", char(12)), ("score", UINT32))
+    metrics = MetricsRegistry()
+    # 1024-byte pages: two 512-byte sectors, so torn writes can tear.
+    injector = FaultInjector(seed=5, page_size=1024, registry=metrics)
+    db = Database(
+        seed=5, wal=True, page_size=1024, data_pool_pages=8,
+        fault_injector=injector, metrics=metrics,
+    )
+    db.create_table("t", schema)
+    db.create_index("t", "by_id", ("id",))
+    return db, injector, metrics
+
+
+def test_torn_heap_page_write_with_wal_recovers_the_page():
+    """The PR-2 data-loss case, closed: a torn heap-page write is healed
+    by materializing the page from its full WAL history."""
+    from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+
+    db, injector, _metrics = _wal_database()
+    table = db.table("t")
+    for i in range(40):
+        table.insert({"id": i, "name": f"n{i}", "score": i})
+    heap_pages = set(table.heap.page_ids)
+
+    injector.arm(FaultPlan.of(FaultSpec(
+        FaultKind.TORN_WRITE, at_nth=1,
+        page_filter=lambda p: p in heap_pages,
+    )))
+    db.data_pool.flush_all()  # the torn write lands at rest
+    injector.disarm()
+    db.data_pool.drop_clean()  # force re-reads from the torn disk state
+
+    rows = db.recovery.call(
+        lambda: {r["id"]: r["score"] for r in table.scan()}
+    )
+    assert rows == {i: i for i in range(40)}
+    assert db.recovery.heap_rebuilds == 1
+    assert db.recovery.failed_heals == 0
+    assert db.check().ok
+
+
+def test_heap_page_without_wal_stays_honestly_unrecoverable():
+    from repro.errors import CorruptPageError, RecoveryError
+    from repro.faults.injector import FaultInjector
+    from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+    from repro.query.database import Database
+    from repro.schema.schema import Schema
+    from repro.schema.types import UINT32
+
+    schema = Schema.of(("id", UINT32),)
+    injector = FaultInjector(seed=5, page_size=512)
+    db = Database(seed=5, page_size=512, data_pool_pages=8,
+                  fault_injector=injector)
+    db.create_table("t", schema)
+    table = db.table("t")
+    for i in range(10):
+        table.insert({"id": i})
+    injector.arm(FaultPlan.of(FaultSpec(FaultKind.WRITE_BIT_FLIP, at_nth=1)))
+    db.data_pool.flush_all()
+    injector.disarm()
+    db.data_pool.drop_clean()
+    try:
+        db.recovery.call(lambda: list(table.scan()))
+        raise AssertionError("corrupt heap page should not heal without WAL")
+    except (CorruptPageError, RecoveryError):
+        pass
+    assert db.recovery.failed_heals >= 1
+
+
+def test_reset_counters_zeroes_wal_metrics():
+    db, _injector, metrics = _wal_database()
+    table = db.table("t")
+    for i in range(20):
+        table.insert({"id": i, "name": "x", "score": i})
+    db.checkpoint()
+    wal_stats = metrics.snapshot()["wal"]
+    assert wal_stats["records"] > 0
+    assert wal_stats["flushes"] > 0
+    assert wal_stats["checkpoints"] == 1
+    assert wal_stats["kind"]["insert"] == 20
+
+    db.data_pool.reset_counters(reset_obs=True)
+    wal_stats = metrics.snapshot()["wal"]
+    assert wal_stats["records"] == 0
+    assert wal_stats["bytes"] == 0
+    assert wal_stats["flushes"] == 0
+    assert wal_stats["checkpoints"] == 0
+    assert wal_stats["kind"]["insert"] == 0
+    assert wal_stats["group_commit"]["batch_records"]["count"] == 0
