@@ -10,11 +10,28 @@ no-op instrument calls is under 5% of the workload's total runtime.
 We measure it directly — run the loop under the NullRegistry, count how
 many instrument events the same seeded workload emits into a real
 registry, then time that many no-op calls in isolation.
+
+The v2 telemetry pipeline (profiler + sampler) extends the claim in two
+directions:
+
+* **disabled tax** — profiling is opt-in, so the per-operation cost of
+  its *off* state (one ``Table._profile`` call returning the shared
+  null context, one ``TelemetrySampler.tick`` clock check) must also
+  stay under 5% of the NullRegistry workload, measured in isolation the
+  same way; and
+* **enabled determinism** — the full pipeline's event counts on the
+  seeded replay workload are pinned against the committed baseline
+  (``benchmarks/baselines/obs_overhead.json``), so a telemetry
+  regression (extra pins, inflated WAL attribution, runaway
+  fingerprints) fails machine-independently even where wall clocks
+  would hide it.
 """
 
 from __future__ import annotations
 
+import json
 import time
+from pathlib import Path
 
 import pytest
 
@@ -27,6 +44,11 @@ pytestmark = pytest.mark.obs
 
 N_ROWS = 1_000
 N_LOOKUPS = 10_000
+
+BASELINE_PATH = Path(__file__).resolve().parent / "baselines" / "obs_overhead.json"
+
+#: Allowed growth of the deterministic telemetry counters vs baseline.
+REGRESSION_TOLERANCE = 0.10
 
 
 def _run_workload(metrics):
@@ -100,5 +122,106 @@ def bench_observed_and_silent_runs_agree(run_check):
         idx_b = silent.table("t").index("by_name")
         assert idx_a.stats == idx_b.stats
         assert silent.metrics.snapshot() == {}
+
+    run_check(body)
+
+
+def bench_disabled_telemetry_tax_under_5_percent(run_check):
+    """Profiler/sampler *off* must cost <5% of the NullRegistry workload.
+
+    The hooks stay compiled into every Table operation; this times the
+    exact per-operation off-state work — the ``_profile(...)`` call that
+    returns the shared null context, plus one interval-gated
+    ``sampler.tick()`` — once per workload operation, in isolation.
+    """
+
+    def body():
+        from repro.obs.sampler import TelemetrySampler
+
+        start = time.perf_counter()
+        db = _run_workload(NULL_REGISTRY)
+        loop_s = time.perf_counter() - start
+
+        table = db.table("t")
+        assert table.profiler is None  # opt-in: never attached here
+        sampler = TelemetrySampler(
+            NULL_REGISTRY, clock=db.cost_model, interval_ns=float("inf")
+        )
+        sampler.sample()  # baseline; every tick below is the no-op path
+
+        events = N_ROWS + N_LOOKUPS  # one hook crossing per operation
+        off_s = min(
+            _time_disabled_hooks(table, sampler, events) for _ in range(3)
+        )
+
+        tax = off_s / loop_s
+        print(
+            f"disabled-telemetry tax: {events} hook crossings, "
+            f"{off_s * 1e3:.2f} ms vs {loop_s * 1e3:.1f} ms workload "
+            f"({tax:.2%})"
+        )
+        assert tax < 0.05
+
+    run_check(body)
+
+
+def _time_disabled_hooks(table, sampler, n):
+    profile = table._profile
+    tick = sampler.tick
+    project = ("name", "n")
+    start = time.perf_counter()
+    for _ in range(n):
+        with profile("lookup", index_name="by_name", project=project):
+            pass
+        tick()
+    return time.perf_counter() - start
+
+
+def bench_enabled_telemetry_matches_baseline(run_check):
+    """The full pipeline's deterministic counts stay pinned to baseline.
+
+    Machine-independent gate in the ``bench_wal_overhead`` style: the
+    seeded CLI replay workload must profile the same operations, charge
+    the same pins and WAL bytes, and take the same samples as the
+    committed ``baselines/obs_overhead.json`` (+10% ceiling on the
+    cost-like counters; exact on the workload-shaped ones).
+    """
+
+    def body():
+        from repro.obs.__main__ import run_observed_workload
+
+        run = run_observed_workload()  # baseline was recorded at defaults
+        top = run.profiler.top()
+        point = {
+            "profiled_ops": run.profiler.operations,
+            "fingerprints": len(top),
+            "pages_pinned": sum(s.pages_pinned for s in top),
+            "pages_read": sum(s.pages_read for s in top),
+            "wal_bytes": sum(s.wal_bytes for s in top),
+            "samples_taken": run.sampler.samples_taken,
+            "instrument_events": _instrument_event_count(run.registry),
+        }
+        baseline = json.loads(BASELINE_PATH.read_text())
+        print(
+            "enabled-telemetry point: "
+            + ", ".join(f"{k}={v}" for k, v in point.items())
+        )
+
+        # Workload-shaped counts are fully determined by the seed.
+        for metric in ("profiled_ops", "samples_taken"):
+            assert point[metric] == baseline[metric], (
+                f"{metric} drifted: {point[metric]} != {baseline[metric]}"
+            )
+        # Cost-like counts may only grow within tolerance.
+        for metric in (
+            "fingerprints", "pages_pinned", "pages_read", "wal_bytes",
+            "instrument_events",
+        ):
+            ceiling = baseline[metric] * (1.0 + REGRESSION_TOLERANCE)
+            assert point[metric] <= ceiling, (
+                f"{metric} regressed: {point[metric]} > {baseline[metric]} "
+                f"(+{REGRESSION_TOLERANCE:.0%} tolerance)"
+            )
+        assert run.health.ok == baseline["health_ok"]
 
     run_check(body)

@@ -32,6 +32,7 @@ from repro.experiments import (
     fig3,
     fill_factor,
     headline,
+    obs,
     wal,
 )
 from repro.obs import MetricsRegistry, derived_rates, use_registry
@@ -48,6 +49,7 @@ _DRIVERS = {
     "ablations": ablations.main,
     "batched": batched.main,
     "wal": wal.main,
+    "obs": obs.main,
 }
 
 DEFAULT_JSON_PATH = "experiments_metrics.json"

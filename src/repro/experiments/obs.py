@@ -1,0 +1,71 @@
+"""Observability showcase: the v2 telemetry pipeline on one workload.
+
+Runs the same seeded Zipf replay the ``python -m repro.obs`` CLI drives
+at two buffer-pool sizes and prints what each telemetry surface sees:
+
+* the **profiler**'s EXPLAIN-ANALYZE rollup (top fingerprints by total
+  simulated cost, with their page-pin and cache-hit splits);
+* the **sampler**'s windowed series, reduced to last-window values; and
+* the **health checker**'s SLO verdicts.
+
+The point being demonstrated: shrinking the pool moves cost between
+columns (reused pins become reads) without changing a single result row
+— and every layer of the telemetry stack shows it from its own angle.
+All numbers are simulated-clock deterministic and safe to diff.
+"""
+
+from __future__ import annotations
+
+from repro.obs.__main__ import ObservedRun, run_observed_workload
+
+POOL_SIZES = (6, 64)
+
+
+def run(
+    n_rows: int = 2_000, n_ops: int = 3_000, seed: int = 0
+) -> dict[int, ObservedRun]:
+    return {
+        pool: run_observed_workload(
+            n_rows=n_rows, n_ops=n_ops, seed=seed, pool_pages=pool,
+        )
+        for pool in POOL_SIZES
+    }
+
+
+def main() -> dict[int, "ObservedRun"]:
+    from repro.experiments.runner import print_table
+
+    runs = run()
+    print_table(
+        ["pool pages", "profiled ops", "fingerprints", "pages reused",
+         "pages read", "cache hit rate", "health"],
+        [
+            (
+                pool,
+                r.profiler.operations,
+                len(r.profiler.top()),
+                sum(s.pages_reused for s in r.profiler.top()),
+                sum(s.pages_read for s in r.profiler.top()),
+                f"{_overall_cache_hit_rate(r):.2f}",
+                "OK" if r.health.ok else f"{len(r.health.breaches)} breach",
+            )
+            for pool, r in runs.items()
+        ],
+        title="telemetry pipeline across pool sizes (same workload, same rows)",
+    )
+    largest = runs[POOL_SIZES[-1]]
+    print()
+    print(largest.profiler.format_top(5, title="top fingerprints (largest pool)"))
+    print()
+    print(largest.health.format())
+    return runs
+
+
+def _overall_cache_hit_rate(r: ObservedRun) -> float:
+    hits = sum(s.cache_hits for s in r.profiler.top())
+    probes = hits + sum(s.cache_misses for s in r.profiler.top())
+    return hits / probes if probes else 0.0
+
+
+if __name__ == "__main__":
+    main()

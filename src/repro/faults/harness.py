@@ -38,7 +38,9 @@ from repro.errors import SimulatedCrashError
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
 from repro.faults.recovery import RecoveryManager
+from repro.obs.health import DEFAULT_SLO_RULES, HealthChecker
 from repro.obs.registry import MetricsRegistry
+from repro.obs.sampler import TelemetrySampler
 from repro.query.database import Database
 from repro.schema.record import unpack_record_map
 from repro.storage.retry import RetryPolicy
@@ -76,6 +78,13 @@ class DrillReport:
     crash_restarts: int = 0
     #: Redo records the WAL writer emitted over the whole drill.
     wal_records: int = 0
+    #: Telemetry samples taken across the drill (0 = sampling off).
+    telemetry_points: int = 0
+    #: SLO verdicts over the drill's sampled telemetry — *recorded*, not
+    #: enforced: a drill that quarantines pages mid-flight legitimately
+    #: breaches the quarantine ceiling and still passes on correctness.
+    health_ok: bool = True
+    health: dict = field(default_factory=dict)
 
     @property
     def ledger_balanced(self) -> bool:
@@ -173,6 +182,7 @@ def run_fault_drill(
     wal: bool = True,
     crash_restarts: int = 2,
     checkpoint_every: int = 1_000,
+    telemetry_samples: int = 16,
 ) -> DrillReport:
     """Replay a mixed Wikipedia-revision workload under injected faults.
 
@@ -180,6 +190,13 @@ def run_fault_drill(
     the same recoveries, the same restarts, and the same report digest,
     bit for bit.  ``wal=False`` reverts to the PR-2 drill (no durability,
     no heap-targeted faults, no restarts).
+
+    ``telemetry_samples > 0`` additionally runs a
+    :class:`~repro.obs.sampler.TelemetrySampler` on an operation cadence
+    across the drill and evaluates the default SLO rules at the end; the
+    verdicts land in the report as data (``health_ok``, ``health``) but
+    never affect ``passed`` — the drill judges correctness, the health
+    checker judges service levels, and a drill is *supposed* to hurt.
     """
     from repro.wal.replay import recover  # late: harness ← query ← wal
 
@@ -292,9 +309,26 @@ def run_fault_drill(
         for j in range(crash_restarts if wal else 0)
     )
 
+    sampler = checker = None
+    sample_every = 0
+    if telemetry_samples > 0:
+        # The clock closure re-reads ``db``: a crash restart swaps in a
+        # fresh database (and cost model); the clock jumping backwards
+        # produces one degenerate window — no rates — and recovers.
+        sampler = TelemetrySampler(
+            metrics,
+            clock=lambda: db.cost_model.now_ns,
+            capacity=max(telemetry_samples + 1, 16),
+        )
+        checker = HealthChecker(sampler, DEFAULT_SLO_RULES)
+        sampler.sample()
+        sample_every = max(1, n_ops // telemetry_samples)
+
     for op_i in range(n_ops):
         if op_i in crash_ops:
             restart()
+        if sampler is not None and op_i and op_i % sample_every == 0:
+            sampler.sample()
         if wal and checkpoint_every and op_i and op_i % checkpoint_every == 0:
             db.checkpoint()
         draw = rng.random()
@@ -364,6 +398,11 @@ def run_fault_drill(
         sweeper = RecoveryManager(db, max_heals=256, registry=metrics)
         sweeper.call(lambda: sum(1 for _ in table.scan()))
 
+    health_report = None
+    if sampler is not None:
+        sampler.sample()
+        health_report = checker.evaluate()
+
     check = db.check()
     snapshot = metrics.snapshot()
     faults = snapshot.get("faults", {})
@@ -394,4 +433,7 @@ def run_fault_drill(
         + replay_stats.get("page_rebuilds", 0),
         crash_restarts=restarts_done,
         wal_records=wal_stats.get("records", 0),
+        telemetry_points=sampler.samples_taken if sampler is not None else 0,
+        health_ok=health_report.ok if health_report is not None else True,
+        health=health_report.as_dict() if health_report is not None else {},
     )

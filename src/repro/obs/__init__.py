@@ -7,6 +7,20 @@ uninstrumented runs at near-zero overhead and bit-identical outputs.
 See DESIGN.md ("Observability") for the metric naming scheme.
 """
 
+from repro.obs.health import (
+    DEFAULT_SLO_RULES,
+    HealthChecker,
+    HealthReport,
+    RuleResult,
+    SloRule,
+)
+from repro.obs.profiler import (
+    FingerprintStats,
+    QueryProfile,
+    QueryProfiler,
+    batch_bucket,
+    fingerprint,
+)
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -18,11 +32,13 @@ from repro.obs.registry import (
     bucket_index,
     bucket_upper_bound,
     get_default_registry,
+    percentile_from_buckets,
     resolve_registry,
     set_default_registry,
     use_registry,
 )
 from repro.obs.report import derived_rates, export_json, flatten, format_report
+from repro.obs.sampler import TelemetryPoint, TelemetrySampler, select
 from repro.obs.tracer import (
     DEFAULT_RING_SIZE,
     NullTracer,
@@ -41,6 +57,7 @@ __all__ = [
     "NULL_REGISTRY",
     "bucket_index",
     "bucket_upper_bound",
+    "percentile_from_buckets",
     "get_default_registry",
     "resolve_registry",
     "set_default_registry",
@@ -54,4 +71,17 @@ __all__ = [
     "NULL_TRACER",
     "SpanEvent",
     "Tracer",
+    "QueryProfiler",
+    "QueryProfile",
+    "FingerprintStats",
+    "fingerprint",
+    "batch_bucket",
+    "TelemetrySampler",
+    "TelemetryPoint",
+    "select",
+    "HealthChecker",
+    "HealthReport",
+    "SloRule",
+    "RuleResult",
+    "DEFAULT_SLO_RULES",
 ]

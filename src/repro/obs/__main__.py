@@ -1,0 +1,312 @@
+"""Observability CLI: profile, sample, and health-check a live workload.
+
+Usage::
+
+    python -m repro.obs report            # metrics dashboard + SLO verdicts
+    python -m repro.obs top               # EXPLAIN-ANALYZE rollup + slow log
+    python -m repro.obs timeline          # ASCII sparklines of sampled series
+    python -m repro.obs export            # one JSON document with everything
+    python -m repro.obs top --ops 20000 --batch 16 --no-wal
+
+Every subcommand drives the same seeded workload: a table with a plain
+primary index and a §2.1 cached index, loaded and then replayed with a
+Zipf-skewed lookup/update/insert/delete trace
+(:func:`repro.workload.replay.build_mixed_trace`), with the
+:class:`~repro.obs.sampler.TelemetrySampler` snapshotting the registry
+between replay chunks on the simulated clock.  Deterministic by
+construction — same seed, same numbers, safe to diff in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass
+
+from repro.obs.health import DEFAULT_SLO_RULES, HealthChecker, HealthReport
+from repro.obs.profiler import QueryProfiler
+from repro.obs.registry import MetricsRegistry
+from repro.obs.report import export_json, format_report
+from repro.obs.sampler import TelemetrySampler, select
+
+#: Series the ``timeline`` subcommand shows by default, in order, when
+#: they resolved in at least one sample.
+DEFAULT_TIMELINE_SELECTORS = (
+    "derived.bufferpool.hit_rate",
+    "derived.index_cache.hit_rate",
+    "rate.profiler.ops",
+    "rate.wal.bytes",
+    "rate.bufferpool.eviction",
+    "gauge.bufferpool.quarantined_pages",
+    "p95.bufferpool.page_temperature",
+)
+
+#: Sparkline glyphs, low to high (ASCII-only for dumb terminals).
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+@dataclass
+class ObservedRun:
+    """Everything a subcommand needs from one observed workload."""
+
+    registry: MetricsRegistry
+    profiler: QueryProfiler
+    sampler: TelemetrySampler
+    health: HealthReport
+    database: object
+    replayed_ops: int
+    elapsed_ns: float
+
+
+def run_observed_workload(
+    n_rows: int = 400,
+    n_ops: int = 4_000,
+    seed: int = 0,
+    pool_pages: int = 48,
+    batch: int = 8,
+    samples: int = 24,
+    alpha: float = 1.1,
+    wal: bool = True,
+) -> ObservedRun:
+    """Load, replay, profile, sample, and health-check one workload.
+
+    The replay trace is chunked into ``samples`` slices with one sampler
+    snapshot between slices, so the timeline has that many non-degenerate
+    windows regardless of trace length.
+    """
+    # Late imports: repro.obs stays importable from the lowest layers;
+    # only the CLI pulls in the query and workload packages.
+    from repro.query.database import Database
+    from repro.schema.schema import Schema
+    from repro.schema.types import UINT32, UINT64, char
+    from repro.workload.replay import build_mixed_trace, replay
+
+    registry = MetricsRegistry()
+    db = Database(
+        seed=seed, metrics=registry, data_pool_pages=pool_pages, wal=wal,
+    )
+    schema = Schema.of(("k", UINT64), ("name", char(12)), ("n", UINT32))
+    table = db.create_table("t", schema)
+    db.create_index("t", "pk", ("k",))
+    db.create_cached_index("t", "pk_cache", ("k",), ("name", "n"))
+    for k in range(n_rows):
+        table.insert({"k": k, "name": f"r{k}", "n": k % 97})
+
+    profiler = db.enable_profiling(slow_log_size=64)
+    sampler = TelemetrySampler(
+        registry, clock=db.cost_model, capacity=max(samples + 1, 16)
+    )
+    checker = HealthChecker(sampler, DEFAULT_SLO_RULES)
+
+    trace = build_mixed_trace(
+        n_ops,
+        existing_keys=list(range(n_rows)),
+        make_row=lambda k: {"k": k, "name": f"r{k}", "n": k % 97},
+        make_changes=lambda k: {"n": (k * 31) % 1_000},
+        next_key=lambda i: n_rows + i,
+        alpha=alpha,
+        seed=seed,
+    )
+    start_ns = db.cost_model.now_ns
+    sampler.sample()  # baseline: gauges only, no window yet
+    chunk = max(1, len(trace) // max(1, samples))
+    replayed = 0
+    for lo in range(0, len(trace), chunk):
+        result = replay(
+            table, "pk_cache", trace[lo:lo + chunk],
+            project=("k", "name"), lookup_batch_size=batch,
+        )
+        replayed += result.operations
+        sampler.sample()
+    if wal:
+        db.wal.flush()
+    return ObservedRun(
+        registry=registry,
+        profiler=profiler,
+        sampler=sampler,
+        health=checker.evaluate(),
+        database=db,
+        replayed_ops=replayed,
+        elapsed_ns=db.cost_model.now_ns - start_ns,
+    )
+
+
+# -- rendering -------------------------------------------------------------
+
+
+def sparkline(values: list[float], width: int = 60) -> str:
+    """Render a series as one line of ASCII levels, min-max normalized."""
+    if not values:
+        return "(no data)"
+    if len(values) > width:
+        # Down-sample by striding; the newest point always survives.
+        stride = len(values) / width
+        values = [values[int(i * stride)] for i in range(width - 1)] + [values[-1]]
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span <= 0:
+        return _SPARK_LEVELS[len(_SPARK_LEVELS) // 2] * len(values)
+    top = len(_SPARK_LEVELS) - 1
+    return "".join(
+        _SPARK_LEVELS[round((v - lo) / span * top)] for v in values
+    )
+
+
+def format_timeline(
+    sampler: TelemetrySampler,
+    selectors: tuple[str, ...] | list[str] = DEFAULT_TIMELINE_SELECTORS,
+    width: int = 60,
+) -> str:
+    """Sparklines for every selector that resolves in the retained points."""
+    lines = []
+    for selector in selectors:
+        series = sampler.series(selector)
+        if not series:
+            continue
+        values = [v for _t, v in series]
+        lines.append(
+            f"{selector:<40} last={values[-1]:>12.4g}  "
+            f"[{min(values):.4g} .. {max(values):.4g}]"
+        )
+        lines.append(f"  {sparkline(values, width)}")
+    if not lines:
+        return "timeline: (no sampled series resolved)"
+    header = (
+        f"timeline: {len(sampler)} retained point(s), "
+        f"{sampler.samples_taken} sample(s) taken"
+    )
+    return "\n".join([header] + lines)
+
+
+# -- subcommands -----------------------------------------------------------
+
+
+def _cmd_report(run: ObservedRun, args: argparse.Namespace) -> None:
+    print(format_report(run.registry, title="observed workload"))
+    print()
+    print(run.health.format())
+
+
+def _cmd_top(run: ObservedRun, args: argparse.Namespace) -> None:
+    print(run.profiler.format_top(args.n))
+    slow = run.profiler.slow_queries(args.n)
+    if slow:
+        print("\nslow queries (costliest retained):")
+        for profile in slow:
+            print(f"  {profile.line()}")
+
+
+def _cmd_timeline(run: ObservedRun, args: argparse.Namespace) -> None:
+    selectors = tuple(args.selector) if args.selector else (
+        DEFAULT_TIMELINE_SELECTORS
+    )
+    # Fail fast on a selector typo instead of silently skipping it.
+    last = run.sampler.last()
+    if args.selector and last is not None:
+        for sel in selectors:
+            select(last, sel)
+    print(format_timeline(run.sampler, selectors, width=args.width))
+
+
+def _cmd_export(run: ObservedRun, args: argparse.Namespace) -> None:
+    text = export_json(
+        run.registry,
+        path=args.out,
+        label="repro.obs",
+        tracer=run.database.tracer,
+        span_limit=args.spans,
+        extra={
+            "profiler": run.profiler.as_dict(),
+            "timeline": run.sampler.as_dict(),
+            "health": run.health.as_dict(),
+            "workload": {
+                "replayed_ops": run.replayed_ops,
+                "elapsed_ns": run.elapsed_ns,
+            },
+        },
+    )
+    if args.out:
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--rows", type=int, default=400,
+                        help="rows loaded before the replay (default 400)")
+    common.add_argument("--ops", type=int, default=4_000,
+                        help="replayed trace length (default 4000)")
+    common.add_argument("--seed", type=int, default=0)
+    common.add_argument("--pool-pages", type=int, default=48,
+                        help="buffer-pool capacity in pages (default 48)")
+    common.add_argument("--batch", type=int, default=8,
+                        help="lookup_many batch size (default 8)")
+    common.add_argument("--samples", type=int, default=24,
+                        help="telemetry samples across the replay (default 24)")
+    common.add_argument("--alpha", type=float, default=1.1,
+                        help="Zipf skew of the trace (default 1.1)")
+    common.add_argument("--no-wal", action="store_true",
+                        help="run without a write-ahead log")
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Profile, sample, and health-check a replayed workload.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_report = sub.add_parser(
+        "report", parents=[common],
+        help="per-subsystem metrics dashboard plus SLO verdicts",
+    )
+    p_report.set_defaults(func=_cmd_report)
+
+    p_top = sub.add_parser(
+        "top", parents=[common],
+        help="per-fingerprint EXPLAIN-ANALYZE rollup and the slow-query log",
+    )
+    p_top.add_argument("-n", type=int, default=10,
+                       help="fingerprints / slow queries shown (default 10)")
+    p_top.set_defaults(func=_cmd_top)
+
+    p_timeline = sub.add_parser(
+        "timeline", parents=[common],
+        help="ASCII sparklines of sampled time series",
+    )
+    p_timeline.add_argument(
+        "--selector", action="append", metavar="SEL",
+        help="series selector (repeatable), e.g. derived.bufferpool.hit_rate",
+    )
+    p_timeline.add_argument("--width", type=int, default=60)
+    p_timeline.set_defaults(func=_cmd_timeline)
+
+    p_export = sub.add_parser(
+        "export", parents=[common],
+        help="metrics + spans + profiles + timeline + health as one JSON",
+    )
+    p_export.add_argument("--out", metavar="PATH",
+                          help="write to PATH instead of stdout")
+    p_export.add_argument("--spans", type=int, default=64,
+                          help="newest tracer spans included (default 64)")
+    p_export.set_defaults(func=_cmd_export)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    run = run_observed_workload(
+        n_rows=args.rows,
+        n_ops=args.ops,
+        seed=args.seed,
+        pool_pages=args.pool_pages,
+        batch=args.batch,
+        samples=args.samples,
+        alpha=args.alpha,
+        wal=not args.no_wal,
+    )
+    args.func(run, args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

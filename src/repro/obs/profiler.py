@@ -1,0 +1,439 @@
+"""EXPLAIN-ANALYZE-style query profiling over the metrics registry.
+
+The registry (§5b) answers "what did the whole engine do"; this module
+answers "what did *that query* do".  A :class:`QueryProfiler` brackets
+each table/executor operation, snapshots the engine-wide instruments the
+operation can move — buffer-pool pins, index-cache hit/miss, heap
+fetches, B+Tree descents, WAL bytes, fault retries — plus the cost-model
+clock, and charges the deltas to a normalized **query fingerprint**
+(operation kind + table + index + projection + batch bucket, never key
+values).  Two read surfaces fall out:
+
+* :meth:`QueryProfiler.top` — per-fingerprint aggregates ranked by total
+  simulated cost, the ``EXPLAIN ANALYZE`` rollup; and
+* :meth:`QueryProfiler.slow_queries` — a bounded ring of the costliest
+  individual profiles (the slow-query log), ranked by elapsed cost.
+
+WAL byte attribution is group-commit-aware: the profiler reads the
+writer's durable byte counter *plus* its in-memory buffer, so a record
+that merely parks in the group-commit buffer is still charged to the
+operation that logged it, not to whichever later operation happens to
+trip the flush.
+
+Profiling is strictly opt-in (``Database.enable_profiling``): with no
+profiler attached the hot path pays one ``is not None`` test per
+operation, and the NullRegistry zero-overhead guarantee is untouched.
+This module imports only :mod:`repro.obs.registry`, so the query layer
+can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.obs.registry import MetricsRegistry, resolve_registry
+
+#: Fingerprints beyond this many aggregate under :data:`OVERFLOW_FINGERPRINT`
+#: so a fingerprint explosion (e.g. a bug interpolating keys into table
+#: names) cannot grow the profiler without bound.
+DEFAULT_MAX_FINGERPRINTS = 512
+
+#: Where profiles land once the fingerprint table is full.
+OVERFLOW_FINGERPRINT = "(other)"
+
+#: Registry counters captured around every operation, as
+#: ``(profile_field, metric_name)``.  Deltas of these are what a profile
+#: reports, so they reconcile with registry totals by construction.
+CAPTURED_COUNTERS: tuple[tuple[str, str], ...] = (
+    ("pages_reused", "bufferpool.hit"),
+    ("pages_read", "bufferpool.miss"),
+    ("evictions", "bufferpool.eviction"),
+    ("cache_hits", "index_cache.hit"),
+    ("cache_misses", "index_cache.miss"),
+    ("heap_fetches", "index_cache.heap_fetch"),
+    ("descents", "btree.descent"),
+    ("wal_records", "wal.records"),
+    ("retries", "faults.retries"),
+)
+
+Clock = Callable[[], float]
+
+
+def batch_bucket(n: int) -> int:
+    """Normalize a batch size to its power-of-two ceiling (1 stays 1).
+
+    Fingerprints must not split per batch size — a replay issuing batches
+    of 5, 6, and 7 keys is one query shape — but a 1000-key batch is a
+    different shape than a 4-key one.  Power-of-two buckets keep both
+    properties.
+    """
+    if n <= 1:
+        return 1
+    return 1 << (n - 1).bit_length()
+
+
+def fingerprint(
+    op: str,
+    table: str,
+    index: str | None = None,
+    project: tuple[str, ...] | None = None,
+    batch: int = 1,
+) -> str:
+    """The normalized query identity: shape, never values.
+
+    ``lookup(t.pk)->k,n`` stays stable across every key probed;
+    ``xN`` marks the batch bucket for multi-key operations.
+    """
+    parts = [op, ":", table]
+    if index:
+        parts += [".", index]
+    if project:
+        parts += ["->", ",".join(project)]
+    if batch > 1:
+        parts += [" x", str(batch_bucket(batch))]
+    return "".join(parts)
+
+
+@dataclass
+class QueryProfile:
+    """One profiled operation: the EXPLAIN ANALYZE line items."""
+
+    seq: int
+    fingerprint: str
+    op: str
+    table: str
+    index: str | None
+    plan: str
+    batch: int = 1
+    elapsed_ns: float = 0.0
+    pages_reused: int = 0   # buffer-pool hits (already resident)
+    pages_read: int = 0     # buffer-pool misses (disk reads)
+    evictions: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    heap_fetches: int = 0
+    descents: int = 0
+    wal_records: int = 0
+    wal_bytes: int = 0
+    retries: int = 0
+    error: bool = False
+
+    @property
+    def pages_pinned(self) -> int:
+        """Total page pins the operation took (reused + read)."""
+        return self.pages_reused + self.pages_read
+
+    def line(self) -> str:
+        """One slow-log line, dashboard-ready."""
+        flags = " !" if self.error else ""
+        return (
+            f"#{self.seq} {self.fingerprint}{flags}: "
+            f"{self.elapsed_ns:.0f}ns pinned={self.pages_pinned} "
+            f"(reused={self.pages_reused} read={self.pages_read}) "
+            f"cache={self.cache_hits}/{self.cache_hits + self.cache_misses} "
+            f"heap={self.heap_fetches} wal={self.wal_bytes}B "
+            f"retries={self.retries}"
+        )
+
+
+@dataclass
+class FingerprintStats:
+    """Aggregate of every profile sharing a fingerprint."""
+
+    fingerprint: str
+    plan: str
+    calls: int = 0
+    errors: int = 0
+    rows: int = 0
+    total_ns: float = 0.0
+    max_ns: float = 0.0
+    pages_reused: int = 0
+    pages_read: int = 0
+    evictions: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    heap_fetches: int = 0
+    descents: int = 0
+    wal_records: int = 0
+    wal_bytes: int = 0
+    retries: int = 0
+
+    @property
+    def mean_ns(self) -> float:
+        return self.total_ns / self.calls if self.calls else 0.0
+
+    @property
+    def pages_pinned(self) -> int:
+        return self.pages_reused + self.pages_read
+
+    @property
+    def cache_hit_rate(self) -> float:
+        probes = self.cache_hits + self.cache_misses
+        return self.cache_hits / probes if probes else 0.0
+
+    def absorb(self, p: QueryProfile) -> None:
+        self.calls += 1
+        self.errors += int(p.error)
+        self.rows += p.batch
+        self.total_ns += p.elapsed_ns
+        if p.elapsed_ns > self.max_ns:
+            self.max_ns = p.elapsed_ns
+        self.pages_reused += p.pages_reused
+        self.pages_read += p.pages_read
+        self.evictions += p.evictions
+        self.cache_hits += p.cache_hits
+        self.cache_misses += p.cache_misses
+        self.heap_fetches += p.heap_fetches
+        self.descents += p.descents
+        self.wal_records += p.wal_records
+        self.wal_bytes += p.wal_bytes
+        self.retries += p.retries
+
+    def as_dict(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "plan": self.plan,
+            "calls": self.calls,
+            "errors": self.errors,
+            "rows": self.rows,
+            "total_ns": self.total_ns,
+            "mean_ns": self.mean_ns,
+            "max_ns": self.max_ns,
+            "pages_pinned": self.pages_pinned,
+            "pages_reused": self.pages_reused,
+            "pages_read": self.pages_read,
+            "evictions": self.evictions,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "heap_fetches": self.heap_fetches,
+            "descents": self.descents,
+            "wal_records": self.wal_records,
+            "wal_bytes": self.wal_bytes,
+            "retries": self.retries,
+        }
+
+
+def _plan_shape(
+    op: str,
+    table: str,
+    index_name: str | None,
+    index: object | None,
+    project: tuple[str, ...] | None,
+    batch: int,
+) -> str:
+    """Human-readable plan string: access path + projection + batch."""
+    if index_name is None:
+        access = table
+    else:
+        kind = "index"
+        if index is not None:
+            kind = (
+                "cached-index"
+                if getattr(index, "cached_fields", None) is not None
+                else "plain-index"
+            )
+        access = f"{table} via {kind}({index_name})"
+    parts = [f"{op} {access}"]
+    if project:
+        parts.append(f"project ({', '.join(project)})")
+    if batch > 1:
+        parts.append(f"batch<={batch_bucket(batch)}")
+    return " ".join(parts)
+
+
+class QueryProfiler:
+    """Charges engine-wide instrument deltas to per-query fingerprints.
+
+    ``clock`` follows the :class:`~repro.obs.tracer.Tracer` convention: a
+    zero-argument callable returning simulated ns, or an object with a
+    ``now_ns`` attribute (a :class:`~repro.sim.cost_model.CostModel`).
+    ``wal`` is the (duck-typed) :class:`~repro.wal.log.WalWriter`; when
+    present, per-operation WAL bytes include its group-commit buffer so
+    attribution is flush-timing-independent.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        clock: Clock | object | None = None,
+        wal=None,
+        slow_log_size: int = 64,
+        slow_threshold_ns: float = 0.0,
+        max_fingerprints: int = DEFAULT_MAX_FINGERPRINTS,
+    ) -> None:
+        reg = resolve_registry(registry)
+        self._registry = reg
+        if clock is None:
+            self._clock: Clock = lambda: 0.0
+        elif callable(clock):
+            self._clock = clock  # type: ignore[assignment]
+        else:  # duck-typed CostModel
+            self._clock = lambda: clock.now_ns  # type: ignore[attr-defined]
+        self._wal = wal
+        self._counters = [
+            (fname, reg.counter(metric)) for fname, metric in CAPTURED_COUNTERS
+        ]
+        self._wal_bytes = reg.counter("wal.bytes")
+        self._m_ops = reg.counter("profiler.ops")
+        self._m_errors = reg.counter("profiler.errors")
+        self._m_fingerprints = reg.gauge("profiler.fingerprints")
+        self._stats: dict[str, FingerprintStats] = {}
+        self._slow: deque[QueryProfile] = deque(maxlen=slow_log_size)
+        self._slow_threshold_ns = float(slow_threshold_ns)
+        self._max_fingerprints = max_fingerprints
+        self._seq = 0
+        self._depth = 0
+
+    # -- profiling ------------------------------------------------------------
+
+    @contextmanager
+    def operation(
+        self,
+        op: str,
+        table: str,
+        index_name: str | None = None,
+        index: object | None = None,
+        project: tuple[str, ...] | None = None,
+        batch: int = 1,
+    ) -> Iterator[None]:
+        """Bracket one operation; nested operations charge to the
+        outermost bracket only (a lookup issued inside a profiled join is
+        part of the join's cost, not a second query)."""
+        if self._depth:
+            yield
+            return
+        self._depth = 1
+        project_t = tuple(project) if project is not None else None
+        before = self._capture()
+        start = self._clock()
+        # PlainIndex keeps heap fetches as a plain attribute (no registry
+        # counter on that path); fold its delta in when the index is known.
+        plain_before = getattr(index, "heap_fetches", None) if index is not None else None
+        error = False
+        try:
+            yield
+        except BaseException:
+            error = True
+            raise
+        finally:
+            self._depth = 0
+            elapsed = self._clock() - start
+            after = self._capture()
+            profile = QueryProfile(
+                seq=self._seq,
+                fingerprint=fingerprint(op, table, index_name, project_t, batch),
+                op=op,
+                table=table,
+                index=index_name,
+                plan=_plan_shape(op, table, index_name, index, project_t, batch),
+                batch=batch,
+                elapsed_ns=elapsed,
+                error=error,
+            )
+            self._seq += 1
+            for i, (fname, _counter) in enumerate(self._counters):
+                setattr(profile, fname, after[i] - before[i])
+            profile.wal_bytes = after[-1] - before[-1]
+            if plain_before is not None:
+                plain_after = getattr(index, "heap_fetches", plain_before)
+                profile.heap_fetches += plain_after - plain_before
+            self._absorb(profile)
+
+    def _capture(self) -> list[int]:
+        values = [counter.value for _fname, counter in self._counters]
+        wal_bytes = self._wal_bytes.value
+        if self._wal is not None:
+            wal_bytes += self._wal.pending_bytes
+        values.append(wal_bytes)
+        return values
+
+    def _absorb(self, profile: QueryProfile) -> None:
+        self._m_ops.inc()
+        if profile.error:
+            self._m_errors.inc()
+        stats = self._stats.get(profile.fingerprint)
+        if stats is None:
+            if len(self._stats) >= self._max_fingerprints:
+                stats = self._stats.get(OVERFLOW_FINGERPRINT)
+                if stats is None:
+                    stats = FingerprintStats(OVERFLOW_FINGERPRINT, "(overflow)")
+                    self._stats[OVERFLOW_FINGERPRINT] = stats
+            else:
+                stats = FingerprintStats(profile.fingerprint, profile.plan)
+                self._stats[profile.fingerprint] = stats
+            self._m_fingerprints.set(len(self._stats))
+        stats.absorb(profile)
+        if profile.elapsed_ns >= self._slow_threshold_ns:
+            self._slow.append(profile)
+
+    # -- read surfaces --------------------------------------------------------
+
+    @property
+    def operations(self) -> int:
+        """Operations profiled so far."""
+        return self._seq
+
+    def stats(self, fp: str) -> FingerprintStats | None:
+        return self._stats.get(fp)
+
+    def top(self, n: int | None = None) -> list[FingerprintStats]:
+        """Fingerprints ranked by total simulated cost, costliest first."""
+        ranked = sorted(
+            self._stats.values(),
+            key=lambda s: (-s.total_ns, s.fingerprint),
+        )
+        return ranked if n is None else ranked[:n]
+
+    def slow_queries(self, n: int | None = None) -> list[QueryProfile]:
+        """The retained slow-log profiles ranked by elapsed cost."""
+        ranked = sorted(self._slow, key=lambda p: (-p.elapsed_ns, p.seq))
+        return ranked if n is None else ranked[:n]
+
+    def format_top(self, n: int = 10, title: str = "query profiles") -> str:
+        """Text table of :meth:`top`, `EXPLAIN ANALYZE` rollup style."""
+        # Late import mirrors report.py: obs must stay importable from the
+        # lowest layers without dragging the experiments package along.
+        import contextlib
+        import io
+
+        from repro.experiments.runner import print_table
+
+        rows = [
+            [
+                s.fingerprint,
+                s.calls,
+                round(s.total_ns),
+                round(s.mean_ns),
+                s.pages_pinned,
+                s.pages_read,
+                f"{s.cache_hit_rate:.2f}",
+                s.heap_fetches,
+                s.wal_bytes,
+                s.retries,
+            ]
+            for s in self.top(n)
+        ]
+        if not rows:
+            return f"{title}: (no operations profiled)"
+        with contextlib.redirect_stdout(io.StringIO()):
+            return print_table(
+                [
+                    "fingerprint", "calls", "total_ns", "mean_ns", "pinned",
+                    "read", "cache_hr", "heap", "wal_B", "retries",
+                ],
+                rows,
+                title=title,
+            )
+
+    def as_dict(self, top_n: int = 32, slow_n: int = 16) -> dict:
+        """JSON-safe export: ranked rollup plus the slow-query log."""
+        return {
+            "operations": self._seq,
+            "fingerprints": len(self._stats),
+            "top": [s.as_dict() for s in self.top(top_n)],
+            "slow_queries": [p.line() for p in self.slow_queries(slow_n)],
+        }

@@ -94,6 +94,35 @@ def bucket_upper_bound(index: int) -> float:
     return float(2 ** index)
 
 
+def percentile_from_buckets(
+    buckets: list[int], q: float, cap: float | None = None
+) -> float:
+    """Upper bound of the bucket where the ``q``-quantile of ``buckets``
+    falls (0.0 for an empty distribution).
+
+    The shared quantile kernel: :meth:`Histogram.percentile` runs it over
+    a histogram's cumulative buckets, and the telemetry sampler runs it
+    over per-window bucket *deltas* to get windowed p50/p95/p99 without
+    storing raw samples.  ``cap`` clamps the open-ended last bucket (a
+    histogram passes its observed max).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ObservabilityError("percentile wants q in [0, 1]")
+    count = sum(buckets)
+    if not count:
+        return 0.0
+    target = q * count
+    seen = 0
+    for i, n in enumerate(buckets):
+        seen += n
+        if seen >= target and n:
+            bound = bucket_upper_bound(i)
+            return min(bound, cap) if cap is not None else bound
+    return cap if cap is not None else bucket_upper_bound(  # pragma: no cover
+        HISTOGRAM_BUCKETS - 1
+    )
+
+
 class Histogram:
     """Fixed log2-bucket distribution with count/sum/min/max."""
 
@@ -154,17 +183,10 @@ class Histogram:
 
         Bucketed, so an upper estimate — good enough for dashboards.
         """
-        if not 0.0 <= q <= 1.0:
-            raise ObservabilityError("percentile wants q in [0, 1]")
         if not self._count:
-            return 0.0
-        target = q * self._count
-        seen = 0
-        for i, n in enumerate(self._buckets):
-            seen += n
-            if seen >= target and n:
-                return min(bucket_upper_bound(i), self._max)
-        return self._max  # pragma: no cover - loop always crosses target
+            # Validate q even when empty, matching the populated path.
+            return percentile_from_buckets(self._buckets, q)
+        return percentile_from_buckets(self._buckets, q, cap=self._max)
 
 
 _Instrument = Counter | Gauge | Histogram

@@ -29,8 +29,18 @@ def flatten(snapshot: dict, prefix: str = "") -> list[tuple[str, object]]:
     return rows
 
 
-def derived_rates(registry: MetricsRegistry) -> dict[str, float]:
-    """``<prefix>.hit_rate`` for every prefix with hit+miss counters."""
+def derived_rates(
+    registry: MetricsRegistry, elapsed_ns: float | None = None
+) -> dict[str, float]:
+    """``<prefix>.hit_rate`` for every prefix with hit+miss counters.
+
+    With ``elapsed_ns`` (the window the registry's counts accumulated
+    over, in simulated ns) every counter additionally derives a
+    ``<name>.per_sec`` throughput row.  Zero-duration windows are
+    guarded: ``elapsed_ns <= 0`` yields no throughput rows at all rather
+    than a division error — callers snapshotting twice at the same
+    logical instant get hit rates only.
+    """
     names = set(registry.names())
     rates: dict[str, float] = {}
     for name in sorted(names):
@@ -46,6 +56,11 @@ def derived_rates(registry: MetricsRegistry) -> dict[str, float]:
             continue
         total = hit.value + miss.value
         rates[f"{prefix}.hit_rate"] = hit.value / total if total else 0.0
+    if elapsed_ns is not None and elapsed_ns > 0:
+        for name in sorted(names):
+            instrument = registry.get(name)
+            if isinstance(instrument, Counter):
+                rates[f"{name}.per_sec"] = instrument.value * 1e9 / elapsed_ns
     return rates
 
 
@@ -101,18 +116,37 @@ def export_json(
     label: str = "metrics",
     extra: dict | None = None,
     indent: int | None = 2,
+    tracer=None,
+    span_limit: int | None = None,
 ) -> str:
     """Serialize a snapshot (plus derived rates) to JSON.
 
     Returns the JSON text; with ``path`` also writes it to disk.  The
     document shape matches the benchmark tree's ``BENCH_*.json`` results:
     a ``label``, a ``metrics`` tree, and a flat ``derived`` map.
+
+    ``tracer`` (a :class:`~repro.obs.tracer.Tracer`) additionally dumps
+    the recent-span ring buffer — at most ``span_limit`` newest spans —
+    as a ``spans`` list, so one export captures a full incident: the
+    aggregate counters *and* the exact operations leading up to it.
     """
     document = {
         "label": label,
         "metrics": registry.snapshot(),
         "derived": derived_rates(registry),
     }
+    if tracer is not None:
+        document["spans"] = [
+            {
+                "name": event.name,
+                "start_ns": event.start_ns,
+                "elapsed_ns": event.elapsed_ns,
+                "depth": event.depth,
+                "attrs": {str(k): repr(v) for k, v in event.attrs},
+                "error": event.error,
+            }
+            for event in tracer.recent(span_limit)
+        ]
     if extra:
         document.update(extra)
     text = json.dumps(document, indent=indent, sort_keys=True)

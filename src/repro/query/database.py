@@ -149,6 +149,7 @@ class Database:
         self._catalog = Catalog()
         self._rng = DeterministicRng(seed)
         self._recovery = None
+        self._profiler = None
 
     # -- properties ----------------------------------------------------------
 
@@ -192,6 +193,44 @@ class Database:
         """The write-ahead log writer, when durability is on."""
         return self._wal
 
+    @property
+    def profiler(self) -> "QueryProfiler | None":
+        """The query profiler, once :meth:`enable_profiling` has run."""
+        return self._profiler
+
+    def enable_profiling(
+        self,
+        slow_log_size: int = 64,
+        slow_threshold_ns: float = 0.0,
+        max_fingerprints: int | None = None,
+    ) -> "QueryProfiler":
+        """Attach a :class:`~repro.obs.profiler.QueryProfiler`.
+
+        Every table — existing and future — routes its operations through
+        the profiler, which brackets each one with registry/WAL snapshots
+        and charges the deltas to the query's normalized fingerprint.
+        Idempotent: calling again returns the already-installed profiler.
+        Profiling is strictly opt-in; until this runs, the per-operation
+        cost is a single ``is not None`` test.
+        """
+        if self._profiler is None:
+            from repro.obs.profiler import QueryProfiler
+
+            kwargs = {}
+            if max_fingerprints is not None:
+                kwargs["max_fingerprints"] = max_fingerprints
+            self._profiler = QueryProfiler(
+                self._metrics,
+                clock=self._cost,
+                wal=self._wal,
+                slow_log_size=slow_log_size,
+                slow_threshold_ns=slow_threshold_ns,
+                **kwargs,
+            )
+        for entry_name in self._catalog.table_names:
+            self.table(entry_name).profiler = self._profiler
+        return self._profiler
+
     def checkpoint(self) -> int:
         """Append a fuzzy checkpoint record (see
         :meth:`repro.wal.log.WalWriter.checkpoint`); returns its LSN."""
@@ -226,7 +265,10 @@ class Database:
     ) -> Table:
         """Create an empty table."""
         heap = HeapFile(self._data_pool, append_only=append_only)
-        table = Table(name, schema, heap, tracer=self._tracer, wal=self._wal)
+        table = Table(
+            name, schema, heap, tracer=self._tracer, wal=self._wal,
+            profiler=self._profiler,
+        )
         self._catalog.register_table(name, schema, table)
         if self._wal is not None:
             self._wal.log_create_table(table_meta(name, schema, heap))
@@ -324,7 +366,10 @@ class Database:
         """Register a table over existing heap pages (WAL replay)."""
         heap = HeapFile(self._data_pool, append_only=append_only)
         heap.adopt_pages(list(page_ids))
-        table = Table(name, schema, heap, tracer=self._tracer, wal=self._wal)
+        table = Table(
+            name, schema, heap, tracer=self._tracer, wal=self._wal,
+            profiler=self._profiler,
+        )
         self._catalog.register_table(name, schema, table)
         return table
 

@@ -21,6 +21,7 @@ before they can serve old parent fields.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 from repro.core.index_cache.cache import IndexCache
@@ -32,6 +33,9 @@ from repro.query.table import PlainIndex, Table
 from repro.schema.record import pack_record_map, unpack_fields, unpack_record
 from repro.storage.heap import Rid
 from repro.util.rng import DeterministicRng
+
+#: Shared no-op context for unprofiled probes (see query.table).
+_UNPROFILED = nullcontext()
 
 
 @dataclass
@@ -135,6 +139,28 @@ class FkJoinCache:
 
     # -- probes ----------------------------------------------------------------
 
+    def _profile(self, op: str, project: tuple[str, ...], batch: int = 1):
+        """The child table's profiling bracket for one join probe.
+
+        Joins ride on the child table's profiler (the child heap page is
+        the one being read), fingerprinted against the *parent* index the
+        probe would descend on a cache miss.  The internal parent
+        ``lookup``/``lookup_many`` fallbacks run inside this bracket, so
+        their page and WAL traffic is charged to the join — the depth
+        guard keeps them from double-counting as standalone lookups.
+        """
+        profiler = self._child.profiler
+        if profiler is None:
+            return _UNPROFILED
+        return profiler.operation(
+            op,
+            self._child.name,
+            index_name=self._parent_index_name,
+            index=self._parent_index,
+            project=project,
+            batch=batch,
+        )
+
     def join_fetch(
         self, child_rid: Rid, project: tuple[str, ...]
     ) -> dict[str, object]:
@@ -143,6 +169,12 @@ class FkJoinCache:
         ``project`` may name columns from either side; parent columns must
         be among the configured ``parent_fields``.
         """
+        with self._profile("join", project):
+            return self._join_fetch(child_rid, project)
+
+    def _join_fetch(
+        self, child_rid: Rid, project: tuple[str, ...]
+    ) -> dict[str, object]:
         self.stats.probes += 1
         self._m_probe.inc()
         child_cols, parent_cols, fetch_cols = self._split_projection(project)
@@ -200,6 +232,12 @@ class FkJoinCache:
         missed twice in one batch still counts one parent lookup per
         probe, exactly like the scalar loop, but is filled once).
         """
+        with self._profile("join_many", project, batch=len(child_rids)):
+            return self._join_fetch_many(child_rids, project)
+
+    def _join_fetch_many(
+        self, child_rids: list[Rid], project: tuple[str, ...]
+    ) -> list[dict[str, object]]:
         child_cols, parent_cols, fetch_cols = self._split_projection(project)
         if not child_rids:
             return []

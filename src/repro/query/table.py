@@ -10,6 +10,7 @@ notify cached indexes so stale cache entries are invalidated through the
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Iterator, Union
 
 from repro.btree.keycodec import KeyCodec, codec_for_columns
@@ -26,6 +27,11 @@ from repro.schema.record import (
 )
 from repro.schema.schema import Schema
 from repro.storage.heap import HeapFile, Rid, RID_SIZE
+
+#: Shared no-op context for the profiler-off path: ``nullcontext`` is
+#: stateless and reentrant, so one instance serves every unprofiled
+#: operation without a per-call allocation.
+_UNPROFILED = nullcontext()
 
 
 class PlainIndex:
@@ -168,12 +174,18 @@ class Table:
         heap: HeapFile,
         tracer: Tracer | None = None,
         wal=None,
+        profiler=None,
     ) -> None:
         self._name = name
         self._schema = schema
         self._heap = heap
         self._indexes: dict[str, AnyIndex] = {}
         self._tracer = tracer if tracer is not None else NULL_TRACER
+        #: Optional repro.obs.profiler.QueryProfiler (duck-typed).  When
+        #: set, every operation runs inside ``profiler.operation(...)``
+        #: and is charged to its normalized fingerprint; when None, the
+        #: hot path pays one attribute test per operation.
+        self._profiler = profiler
         #: Optional repro.wal.log.WalWriter (duck-typed to avoid the
         #: import cycle).  When set, every heap mutation follows the
         #: reserve-LSN / apply-with-LSN / append-record protocol, and the
@@ -240,6 +252,34 @@ class Table:
     def tracer(self) -> Tracer:
         return self._tracer
 
+    @property
+    def profiler(self):
+        return self._profiler
+
+    @profiler.setter
+    def profiler(self, value) -> None:
+        self._profiler = value
+
+    def _profile(
+        self,
+        op: str,
+        index_name: str | None = None,
+        index=None,
+        project: tuple[str, ...] | None = None,
+        batch: int = 1,
+    ):
+        """The profiling bracket for one operation, or the shared no-op."""
+        if self._profiler is None:
+            return _UNPROFILED
+        return self._profiler.operation(
+            op,
+            self._name,
+            index_name=index_name,
+            index=index,
+            project=project,
+            batch=batch,
+        )
+
     def insert(self, row: dict[str, object]) -> Rid:
         """Insert a row into the heap and every index.
 
@@ -249,7 +289,9 @@ class Table:
         rebuilds indexes *from the heap* never resurrects a half-inserted
         row — and the insert can simply be retried.
         """
-        with self._tracer.span("query.insert", table=self._name):
+        with self._profile("insert"), self._tracer.span(
+            "query.insert", table=self._name
+        ):
             record = pack_record_map(self._schema, row)
             rid = self._wal_insert(record)
             inserted: list[AnyIndex] = []
@@ -283,7 +325,9 @@ class Table:
                 raise QueryError(
                     f"cannot update index key columns {sorted(bad)}"
                 )
-        with self._tracer.span("query.update", table=self._name):
+        with self._profile(
+            "update", index_name=index_name, index=self.index(index_name)
+        ), self._tracer.span("query.update", table=self._name):
             rid = self._find_rid(index_name, key_value)
             if rid is None:
                 return False
@@ -307,7 +351,9 @@ class Table:
         the delete either happens completely or not at all, and can be
         retried verbatim after a heal.
         """
-        with self._tracer.span("query.delete", table=self._name):
+        with self._profile(
+            "delete", index_name=index_name, index=self.index(index_name)
+        ), self._tracer.span("query.delete", table=self._name):
             rid = self._find_rid(index_name, key_value)
             if rid is None:
                 return False
@@ -340,10 +386,13 @@ class Table:
         project: tuple[str, ...] | None = None,
     ) -> LookupResult:
         """Point lookup through the named index."""
-        with self._tracer.span(
+        index = self.index(index_name)
+        with self._profile(
+            "lookup", index_name=index_name, index=index, project=project
+        ), self._tracer.span(
             "query.lookup", table=self._name, index=index_name
         ):
-            return self.index(index_name).lookup(key_value, project)
+            return index.lookup(key_value, project)
 
     def lookup_many(
         self,
@@ -359,10 +408,17 @@ class Table:
         ``BufferPool.fetch_many``).  Results align positionally with
         ``key_values`` and equal a per-key :meth:`lookup` loop.
         """
-        with self._tracer.span(
+        index = self.index(index_name)
+        with self._profile(
+            "lookup_many",
+            index_name=index_name,
+            index=index,
+            project=project,
+            batch=len(key_values),
+        ), self._tracer.span(
             "query.lookup_many", table=self._name, index=index_name
         ):
-            return self.index(index_name).lookup_many(list(key_values), project)
+            return index.lookup_many(list(key_values), project)
 
     def fetch_rid(
         self, rid: Rid, project: tuple[str, ...] | None = None
@@ -375,13 +431,31 @@ class Table:
         predicate: Predicate | None = None,
         project: tuple[str, ...] | None = None,
     ) -> Iterator[dict[str, object]]:
-        """Full scan with optional filter and projection."""
+        """Full scan with optional filter and projection.
+
+        When profiling is enabled the bracket stays open until the
+        iterator is exhausted (or closed), so operations interleaved with
+        a half-drained scan are charged to the scan's fingerprint.
+        """
         predicate = predicate if predicate is not None else TruePredicate()
         project = project if project is not None else self._schema.names
+        if self._profiler is None:
+            return self._scan_rows(predicate, project)
+        return self._profiled_scan(predicate, project)
+
+    def _scan_rows(
+        self, predicate: Predicate, project: tuple[str, ...]
+    ) -> Iterator[dict[str, object]]:
         for _, record in self._heap.scan():
             row = unpack_record_map(self._schema, record)
             if predicate.matches(row):
                 yield {name: row[name] for name in project}
+
+    def _profiled_scan(
+        self, predicate: Predicate, project: tuple[str, ...]
+    ) -> Iterator[dict[str, object]]:
+        with self._profile("scan", project=project):
+            yield from self._scan_rows(predicate, project)
 
     # -- internals ---------------------------------------------------------------
 

@@ -78,6 +78,11 @@ class _Frame:
     #: fuzzy-checkpoint ``redo_from`` contribution.  Reset when the
     #: frame is flushed.
     rec_lsn: int = 0
+    #: Fetches served by this frame since it was installed — the page's
+    #: *temperature*.  Recorded into the ``bufferpool.page_temperature``
+    #: histogram when the frame leaves the pool, so the telemetry layer
+    #: sees the hot/cold skew of what eviction is churning through.
+    temperature: int = 0
 
 
 class BufferPool:
@@ -131,6 +136,7 @@ class BufferPool:
         self._m_quarantine = reg.gauge("bufferpool.quarantined_pages")
         self._m_batch_requests = reg.counter("bufferpool.batch.requests")
         self._m_batch_distinct = reg.counter("bufferpool.batch.distinct")
+        self._m_temperature = reg.histogram("bufferpool.page_temperature")
         self._m_detected = reg.counter("faults.detected")
         self._m_recovered = reg.counter("faults.recovered")
         self._m_unrecoverable = reg.counter("faults.unrecoverable")
@@ -240,6 +246,7 @@ class BufferPool:
             self._m_writeback.reset()
             self._m_batch_requests.reset()
             self._m_batch_distinct.reset()
+            self._m_temperature.reset()
             self._m_detected.reset()
             self._m_recovered.reset()
             self._m_unrecoverable.reset()
@@ -289,6 +296,7 @@ class BufferPool:
                 self._cost.on_bp_miss()
             data = self._read_page_checked(page_id)
             frame = self._install(page_id, data)
+        frame.temperature += 1
         frame.pin_count += 1
         return SlottedPage(frame.data)
 
@@ -418,6 +426,7 @@ class BufferPool:
             frame = self._frames[page_id]
             if frame.pin_count == 0:
                 self.flush(page_id)
+                self._m_temperature.record(frame.temperature)
                 del self._frames[page_id]
                 self._ring_remove(page_id)
         self._m_resident.set(len(self._frames))
@@ -622,6 +631,7 @@ class BufferPool:
         frame = self._frames[victim]
         if frame.dirty:
             self._write_back(frame)
+        self._m_temperature.record(frame.temperature)
         del self._frames[victim]
         self._ring_remove(victim)
         self._evictions += 1

@@ -153,6 +153,17 @@ class WalWriter:
         return len(self._buffer)
 
     @property
+    def pending_bytes(self) -> int:
+        """Encoded bytes waiting in the group-commit buffer.
+
+        The ``wal.bytes`` counter moves only at flush time; the query
+        profiler adds this to it so a record's bytes are attributed to
+        the operation that *logged* it, independent of group-commit
+        flush timing.
+        """
+        return sum(len(frame) for frame in self._buffer)
+
+    @property
     def last_checkpoint_lsn(self) -> int:
         return self._last_checkpoint_lsn
 

@@ -1,0 +1,191 @@
+"""HealthChecker: declarative SLO rules over sampled telemetry."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import MetricsRegistry
+from repro.obs.health import (
+    DEFAULT_SLO_RULES,
+    HealthChecker,
+    HealthReport,
+    RuleResult,
+    SloRule,
+)
+from repro.obs.sampler import TelemetrySampler
+
+pytestmark = pytest.mark.obs
+
+
+def _sampler(registry, **kwargs):
+    clock = {"t": 0.0}
+    sampler = TelemetrySampler(registry, clock=lambda: clock["t"], **kwargs)
+    return sampler, clock
+
+
+def _fed_sampler(windows):
+    """Sampler with one point per window, each window inc'ing the
+    counters by the given ``{"name": delta}`` dict over one second."""
+    reg = MetricsRegistry()
+    sampler, clock = _sampler(reg)
+    sampler.sample()
+    for i, window in enumerate(windows):
+        for name, delta in window.items():
+            reg.counter(name).inc(delta)
+        clock["t"] = (i + 1) * 1e9
+        sampler.sample()
+    return sampler, reg
+
+
+# -- rule validation --------------------------------------------------------
+
+
+def test_rule_rejects_unknown_op():
+    with pytest.raises(ObservabilityError):
+        SloRule(name="r", selector="rate.x", op="==", threshold=1.0)
+
+
+def test_rule_rejects_empty_window():
+    with pytest.raises(ObservabilityError):
+        SloRule(name="r", selector="rate.x", op="<=", threshold=1.0, window=0)
+
+
+# -- evaluation -------------------------------------------------------------
+
+
+def test_ok_and_breach_statuses():
+    sampler, _reg = _fed_sampler([{"c.events": 10}])
+    checker = HealthChecker(
+        sampler,
+        [
+            SloRule(name="floor", selector="rate.c.events",
+                    op=">=", threshold=5.0),
+            SloRule(name="ceiling", selector="rate.c.events",
+                    op="<=", threshold=5.0),
+        ],
+    )
+    report = checker.evaluate()
+    assert [r.status for r in report.results] == ["ok", "breach"]
+    assert not report.ok
+    assert [r.rule.name for r in report.breaches] == ["ceiling"]
+    assert report.results[0].observed == 10.0
+
+
+def test_no_data_is_visible_but_never_fails():
+    sampler, _reg = _fed_sampler([{"c.events": 1}])
+    checker = HealthChecker(
+        sampler,
+        [SloRule(name="ghost", selector="rate.never.emitted",
+                 op="<=", threshold=0.0)],
+    )
+    report = checker.evaluate()
+    (result,) = report.results
+    assert result.status == "no-data"
+    assert result.observed is None and result.samples == 0
+    assert result.ok and report.ok  # visible, not a breach
+
+
+def test_empty_sampler_is_all_no_data():
+    reg = MetricsRegistry()
+    sampler, _clock = _sampler(reg)
+    report = HealthChecker(sampler, DEFAULT_SLO_RULES).evaluate()
+    assert report.ok
+    assert {r.status for r in report.results} == {"no-data"}
+
+
+def test_window_mean_smooths_single_spikes():
+    """One bad window inside the rule's averaging window must not page."""
+    sampler, _reg = _fed_sampler(
+        [{"c.events": 10}, {"c.events": 100}, {"c.events": 10}]
+    )
+    rule = SloRule(name="ceiling", selector="rate.c.events",
+                   op="<=", threshold=50.0, window=3)
+    (result,) = HealthChecker(sampler, [rule]).evaluate().results
+    assert result.status == "ok"
+    assert result.observed == 40.0 and result.samples == 3
+    # The same rule with window=1 sees only the latest (calm) point.
+    spiky = SloRule(name="now", selector="rate.c.events",
+                    op="<=", threshold=50.0, window=1)
+    (latest,) = HealthChecker(sampler, [spiky]).evaluate().results
+    assert latest.observed == 10.0
+
+
+def test_window_mean_skips_unresolved_points():
+    """Degenerate windows (no rates) drop out of the mean, not zero it."""
+    reg = MetricsRegistry()
+    sampler, clock = _sampler(reg)
+    sampler.sample()
+    reg.counter("c.events").inc(10)
+    clock["t"] = 1e9
+    sampler.sample()
+    sampler.sample()  # zero-duration window: no rates
+    rule = SloRule(name="floor", selector="rate.c.events",
+                   op=">=", threshold=5.0, window=5)
+    (result,) = HealthChecker(sampler, [rule]).evaluate().results
+    assert result.status == "ok"
+    assert result.observed == 10.0 and result.samples == 1
+
+
+def test_ratio_rule_with_guarded_denominator():
+    sampler, _reg = _fed_sampler([{"a.bytes": 800, "a.ops": 0}])
+    rule = SloRule(name="per-op", selector="ratio:rate.a.bytes/rate.a.ops",
+                   op="<=", threshold=100.0)
+    (result,) = HealthChecker(sampler, [rule]).evaluate().results
+    assert result.status == "no-data"  # zero denominator resolves to None
+    sampler2, _reg2 = _fed_sampler([{"a.bytes": 800, "a.ops": 4}])
+    (result2,) = HealthChecker(sampler2, [rule]).evaluate().results
+    assert result2.status == "breach" and result2.observed == 200.0
+
+
+# -- report rendering -------------------------------------------------------
+
+
+def test_format_and_as_dict():
+    sampler, _reg = _fed_sampler([{"c.events": 10}])
+    rules = [
+        SloRule(name="floor", selector="rate.c.events",
+                op=">=", threshold=99.0),
+        SloRule(name="ghost", selector="rate.never", op="<=", threshold=0.0),
+    ]
+    report = HealthChecker(sampler, rules).evaluate()
+    text = report.format()
+    assert "1 BREACH(ES)" in text
+    assert "[FAIL] floor" in text and "[n/a ] ghost" in text
+    doc = report.as_dict()
+    assert doc["ok"] is False
+    assert doc["rules"][0]["status"] == "breach"
+    assert doc["rules"][1]["observed"] is None
+
+
+def test_empty_report_is_ok():
+    assert HealthReport().ok
+    assert HealthReport((RuleResult(DEFAULT_SLO_RULES[0], "ok"),)).ok
+
+
+# -- default rules against a real engine ------------------------------------
+
+
+def test_default_rules_pass_on_healthy_workload():
+    from repro import Database, Schema, UINT32, UINT64, char
+
+    db = Database(data_pool_pages=64, seed=7,
+                  metrics=MetricsRegistry(), wal=True)
+    t = db.create_table("t", Schema.of(
+        ("k", UINT64), ("name", char(8)), ("n", UINT32)))
+    db.create_index("t", "pk", ("k",))
+    db.enable_profiling()
+    sampler = TelemetrySampler(db.metrics, clock=db.cost_model)
+    checker = HealthChecker(sampler)  # DEFAULT_SLO_RULES
+    sampler.sample()
+    for i in range(120):
+        t.insert({"k": i, "name": f"r{i}", "n": i})
+        if i % 20 == 19:
+            for j in range(40):
+                t.lookup("pk", j % (i + 1), ("k", "n"))
+            sampler.sample()
+    report = checker.evaluate()
+    assert report.ok, report.format()
+    statuses = {r.rule.name: r.status for r in report.results}
+    # The workload exercises the pool, WAL, and profiler rules for real.
+    assert statuses["bufferpool-hit-rate-floor"] == "ok"
+    assert statuses["wal-overhead-ceiling"] == "ok"
+    assert statuses["quarantine-ceiling"] == "ok"

@@ -1,0 +1,89 @@
+"""Lint: every runtime metric name must be documented in DESIGN.md §5e.
+
+The "Metric-name table" is the contract operators read; a counter that
+exists only in code is invisible telemetry.  This parses the table's
+backticked names as ``fnmatch`` patterns (glob rows cover dynamic
+families like ``faults.kind.*``) and asserts every name a real workload
+registers matches some row.
+"""
+
+import fnmatch
+import re
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.obs
+
+DESIGN = Path(__file__).resolve().parent.parent / "DESIGN.md"
+
+
+def _documented_patterns():
+    text = DESIGN.read_text()
+    start = text.index("### Metric-name table")
+    section = text[start:text.index("\n## ", start)]
+    patterns = []
+    for line in section.splitlines():
+        if not line.startswith("|") or "---" in line:
+            continue
+        name_cell = line.split("|")[1]
+        patterns += re.findall(r"`([a-z0-9_.*{}]+)`", name_cell)
+    return patterns
+
+
+def _flatten(tree, prefix=""):
+    """Dotted leaf names of a ``registry.snapshot()`` tree (a histogram's
+    summary dict, marked by its ``buckets`` key, is one leaf)."""
+    for key, value in tree.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, dict) and "buckets" not in value:
+            yield from _flatten(value, f"{name}.")
+        else:
+            yield name
+
+
+def _runtime_names():
+    from repro.faults.harness import run_fault_drill
+    from repro.obs.__main__ import run_observed_workload
+
+    names = set()
+    run = run_observed_workload(
+        n_rows=120, n_ops=600, samples=4, pool_pages=16
+    )
+    names.update(run.registry.names())
+    # The fault drill reaches the names the clean workload never touches:
+    # the fault ledger, recovery actions, and WAL crash-restart replay.
+    report = run_fault_drill(n_pages=60, n_ops=300, seed=1)
+    names.update(_flatten(report.metrics))
+    return names
+
+
+def test_table_parses():
+    patterns = _documented_patterns()
+    assert len(patterns) > 30
+    assert "bufferpool.hit" in patterns
+    assert "faults.kind.*" in patterns
+
+
+def test_every_runtime_metric_name_is_documented():
+    patterns = _documented_patterns()
+    undocumented = sorted(
+        name
+        for name in _runtime_names()
+        if not any(fnmatch.fnmatchcase(name, p) for p in patterns)
+    )
+    assert not undocumented, (
+        "metric names missing from the DESIGN.md §5e table: "
+        f"{undocumented}"
+    )
+
+
+def test_documented_static_names_exist_at_runtime():
+    """The table must not advertise dead names (globs are exempt —
+    dynamic families legitimately depend on the workload)."""
+    names = _runtime_names()
+    static = [p for p in _documented_patterns() if "*" not in p]
+    dead = sorted(p for p in static if p not in names)
+    # A few static names only appear in workloads this test doesn't run
+    # (encoding migration, hot/cold experiments); keep the leash short.
+    assert len(dead) <= 8, f"suspiciously many dead documented names: {dead}"

@@ -1,0 +1,278 @@
+"""QueryProfiler: fingerprints, per-query deltas, WAL attribution,
+slow-query log, and reconciliation with registry totals."""
+
+import pytest
+
+from repro import Database, MetricsRegistry, Schema, UINT32, UINT64, char
+from repro.errors import QueryError
+from repro.obs.profiler import (
+    DEFAULT_MAX_FINGERPRINTS,
+    OVERFLOW_FINGERPRINT,
+    QueryProfiler,
+    batch_bucket,
+    fingerprint,
+)
+
+pytestmark = pytest.mark.obs
+
+SCHEMA = Schema.of(("k", UINT64), ("name", char(12)), ("n", UINT32))
+
+
+def _db(wal=False, **kwargs):
+    db = Database(
+        data_pool_pages=kwargs.pop("data_pool_pages", 64),
+        seed=3,
+        metrics=MetricsRegistry(),
+        wal=wal,
+        **kwargs,
+    )
+    t = db.create_table("t", SCHEMA)
+    db.create_index("t", "pk", ("k",))
+    db.create_cached_index("t", "cache", ("k",), ("name", "n"))
+    for i in range(100):
+        t.insert({"k": i, "name": f"r{i}", "n": i % 7})
+    return db, t
+
+
+# -- fingerprints -----------------------------------------------------------
+
+
+def test_batch_bucket_power_of_two_ceiling():
+    assert [batch_bucket(n) for n in (0, 1, 2, 3, 4, 5, 8, 9, 1000)] == [
+        1, 1, 2, 4, 4, 8, 8, 16, 1024,
+    ]
+
+
+def test_fingerprint_shape_never_values():
+    fp = fingerprint("lookup", "t", "pk", ("k", "n"), batch=1)
+    assert fp == "lookup:t.pk->k,n"
+    assert fingerprint("lookup", "t", "pk", ("k", "n"), batch=6) == (
+        "lookup:t.pk->k,n x8"
+    )
+    assert fingerprint("insert", "t") == "insert:t"
+
+
+def test_fingerprint_stability_across_keys_and_batches():
+    """Every key probed and every batch size in one power-of-two bucket
+    lands on the same fingerprint — the profiler aggregates by shape."""
+    db, t = _db()
+    profiler = db.enable_profiling()
+    for key in (1, 50, 99):
+        t.lookup("pk", key, ("k", "n"))
+    t.lookup_many("pk", [1, 2, 3], ("k", "n"))
+    t.lookup_many("pk", [7, 8, 9, 10], ("k", "n"))
+    fps = {s.fingerprint for s in profiler.top()}
+    assert fps == {"lookup:t.pk->k,n", "lookup_many:t.pk->k,n x4"}
+    scalar = profiler.stats("lookup:t.pk->k,n")
+    assert scalar.calls == 3
+
+
+def test_enable_profiling_idempotent_and_propagates_to_new_tables():
+    db, t = _db()
+    profiler = db.enable_profiling()
+    assert db.enable_profiling() is profiler
+    t2 = db.create_table("t2", SCHEMA)
+    assert t2.profiler is profiler
+    assert db.profiler is profiler
+
+
+# -- per-query deltas -------------------------------------------------------
+
+
+def test_profile_counts_pages_and_cache_split():
+    db, t = _db()
+    profiler = db.enable_profiling()
+    t.lookup("cache", 5, ("name", "n"))
+    stats = profiler.stats("lookup:t.cache->name,n")
+    assert stats is not None and stats.calls == 1
+    # A warm-pool lookup pins pages without reading from disk.
+    assert stats.pages_pinned > 0
+    assert stats.pages_read == 0
+    assert stats.pages_reused == stats.pages_pinned
+    # First probe of a cold cache must be a miss.
+    assert stats.cache_misses >= 1
+
+
+def test_plain_index_heap_fetches_are_charged():
+    db, t = _db()
+    profiler = db.enable_profiling()
+    t.lookup("pk", 42, ("k", "n"))
+    stats = profiler.stats("lookup:t.pk->k,n")
+    assert stats.heap_fetches == 1  # PlainIndex fetches the heap every time
+
+
+def test_nested_operations_charge_to_outermost():
+    db, t = _db()
+    profiler = db.enable_profiling()
+    with profiler.operation("outer", "t"):
+        t.lookup("pk", 1, ("k",))
+        t.lookup("pk", 2, ("k",))
+    assert profiler.operations == 1
+    outer = profiler.stats("outer:t")
+    assert outer.calls == 1
+    assert outer.descents == 2  # both inner descents folded in
+    assert profiler.stats("lookup:t.pk->k") is None
+
+
+def test_error_operations_are_flagged_and_counted():
+    db, t = _db()
+    profiler = db.enable_profiling()
+    with pytest.raises(QueryError):
+        with profiler.operation("boom", "t"):
+            raise QueryError("kaput")
+    assert profiler.stats("boom:t").errors == 1
+    assert db.metrics.get("profiler.errors").value == 1
+    (profile,) = profiler.slow_queries()
+    assert profile.error and profile.line().startswith("#0 ")
+
+
+def test_scan_bracket_covers_iteration():
+    db, t = _db()
+    profiler = db.enable_profiling()
+    rows = list(t.scan(project=("k",)))
+    assert len(rows) == 100
+    stats = profiler.stats("scan:t->k")
+    assert stats.calls == 1 and stats.pages_pinned > 0
+
+
+# -- WAL attribution --------------------------------------------------------
+
+
+def test_wal_bytes_attributed_under_group_commit():
+    """A record parked in the group-commit buffer is still charged to the
+    operation that logged it, not to the op that trips the flush."""
+    db, t = _db(wal=True, wal_group_commit=64)  # nothing flushes mid-test
+    profiler = db.enable_profiling()
+    flushes_before = db.metrics.get("wal.flushes").value
+    t.insert({"k": 1000, "name": "w", "n": 1})
+    insert_stats = profiler.stats("insert:t")
+    assert insert_stats.wal_bytes > 0
+    # Really still buffered: the profiled insert tripped no flush.
+    assert db.metrics.get("wal.flushes").value == flushes_before
+
+    t.lookup("pk", 1000, ("k", "n"))
+    lookup_stats = profiler.stats("lookup:t.pk->k,n")
+    assert lookup_stats.wal_bytes == 0  # reads log nothing, flush or not
+
+
+def test_wal_bytes_flush_timing_independent():
+    """Same ops, different group-commit sizes: identical attribution."""
+
+    def charged(group_commit):
+        db, t = _db(wal=True, wal_group_commit=group_commit)
+        profiler = db.enable_profiling()
+        for i in range(10):
+            t.insert({"k": 2000 + i, "name": "x", "n": i})
+            t.update("pk", 2000 + i, {"n": i + 1})
+        return {
+            s.fingerprint: s.wal_bytes for s in profiler.top()
+        }
+
+    assert charged(1) == charged(64)
+
+
+# -- reconciliation (acceptance) --------------------------------------------
+
+
+def test_profiles_reconcile_with_registry_totals():
+    """Sum of per-profile deltas == registry movement over the profiled
+    span: pages pinned, cache hit/miss split, and WAL bytes."""
+    db, t = _db(wal=True, wal_group_commit=8)
+    reg = db.metrics
+    before = {
+        name: reg.get(name).value
+        for name in (
+            "bufferpool.hit", "bufferpool.miss",
+            "index_cache.hit", "index_cache.miss", "wal.bytes",
+        )
+    }
+    wal_pending_before = db.wal.pending_bytes
+    profiler = db.enable_profiling()
+    for i in range(40):
+        t.lookup("cache", i % 25, ("name", "n"))
+        if i % 5 == 0:
+            t.update("pk", i, {"n": 0})
+    t.lookup_many("cache", [1, 2, 3, 1], ("name", "n"))
+
+    top = profiler.top()
+    pinned = sum(s.pages_pinned for s in top)
+    reused = sum(s.pages_reused for s in top)
+    read = sum(s.pages_read for s in top)
+    hits = sum(s.cache_hits for s in top)
+    misses = sum(s.cache_misses for s in top)
+    wal_bytes = sum(s.wal_bytes for s in top)
+
+    assert reused == reg.get("bufferpool.hit").value - before["bufferpool.hit"]
+    assert read == reg.get("bufferpool.miss").value - before["bufferpool.miss"]
+    assert pinned == reused + read
+    assert hits == reg.get("index_cache.hit").value - before["index_cache.hit"]
+    assert misses == (
+        reg.get("index_cache.miss").value - before["index_cache.miss"]
+    )
+    assert wal_bytes == (
+        reg.get("wal.bytes").value + db.wal.pending_bytes
+        - before["wal.bytes"] - wal_pending_before
+    )
+    assert wal_bytes > 0  # the updates really logged something
+
+
+# -- slow log and bounds ----------------------------------------------------
+
+
+def test_slow_log_ranked_and_bounded():
+    profiler = QueryProfiler(MetricsRegistry(), slow_log_size=4)
+    clock = [0.0]
+    profiler._clock = lambda: clock[0]
+    for cost in (5.0, 1.0, 9.0, 3.0, 7.0, 2.0):
+        with profiler.operation("op", "t"):
+            clock[0] += cost
+    slow = profiler.slow_queries()
+    assert len(slow) == 4  # ring keeps the newest 4
+    assert [p.elapsed_ns for p in slow] == sorted(
+        (9.0, 3.0, 7.0, 2.0), reverse=True
+    )
+    assert profiler.slow_queries(2)[0].elapsed_ns == 9.0
+
+
+def test_slow_threshold_filters_cheap_operations():
+    profiler = QueryProfiler(MetricsRegistry(), slow_threshold_ns=5.0)
+    clock = [0.0]
+    profiler._clock = lambda: clock[0]
+    for cost in (1.0, 6.0, 2.0, 8.0):
+        with profiler.operation("op", "t"):
+            clock[0] += cost
+    assert [p.elapsed_ns for p in profiler.slow_queries()] == [8.0, 6.0]
+    assert profiler.stats("op:t").calls == 4  # rollup still sees everything
+
+
+def test_fingerprint_table_overflows_into_other():
+    profiler = QueryProfiler(MetricsRegistry(), max_fingerprints=3)
+    for i in range(6):
+        with profiler.operation("op", f"table_{i}"):
+            pass
+    fps = {s.fingerprint for s in profiler.top()}
+    assert OVERFLOW_FINGERPRINT in fps
+    assert len(fps) == 4  # 3 real + the overflow bucket
+    assert profiler.stats(OVERFLOW_FINGERPRINT).calls == 3
+    assert DEFAULT_MAX_FINGERPRINTS >= 3
+
+
+def test_as_dict_and_format_top_render():
+    db, t = _db()
+    profiler = db.enable_profiling()
+    t.lookup("pk", 1, ("k",))
+    doc = profiler.as_dict()
+    assert doc["operations"] == 1
+    assert doc["top"][0]["fingerprint"] == "lookup:t.pk->k"
+    text = profiler.format_top()
+    assert "lookup:t.pk->k" in text
+    assert "(no operations profiled)" in QueryProfiler(
+        MetricsRegistry()
+    ).format_top()
+
+
+def test_profiling_off_by_default_and_opt_in():
+    db, t = _db()
+    assert db.profiler is None and t.profiler is None
+    t.lookup("pk", 1, ("k",))  # no profiler: nothing recorded anywhere
+    assert "profiler" not in db.metrics.snapshot()

@@ -91,6 +91,59 @@ def test_export_json_document_shape(tmp_path):
     assert 0.0 <= on_disk["derived"]["index_cache.hit_rate"] <= 1.0
 
 
+def test_histogram_percentile_upper_bound_estimate():
+    from repro.errors import ObservabilityError
+
+    reg = MetricsRegistry()
+    hist = reg.histogram("lat")
+    assert hist.percentile(0.5) == 0.0  # empty distribution
+    for v in (1, 1, 1, 1, 100):
+        hist.record(v)
+    # Bucketed: an upper estimate from log2 bucket bounds (1 -> <=2).
+    assert hist.percentile(0.5) == 2.0
+    # The top bucket is capped at the observed max, not its bound.
+    assert hist.percentile(0.99) == 100.0
+    assert hist.percentile(0.0) == 2.0 and hist.percentile(1.0) == 100.0
+    with pytest.raises(ObservabilityError):
+        hist.percentile(1.5)
+    with pytest.raises(ObservabilityError):
+        reg.histogram("empty").percentile(-0.1)  # validated even when empty
+
+
+def test_format_report_includes_percentiles():
+    reg = MetricsRegistry()
+    for v in (1, 2, 4, 80):
+        reg.histogram("span.q.ns").record(v)
+    text = format_report(reg)
+    assert "p50<=" in text and "max=80" in text
+
+
+def test_derived_rates_throughput_and_zero_duration_guard():
+    reg = MetricsRegistry()
+    reg.counter("wal.bytes").inc(500)
+    # No window: hit rates only (none here), never a division error.
+    assert derived_rates(reg) == {}
+    assert derived_rates(reg, elapsed_ns=0.0) == {}
+    assert derived_rates(reg, elapsed_ns=-5.0) == {}
+    rates = derived_rates(reg, elapsed_ns=2e9)
+    assert rates["wal.bytes.per_sec"] == 250.0
+
+
+def test_export_json_includes_tracer_spans(tmp_path):
+    db = _drive_workload()
+    doc = json.loads(
+        export_json(db.metrics, tracer=db.tracer, span_limit=5)
+    )
+    assert len(doc["spans"]) == 5
+    span = doc["spans"][-1]
+    assert set(span) == {
+        "name", "start_ns", "elapsed_ns", "depth", "attrs", "error",
+    }
+    assert span["name"].startswith("query.")
+    # Without a tracer the key is absent entirely (document stays small).
+    assert "spans" not in json.loads(export_json(db.metrics))
+
+
 def test_snapshot_deterministic_under_seeded_rng():
     first = _drive_workload(metrics=MetricsRegistry(), seed=11)
     second = _drive_workload(metrics=MetricsRegistry(), seed=11)
