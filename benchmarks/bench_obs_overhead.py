@@ -177,6 +177,65 @@ def _time_disabled_hooks(table, sampler, n):
     return time.perf_counter() - start
 
 
+def bench_disabled_controller_tax_under_5_percent(run_check):
+    """Adaptive control *off* must cost <5% of the NullRegistry workload.
+
+    Two off-states exist and both are timed, once per workload operation
+    in isolation: the detached state (the per-operation
+    ``_ticker is not None`` test, the only cost until
+    ``Database.enable_adaptive`` runs) and the attached-but-disabled
+    state (``controller.tick()`` returning before it touches the
+    sampler).  The gate takes the worse of the two.
+    """
+
+    def body():
+        from repro.obs import AdaptiveController
+        from repro.obs.sampler import TelemetrySampler
+
+        start = time.perf_counter()
+        db = _run_workload(NULL_REGISTRY)
+        loop_s = time.perf_counter() - start
+
+        table = db.table("t")
+        assert table.ticker is None  # opt-in: never attached here
+        events = N_ROWS + N_LOOKUPS  # one hook crossing per operation
+
+        detached_s = min(
+            _time_controller_hook(table, events) for _ in range(3)
+        )
+        table.ticker = AdaptiveController(
+            TelemetrySampler(
+                NULL_REGISTRY, clock=db.cost_model, interval_ns=float("inf")
+            ),
+            registry=NULL_REGISTRY,
+            enabled=False,
+        )
+        disabled_s = min(
+            _time_controller_hook(table, events) for _ in range(3)
+        )
+        table.ticker = None
+
+        tax = max(detached_s, disabled_s) / loop_s
+        print(
+            f"disabled-controller tax: {events} hook crossings, "
+            f"detached {detached_s * 1e3:.2f} ms / disabled "
+            f"{disabled_s * 1e3:.2f} ms vs {loop_s * 1e3:.1f} ms workload "
+            f"({tax:.2%})"
+        )
+        assert tax < 0.05
+
+    run_check(body)
+
+
+def _time_controller_hook(table, n):
+    start = time.perf_counter()
+    for _ in range(n):
+        ticker = table._ticker  # the exact hot-path attribute test
+        if ticker is not None:
+            ticker.tick()
+    return time.perf_counter() - start
+
+
 def bench_enabled_telemetry_matches_baseline(run_check):
     """The full pipeline's deterministic counts stay pinned to baseline.
 

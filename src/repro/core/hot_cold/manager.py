@@ -77,6 +77,12 @@ class OnlineHotColdManager:
         self._m_migrated_bytes = reg.counter("hotcold.migrations.bytes")
         self._m_aborts = reg.counter("hotcold.migration_aborts")
         self._m_hot_rows = reg.gauge("hotcold.hot_rows")
+        self._m_hit = reg.counter("hotcold.hit")
+        self._m_miss = reg.counter("hotcold.miss")
+        self._m_cap_knob = reg.gauge("adaptive.knob.hotcold.hot_capacity")
+        self._m_epoch_knob = reg.gauge("adaptive.knob.hotcold.ops_per_epoch")
+        self._m_cap_knob.set(float(self._hot_capacity))
+        self._m_epoch_knob.set(float(self._ops_per_epoch))
 
     @property
     def tracker(self) -> AccessTracker:
@@ -85,6 +91,35 @@ class OnlineHotColdManager:
     @property
     def table(self) -> HotColdPartitionedTable:
         return self._table
+
+    @property
+    def hot_capacity(self) -> int:
+        """Target number of rows in the hot partition (adaptive knob)."""
+        return self._hot_capacity
+
+    @property
+    def ops_per_epoch(self) -> int:
+        """Lookups between automatic rebalances (adaptive knob)."""
+        return self._ops_per_epoch
+
+    def set_hot_capacity(self, hot_capacity: int) -> None:
+        """Retune the hot-fraction target; applied at the next rebalance."""
+        if hot_capacity <= 0:
+            raise WorkloadError("hot_capacity must be positive")
+        self._hot_capacity = int(hot_capacity)
+        self._m_cap_knob.set(float(self._hot_capacity))
+
+    def set_ops_per_epoch(self, ops_per_epoch: int) -> None:
+        """Retune the rebalance cadence.
+
+        Takes effect immediately: if the ops already accumulated since
+        the last rebalance meet the new (shorter) epoch, the next tracked
+        lookup triggers one.
+        """
+        if ops_per_epoch <= 0:
+            raise WorkloadError("epoch and budget must be positive")
+        self._ops_per_epoch = int(ops_per_epoch)
+        self._m_epoch_knob.set(float(self._ops_per_epoch))
 
     # -- the query path ----------------------------------------------------------
 
@@ -95,7 +130,14 @@ class OnlineHotColdManager:
         self._m_lookups.inc()
         self._tracker.record(key_value)
         self._ops_since_rebalance += 1
+        hot_before = self._table.hot_lookups
         result = self._table.lookup(key_value, project)
+        # hit = served by the hot partition; the delta pair feeds the
+        # sampler's ``derived.hotcold.hit_rate`` selector per window.
+        if self._table.hot_lookups > hot_before:
+            self._m_hit.inc()
+        else:
+            self._m_miss.inc()
         if self._ops_since_rebalance >= self._ops_per_epoch:
             self.rebalance()
         return result

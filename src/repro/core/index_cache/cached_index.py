@@ -56,6 +56,7 @@ class CachedIndexStats:
     not_answerable: int = 0
     cache_fills: int = 0
     fills_skipped_latch: int = 0
+    fills_skipped_admission: int = 0
 
     @property
     def cache_answer_rate(self) -> float:
@@ -128,6 +129,12 @@ class CachedBTree:
         self._cost = cost_model
         self._answerable = set(key_columns) | set(cached_fields)
         self.stats = CachedIndexStats()
+        #: Admission aggressiveness: the fraction of piggy-back fill
+        #: opportunities actually written into leaf cache windows.  1.0
+        #: (the default) admits everything — the paper's behaviour; the
+        #: adaptive controller lowers it to shed fill work under churn.
+        self._admission = 1.0
+        self._admission_credit = 0.0
         reg = resolve_registry(registry)
         self._m_lookup = reg.counter("index_cache.lookup")
         self._m_hit = reg.counter("index_cache.hit")
@@ -136,6 +143,11 @@ class CachedBTree:
         self._m_not_answerable = reg.counter("index_cache.not_answerable")
         self._m_fill = reg.counter("index_cache.fill")
         self._m_fill_skipped = reg.counter("index_cache.fill_skipped_latch")
+        self._m_fill_skipped_admission = reg.counter(
+            "index_cache.fill_skipped_admission"
+        )
+        self._m_admission_knob = reg.gauge("adaptive.knob.index_cache.admission")
+        self._m_admission_knob.set(self._admission)
 
     # -- properties ----------------------------------------------------------
 
@@ -166,6 +178,26 @@ class CachedBTree:
     @property
     def cached_fields(self) -> tuple[str, ...]:
         return self._cached_fields
+
+    @property
+    def cache_admission(self) -> float:
+        """Fraction of piggy-back fill opportunities admitted (0..1)."""
+        return self._admission
+
+    def set_cache_admission(self, fraction: float) -> None:
+        """Retune cache-fill admission (the adaptive knob).
+
+        Deterministic credit accounting, not coin flips: each skipped
+        opportunity accrues ``fraction`` of a fill credit and the next
+        opportunity with a whole credit is admitted, so a long run of
+        fills converges on exactly the requested admission rate.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise QueryError(
+                f"cache admission must be within [0, 1], got {fraction}"
+            )
+        self._admission = float(fraction)
+        self._m_admission_knob.set(self._admission)
 
     def encode_key(self, key_value: object) -> bytes:
         """Encode a key value (scalar or tuple for composite keys)."""
@@ -477,6 +509,13 @@ class CachedBTree:
         return {name: values[name] for name in project}
 
     def _fill_cache(self, page, tid: bytes, record: bytes) -> None:
+        if self._admission < 1.0:
+            self._admission_credit += self._admission
+            if self._admission_credit < 1.0:
+                self.stats.fills_skipped_admission += 1
+                self._m_fill_skipped_admission.inc()
+                return
+            self._admission_credit -= 1.0
         if not self._latch.try_acquire():
             self.stats.fills_skipped_latch += 1
             self._m_fill_skipped.inc()

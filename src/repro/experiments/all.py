@@ -23,6 +23,7 @@ from pathlib import Path
 
 from repro.experiments import (
     ablations,
+    adaptive,
     batched,
     capacity,
     encoding_waste,
@@ -50,6 +51,7 @@ _DRIVERS = {
     "batched": batched.main,
     "wal": wal.main,
     "obs": obs.main,
+    "adaptive": adaptive.main,
 }
 
 DEFAULT_JSON_PATH = "experiments_metrics.json"

@@ -85,6 +85,9 @@ class DrillReport:
     #: breaches the quarantine ceiling and still passes on correctness.
     health_ok: bool = True
     health: dict = field(default_factory=dict)
+    #: Knob adjustments applied by the adaptive controller across the
+    #: whole drill, every restart included (0 = controller off).
+    tuning_actions: int = 0
 
     @property
     def ledger_balanced(self) -> bool:
@@ -183,6 +186,7 @@ def run_fault_drill(
     crash_restarts: int = 2,
     checkpoint_every: int = 1_000,
     telemetry_samples: int = 16,
+    adaptive: bool = False,
 ) -> DrillReport:
     """Replay a mixed Wikipedia-revision workload under injected faults.
 
@@ -197,6 +201,13 @@ def run_fault_drill(
     verdicts land in the report as data (``health_ok``, ``health``) but
     never affect ``passed`` — the drill judges correctness, the health
     checker judges service levels, and a drill is *supposed* to hurt.
+
+    ``adaptive=True`` arms the engine's
+    :class:`~repro.obs.adaptive.AdaptiveController` for the whole drill —
+    including across crash restarts, where the fresh database gets a
+    fresh controller.  The controller may retune knobs mid-drill while
+    faults fly; the drill's correctness verdict must be unaffected, which
+    is exactly what this flag exists to prove.
     """
     from repro.wal.replay import recover  # late: harness ← query ← wal
 
@@ -226,6 +237,14 @@ def run_fault_drill(
     for row in data.revision_rows:
         table.insert(row)
         mirror[row["rev_id"]] = dict(row)
+
+    # Armed *after* the bulk load so tuning reacts to the drill's mixed
+    # workload, not to the insert storm.  Each restart builds a fresh
+    # database and therefore a fresh controller; keep them all so the
+    # report can total the actions taken across the drill's lifetimes.
+    controllers = []
+    if adaptive:
+        controllers.append(db.enable_adaptive())
 
     def is_index_page(page_id: int) -> bool:
         tree = index.tree  # re-read: rebuilds/restarts swap the tree out
@@ -292,6 +311,8 @@ def run_fault_drill(
         )
         table = db.table("revision")
         index = table.index("rev_pk")
+        if adaptive:
+            controllers.append(db.enable_adaptive())
         # Ground truth = the durable log, folded independently of the
         # engine's own replay.  Keys ever seen stay probed: a key whose
         # insert missed the log must now look up as absent.
@@ -436,4 +457,5 @@ def run_fault_drill(
         telemetry_points=sampler.samples_taken if sampler is not None else 0,
         health_ok=health_report.ok if health_report is not None else True,
         health=health_report.as_dict() if health_report is not None else {},
+        tuning_actions=sum(c.actions_taken for c in controllers),
     )

@@ -7,6 +7,16 @@ uninstrumented runs at near-zero overhead and bit-identical outputs.
 See DESIGN.md ("Observability") for the metric naming scheme.
 """
 
+from repro.obs.adaptive import (
+    AdaptiveController,
+    Knob,
+    KnobBinding,
+    TuningAction,
+    WAL_FLUSH_AMPLIFICATION_RULE,
+    database_knobs,
+    default_bindings,
+    hot_cold_knobs,
+)
 from repro.obs.health import (
     DEFAULT_SLO_RULES,
     HealthChecker,
@@ -84,4 +94,12 @@ __all__ = [
     "SloRule",
     "RuleResult",
     "DEFAULT_SLO_RULES",
+    "AdaptiveController",
+    "Knob",
+    "KnobBinding",
+    "TuningAction",
+    "WAL_FLUSH_AMPLIFICATION_RULE",
+    "database_knobs",
+    "default_bindings",
+    "hot_cold_knobs",
 ]

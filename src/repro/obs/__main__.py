@@ -6,6 +6,8 @@ Usage::
     python -m repro.obs top               # EXPLAIN-ANALYZE rollup + slow log
     python -m repro.obs timeline          # ASCII sparklines of sampled series
     python -m repro.obs export            # one JSON document with everything
+    python -m repro.obs health            # SLO verdicts + tuning audit ring
+    python -m repro.obs tune              # adaptive knobs, audit, verdicts
     python -m repro.obs top --ops 20000 --batch 16 --no-wal
 
 Every subcommand drives the same seeded workload: a table with a plain
@@ -56,6 +58,8 @@ class ObservedRun:
     database: object
     replayed_ops: int
     elapsed_ns: float
+    #: The AdaptiveController when ``adaptive=True``, else None.
+    controller: object | None = None
 
 
 def run_observed_workload(
@@ -67,12 +71,19 @@ def run_observed_workload(
     samples: int = 24,
     alpha: float = 1.1,
     wal: bool = True,
+    adaptive: bool = False,
 ) -> ObservedRun:
     """Load, replay, profile, sample, and health-check one workload.
 
     The replay trace is chunked into ``samples`` slices with one sampler
     snapshot between slices, so the timeline has that many non-degenerate
     windows regardless of trace length.
+
+    With ``adaptive=True`` an :class:`~repro.obs.adaptive.AdaptiveController`
+    is attached over the *same* sampler (its per-operation tick disabled
+    by an infinite interval) and fed each chunk's point explicitly, so
+    the control loop runs chunk-synchronously and the sample count stays
+    identical to a non-adaptive run.
     """
     # Late imports: repro.obs stays importable from the lowest layers;
     # only the CLI pulls in the query and workload packages.
@@ -94,9 +105,11 @@ def run_observed_workload(
 
     profiler = db.enable_profiling(slow_log_size=64)
     sampler = TelemetrySampler(
-        registry, clock=db.cost_model, capacity=max(samples + 1, 16)
+        registry, clock=db.cost_model, capacity=max(samples + 1, 16),
+        interval_ns=float("inf") if adaptive else 1_000_000.0,
     )
     checker = HealthChecker(sampler, DEFAULT_SLO_RULES)
+    controller = db.enable_adaptive(sampler=sampler) if adaptive else None
 
     trace = build_mixed_trace(
         n_ops,
@@ -117,7 +130,9 @@ def run_observed_workload(
             project=("k", "name"), lookup_batch_size=batch,
         )
         replayed += result.operations
-        sampler.sample()
+        point = sampler.sample()
+        if controller is not None:
+            controller.evaluate(point)
     if wal:
         db.wal.flush()
     return ObservedRun(
@@ -128,6 +143,7 @@ def run_observed_workload(
         database=db,
         replayed_ops=replayed,
         elapsed_ns=db.cost_model.now_ns - start_ns,
+        controller=controller,
     )
 
 
@@ -208,6 +224,22 @@ def _cmd_timeline(run: ObservedRun, args: argparse.Namespace) -> None:
     print(format_timeline(run.sampler, selectors, width=args.width))
 
 
+def _cmd_health(run: ObservedRun, args: argparse.Namespace) -> None:
+    print(run.health.format())
+    if run.controller is not None:
+        print()
+        print(run.controller.format_audit(limit=args.actions))
+
+
+def _cmd_tune(run: ObservedRun, args: argparse.Namespace) -> None:
+    controller = run.controller
+    print(controller.format_knobs())
+    print()
+    print(controller.format_audit(limit=args.actions))
+    print()
+    print(run.health.format())
+
+
 def _cmd_export(run: ObservedRun, args: argparse.Namespace) -> None:
     text = export_json(
         run.registry,
@@ -248,6 +280,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="Zipf skew of the trace (default 1.1)")
     common.add_argument("--no-wal", action="store_true",
                         help="run without a write-ahead log")
+    common.add_argument("--adaptive", action="store_true",
+                        help="attach the AdaptiveController to the run "
+                        "(always on for the health/tune subcommands)")
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
@@ -289,6 +324,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_export.add_argument("--spans", type=int, default=64,
                           help="newest tracer spans included (default 64)")
     p_export.set_defaults(func=_cmd_export)
+
+    p_health = sub.add_parser(
+        "health", parents=[common],
+        help="SLO rule verdicts plus the controller's tuning audit ring",
+    )
+    p_health.add_argument("--actions", type=int, default=16,
+                          help="newest tuning actions shown (default 16)")
+    p_health.set_defaults(func=_cmd_health, force_adaptive=True)
+
+    p_tune = sub.add_parser(
+        "tune", parents=[common],
+        help="adaptive knob state, tuning audit ring, and SLO verdicts",
+    )
+    p_tune.add_argument("--actions", type=int, default=16,
+                        help="newest tuning actions shown (default 16)")
+    p_tune.set_defaults(func=_cmd_tune, force_adaptive=True)
     return parser
 
 
@@ -303,6 +354,7 @@ def main(argv: list[str] | None = None) -> int:
         samples=args.samples,
         alpha=args.alpha,
         wal=not args.no_wal,
+        adaptive=args.adaptive or getattr(args, "force_adaptive", False),
     )
     args.func(run, args)
     return 0

@@ -1,0 +1,526 @@
+"""AdaptiveController: the telemetry loop closed — SLOs retune the engine.
+
+PR 1 and PR 5 built the measurement pipeline (metrics → sampler windows →
+``SloRule`` verdicts); this module makes the verdicts *actuate*.  The
+control loop is deliberately boring::
+
+    signals            rules                actions            audit
+    sampler windows -> HealthChecker     -> bounded knob    -> TuningAction
+    (rates, gauges,    breach streaks       steps with         ring (what,
+    percentiles)       per rule             cooldowns          why, before/
+                                                               after)
+
+A :class:`Knob` wraps one live engine setting behind a getter/setter pair
+with hard bounds, a step size, and a kind (``int`` or ``float``).  A
+:class:`KnobBinding` connects one rule to one knob with a direction and
+the hysteresis parameters: the rule must breach ``breach_windows``
+*consecutive* evaluation windows before the knob moves, and after a move
+the knob is frozen for ``cooldown_windows`` further evaluations.  Both
+guards exist so a single-window spike or an oscillating signal cannot
+thrash a knob — the same reasoning that makes the rules themselves
+average over windows.
+
+Every applied change is recorded as a :class:`TuningAction` in a bounded
+audit ring: which rule fired, which knob moved, the before/after values,
+and a human-readable reason.  Operators read the ring through
+``python -m repro.obs tune`` (or ``health``); nothing is ever tuned
+silently.
+
+The controller runs on the engine's :class:`~repro.sim.cost_model.CostModel`
+clock: :meth:`AdaptiveController.tick` is cheap enough to call per
+operation (``Table`` does, when attached) and samples a new telemetry
+window only when the sampler's interval has elapsed in *simulated* time.
+Drivers that sample manually call :meth:`AdaptiveController.evaluate`
+with each fresh point instead.  A degenerate window — zero duration, or
+a backward clock after a crash-restart swaps the cost model — is counted
+and skipped: no rates resolve in it, so acting on it would be acting on
+noise.
+
+This module imports only sibling ``repro.obs`` modules.  Knob factories
+for concrete subsystems (:func:`database_knobs`, :func:`hot_cold_knobs`)
+take their targets duck-typed, so ``repro.query`` can depend on this
+module without a cycle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.errors import ObservabilityError
+from repro.obs.health import DEFAULT_SLO_RULES, HealthChecker, SloRule
+from repro.obs.registry import MetricsRegistry, resolve_registry
+from repro.obs.sampler import TelemetryPoint, TelemetrySampler
+
+#: Extra rule for WAL-attached engines: device appends per logged record.
+#: A healthy group commit amortises several records per append; a mean
+#: above 0.5 over the window means batches average under two records —
+#: the group-commit window is too small for the write rate.
+WAL_FLUSH_AMPLIFICATION_RULE = SloRule(
+    name="wal-flush-amplification-ceiling",
+    selector="ratio:rate.wal.flushes/rate.wal.records",
+    op="<=",
+    threshold=0.5,
+    window=3,
+    description="group commit must amortise >= 2 records per device append",
+)
+
+
+@dataclass
+class Knob:
+    """One live engine setting the controller may move.
+
+    ``getter``/``setter`` close over the owning subsystem; the controller
+    never imports it.  Values are clamped to ``[lo, hi]`` and, for
+    ``kind="int"`` knobs, rounded before the setter sees them — a knob can
+    therefore never drive its subsystem outside the envelope its author
+    declared safe.
+    """
+
+    name: str
+    getter: Callable[[], float]
+    setter: Callable[[float], None]
+    lo: float
+    hi: float
+    step: float
+    kind: str = "float"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("int", "float"):
+            raise ObservabilityError(
+                f"knob {self.name!r}: kind must be 'int' or 'float'"
+            )
+        if not self.lo < self.hi:
+            raise ObservabilityError(
+                f"knob {self.name!r}: bounds must satisfy lo < hi"
+            )
+        if self.step <= 0:
+            raise ObservabilityError(f"knob {self.name!r}: step must be > 0")
+
+    def read(self) -> float:
+        return float(self.getter())
+
+    def clamp(self, value: float) -> float:
+        value = min(max(value, self.lo), self.hi)
+        if self.kind == "int":
+            value = float(int(round(value)))
+        return value
+
+    def stepped(self, value: float, direction: str) -> float:
+        """The value one bounded step away (equal to ``value`` at a bound)."""
+        delta = self.step if direction == "up" else -self.step
+        return self.clamp(value + delta)
+
+    def apply(self, value: float) -> float:
+        value = self.clamp(value)
+        self.setter(int(value) if self.kind == "int" else value)
+        return value
+
+
+@dataclass(frozen=True)
+class KnobBinding:
+    """Rule -> knob wiring with the hysteresis parameters."""
+
+    rule: str
+    knob: str
+    direction: str  # "up" | "down"
+    #: Consecutive breach windows required before the knob moves.
+    breach_windows: int = 2
+    #: Evaluations the knob stays frozen after a move.
+    cooldown_windows: int = 2
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("up", "down"):
+            raise ObservabilityError(
+                f"binding {self.rule!r}->{self.knob!r}: direction must be "
+                "'up' or 'down'"
+            )
+        if self.breach_windows < 1:
+            raise ObservabilityError(
+                f"binding {self.rule!r}->{self.knob!r}: breach_windows "
+                "must be >= 1"
+            )
+        if self.cooldown_windows < 0:
+            raise ObservabilityError(
+                f"binding {self.rule!r}->{self.knob!r}: cooldown_windows "
+                "must be >= 0"
+            )
+
+
+@dataclass(frozen=True)
+class TuningAction:
+    """One applied knob change — the audit record."""
+
+    seq: int
+    t_ns: float
+    knob: str
+    rule: str
+    direction: str
+    before: float
+    after: float
+    reason: str
+
+    def line(self) -> str:
+        return (
+            f"#{self.seq} t={self.t_ns:.0f}ns {self.knob}: "
+            f"{self.before:g} -> {self.after:g} ({self.direction}) "
+            f"[{self.rule}] {self.reason}"
+        )
+
+
+class AdaptiveController:
+    """Consumes sampler windows + rule verdicts, retunes registered knobs.
+
+    The controller owns a :class:`HealthChecker` over the given rules and
+    tracks, per rule, the streak of *consecutive* breach windows.  When a
+    binding's streak reaches its threshold and its knob is neither
+    cooling down nor saturated at a bound, the knob moves one step and
+    the change is recorded.  Streaks are **not** reset by an action: if
+    the breach persists past the cooldown, the knob steps again —
+    escalation toward the bound is the intended response to a sustained
+    breach.
+    """
+
+    def __init__(
+        self,
+        sampler: TelemetrySampler,
+        rules: Sequence[SloRule] = DEFAULT_SLO_RULES,
+        knobs: Iterable[Knob] = (),
+        bindings: Iterable[KnobBinding] = (),
+        registry: MetricsRegistry | None = None,
+        enabled: bool = True,
+        audit_capacity: int = 64,
+    ) -> None:
+        if audit_capacity < 1:
+            raise ObservabilityError("audit_capacity must be >= 1")
+        self._sampler = sampler
+        self._checker = HealthChecker(sampler, tuple(rules))
+        rule_names = {r.name for r in self._checker.rules}
+        self._knobs: dict[str, Knob] = {}
+        for knob in knobs:
+            if knob.name in self._knobs:
+                raise ObservabilityError(f"duplicate knob {knob.name!r}")
+            self._knobs[knob.name] = knob
+        self._bindings: tuple[KnobBinding, ...] = tuple(bindings)
+        for binding in self._bindings:
+            if binding.rule not in rule_names:
+                raise ObservabilityError(
+                    f"binding references unknown rule {binding.rule!r}"
+                )
+            if binding.knob not in self._knobs:
+                raise ObservabilityError(
+                    f"binding references unknown knob {binding.knob!r}"
+                )
+        self._streaks: dict[str, int] = {}
+        self._cooldown_until: dict[str, int] = {}
+        self._evals = 0
+        self._actions_total = 0
+        self._audit: deque[TuningAction] = deque(maxlen=audit_capacity)
+        self._enabled = bool(enabled)
+        reg = resolve_registry(registry)
+        self._m_ticks = reg.counter("adaptive.ticks")
+        self._m_actions = reg.counter("adaptive.actions")
+        self._m_breaches = reg.counter("adaptive.breach_windows")
+        self._m_cooldown = reg.counter("adaptive.cooldown_skips")
+        self._m_saturated = reg.counter("adaptive.saturated")
+        self._m_degenerate = reg.counter("adaptive.degenerate_windows")
+        self._m_enabled = reg.gauge("adaptive.enabled")
+        self._m_enabled.set(1.0 if self._enabled else 0.0)
+
+    # -- properties ----------------------------------------------------------
+
+    @property
+    def sampler(self) -> TelemetrySampler:
+        return self._sampler
+
+    @property
+    def rules(self) -> tuple[SloRule, ...]:
+        return self._checker.rules
+
+    @property
+    def knobs(self) -> dict[str, Knob]:
+        return dict(self._knobs)
+
+    @property
+    def bindings(self) -> tuple[KnobBinding, ...]:
+        return self._bindings
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        self._enabled = bool(value)
+        self._m_enabled.set(1.0 if self._enabled else 0.0)
+
+    @property
+    def actions(self) -> list[TuningAction]:
+        """The audit ring, oldest first (bounded by ``audit_capacity``)."""
+        return list(self._audit)
+
+    @property
+    def actions_taken(self) -> int:
+        """Total actions ever applied (may exceed the ring's length)."""
+        return self._actions_total
+
+    @property
+    def evaluations(self) -> int:
+        """Non-degenerate windows evaluated so far."""
+        return self._evals
+
+    # -- the control loop ----------------------------------------------------
+
+    def tick(self) -> list[TuningAction] | None:
+        """Per-operation hook: sample if the interval elapsed, then act.
+
+        Returns ``None`` when disabled or inside the sampling interval
+        (the overwhelmingly common case — two attribute reads and a clock
+        compare), else the actions the fresh window triggered.
+        """
+        if not self._enabled:
+            return None
+        point = self._sampler.tick()
+        if point is None:
+            return None
+        return self.evaluate(point)
+
+    def evaluate(self, point: TelemetryPoint) -> list[TuningAction]:
+        """Judge one freshly sampled window and apply any due actions.
+
+        Drivers that call ``sampler.sample()`` themselves (chunked
+        replays, experiments) feed each point here; :meth:`tick` is the
+        self-clocked wrapper over the same logic.
+        """
+        self._m_ticks.inc()
+        if point.dt_ns <= 0:
+            # Zero-duration window, or the clock went backward (a
+            # crash-restart swapped the cost model): no rates resolved,
+            # so there is nothing trustworthy to act on.  Streaks and
+            # cooldowns are left untouched.
+            self._m_degenerate.inc()
+            return []
+        self._evals += 1
+        report = self._checker.evaluate()
+        results = {r.rule.name: r for r in report.results}
+        for result in report.results:
+            if result.status == "breach":
+                self._streaks[result.rule.name] = (
+                    self._streaks.get(result.rule.name, 0) + 1
+                )
+                self._m_breaches.inc()
+            else:
+                self._streaks[result.rule.name] = 0
+        actions: list[TuningAction] = []
+        for binding in self._bindings:
+            streak = self._streaks.get(binding.rule, 0)
+            if streak < binding.breach_windows:
+                continue
+            until = self._cooldown_until.get(binding.knob)
+            if until is not None and self._evals <= until:
+                self._m_cooldown.inc()
+                continue
+            knob = self._knobs[binding.knob]
+            before = knob.read()
+            target = knob.stepped(before, binding.direction)
+            if target == before:
+                self._m_saturated.inc()
+                continue
+            knob.apply(target)
+            after = knob.read()
+            if after == before:
+                # The setter quantized the step away (e.g. a fractional
+                # knob over an integer resource): effectively saturated,
+                # and recording a no-op "change" would pollute the audit.
+                self._m_saturated.inc()
+                continue
+            self._cooldown_until[binding.knob] = (
+                self._evals + binding.cooldown_windows
+            )
+            result = results[binding.rule]
+            rule = result.rule
+            observed = "-" if result.observed is None else f"{result.observed:.4g}"
+            action = TuningAction(
+                seq=self._actions_total,
+                t_ns=point.t_ns,
+                knob=knob.name,
+                rule=rule.name,
+                direction=binding.direction,
+                before=before,
+                after=after,
+                reason=(
+                    f"{rule.selector} {rule.op} {rule.threshold:g} breached "
+                    f"{streak} window(s), observed {observed}"
+                ),
+            )
+            self._actions_total += 1
+            self._audit.append(action)
+            self._m_actions.inc()
+            actions.append(action)
+        return actions
+
+    # -- rendering -----------------------------------------------------------
+
+    def format_knobs(self, title: str = "adaptive knobs") -> str:
+        state = "enabled" if self._enabled else "disabled"
+        lines = [f"{title}: {len(self._knobs)} knob(s), controller {state}"]
+        for name in sorted(self._knobs):
+            knob = self._knobs[name]
+            lines.append(
+                f"  {name:<32} = {knob.read():>10g}  "
+                f"[{knob.lo:g} .. {knob.hi:g}] step {knob.step:g} ({knob.kind})"
+            )
+        return "\n".join(lines)
+
+    def format_audit(
+        self, limit: int | None = None, title: str = "tuning actions"
+    ) -> str:
+        actions = self.actions
+        if limit is not None:
+            actions = actions[-limit:]
+        header = (
+            f"{title}: {self._actions_total} applied, "
+            f"{len(actions)} shown, {self._evals} window(s) evaluated"
+        )
+        lines = [header]
+        if not actions:
+            lines.append("  (none)")
+        lines += [f"  {action.line()}" for action in actions]
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        return {
+            "enabled": self._enabled,
+            "evaluations": self._evals,
+            "actions_taken": self._actions_total,
+            "knobs": {
+                name: {
+                    "value": knob.read(),
+                    "lo": knob.lo,
+                    "hi": knob.hi,
+                    "step": knob.step,
+                    "kind": knob.kind,
+                }
+                for name, knob in sorted(self._knobs.items())
+            },
+            "streaks": dict(self._streaks),
+            "actions": [
+                {
+                    "seq": a.seq,
+                    "t_ns": a.t_ns,
+                    "knob": a.knob,
+                    "rule": a.rule,
+                    "direction": a.direction,
+                    "before": a.before,
+                    "after": a.after,
+                    "reason": a.reason,
+                }
+                for a in self._audit
+            ],
+        }
+
+
+# -- knob factories -----------------------------------------------------------
+
+
+def database_knobs(db) -> list[Knob]:
+    """The knobs a :class:`~repro.query.database.Database` exposes.
+
+    Duck-typed on the database's adaptive surface (``pool_partition``,
+    ``set_pool_partition``, ``wal``, ``set_group_commit``,
+    ``cache_admission``, ``set_cache_admission``).  The pool-partition
+    knob exists only for split data/index pools — with a shared pool
+    there is no boundary to move.
+    """
+    knobs: list[Knob] = []
+    if db.index_pool is not db.data_pool:
+        knobs.append(Knob(
+            name="pool.data_fraction",
+            getter=lambda: db.pool_partition,
+            setter=db.set_pool_partition,
+            lo=0.1, hi=0.9, step=0.1,
+            description="fraction of total pool frames holding heap pages",
+        ))
+    if db.wal is not None:
+        knobs.append(Knob(
+            name="wal.group_commit_records",
+            getter=lambda: db.wal.group_commit_records,
+            setter=db.set_group_commit,
+            lo=1, hi=64, step=8, kind="int",
+            description="records per WAL group-commit device append",
+        ))
+    knobs.append(Knob(
+        name="index_cache.admission",
+        getter=lambda: db.cache_admission,
+        setter=db.set_cache_admission,
+        lo=0.1, hi=1.0, step=0.3,
+        description="fraction of piggy-back cache fills admitted",
+    ))
+    return knobs
+
+
+def hot_cold_knobs(
+    manager,
+    hot_capacity_max: int | None = None,
+    min_ops_per_epoch: int = 64,
+) -> list[Knob]:
+    """Cadence and hot-fraction knobs for an ``OnlineHotColdManager``.
+
+    Bounds derive from the manager's configured values: capacity may
+    grow to ``hot_capacity_max`` (default 8x) and the rebalance epoch may
+    shrink to ``min_ops_per_epoch`` — the adaptive response to a rotated
+    hot set is "track more keys, re-decide sooner".
+    """
+    cap = manager.hot_capacity
+    epoch = manager.ops_per_epoch
+    return [
+        Knob(
+            name="hotcold.hot_capacity",
+            getter=lambda: manager.hot_capacity,
+            setter=manager.set_hot_capacity,
+            lo=max(1, cap // 4),
+            hi=hot_capacity_max if hot_capacity_max is not None else cap * 8,
+            step=max(1, cap // 2),
+            kind="int",
+            description="target rows in the hot partition (hot fraction)",
+        ),
+        Knob(
+            name="hotcold.ops_per_epoch",
+            getter=lambda: manager.ops_per_epoch,
+            setter=manager.set_ops_per_epoch,
+            lo=min(min_ops_per_epoch, epoch),
+            hi=epoch * 4,
+            step=max(1, epoch // 2),
+            kind="int",
+            description="lookups between hot/cold rebalances (cadence)",
+        ),
+    ]
+
+
+#: (rule, knob, direction) rows for :func:`default_bindings`; rows whose
+#: rule or knob is absent from the controller's sets are dropped, so the
+#: table can mention every known pairing unconditionally.
+_DEFAULT_BINDING_TABLE: tuple[tuple[str, str, str], ...] = (
+    ("bufferpool-hit-rate-floor", "pool.data_fraction", "up"),
+    ("lookup-p95-latency-ceiling", "pool.data_fraction", "up"),
+    ("lookup-p95-latency-ceiling", "index_cache.admission", "up"),
+    ("wal-flush-amplification-ceiling", "wal.group_commit_records", "up"),
+)
+
+
+def default_bindings(
+    knobs: Iterable[Knob],
+    rules: Iterable[SloRule],
+    breach_windows: int = 2,
+    cooldown_windows: int = 2,
+) -> list[KnobBinding]:
+    """Standard rule->knob wiring, filtered to what actually exists."""
+    knob_names = {k.name for k in knobs}
+    rule_names = {r.name for r in rules}
+    return [
+        KnobBinding(rule, knob, direction, breach_windows, cooldown_windows)
+        for rule, knob, direction in _DEFAULT_BINDING_TABLE
+        if rule in rule_names and knob in knob_names
+    ]

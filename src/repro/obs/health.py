@@ -149,6 +149,15 @@ DEFAULT_SLO_RULES: tuple[SloRule, ...] = (
         window=5,
         description="logged bytes per profiled operation stay page-bounded",
     ),
+    SloRule(
+        name="lookup-p95-latency-ceiling",
+        selector="p95.span.query.lookup.ns",
+        op="<=",
+        threshold=1_000_000.0,
+        window=5,
+        description="p95 point lookups stay memory-resident (a 5 ms "
+        "simulated disk read in the tail means the pool is thrashing)",
+    ),
 )
 
 

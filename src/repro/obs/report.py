@@ -94,7 +94,14 @@ def format_report(
         return f"{title}: (no metrics recorded)"
     by_subsystem: dict[str, list[tuple[str, object]]] = {}
     for name, value in sorted(rows):
-        by_subsystem.setdefault(name.split(".", 1)[0], []).append((name, value))
+        # Knob-state gauges get their own section: they describe the
+        # engine's current configuration, not the adaptive controller's
+        # activity, and must be findable with the controller disabled.
+        if name.startswith("adaptive.knob."):
+            subsystem = "knobs"
+        else:
+            subsystem = name.split(".", 1)[0]
+        by_subsystem.setdefault(subsystem, []).append((name, value))
     # print_table prints as a side effect (the experiment drivers rely on
     # that); here the caller decides what to do with the text, so swallow
     # the echo and return the formatted sections only.

@@ -150,6 +150,20 @@ class Database:
         self._rng = DeterministicRng(seed)
         self._recovery = None
         self._profiler = None
+        self._adaptive = None
+        #: Database-wide cache-fill admission fraction, pushed into every
+        #: cached index (existing and future) by :meth:`set_cache_admission`.
+        self._cache_admission = 1.0
+        # Knob-state gauges (visible with the controller disabled too).
+        self._m_knob_data_pages = metrics.gauge("adaptive.knob.pool.data_pages")
+        self._m_knob_data_pages.set(float(self._data_pool.capacity))
+        if self._index_pool is not self._data_pool:
+            self._m_knob_index_pages = metrics.gauge(
+                "adaptive.knob.pool.index_pages"
+            )
+            self._m_knob_index_pages.set(float(self._index_pool.capacity))
+        else:
+            self._m_knob_index_pages = None
 
     # -- properties ----------------------------------------------------------
 
@@ -198,6 +212,87 @@ class Database:
         """The query profiler, once :meth:`enable_profiling` has run."""
         return self._profiler
 
+    @property
+    def adaptive(self) -> "AdaptiveController | None":
+        """The adaptive controller, once :meth:`enable_adaptive` has run."""
+        return self._adaptive
+
+    @property
+    def pool_partition(self) -> float:
+        """Fraction of total pool frames assigned to heap pages.
+
+        1.0 for a shared pool (no partition boundary exists).
+        """
+        if self._index_pool is self._data_pool:
+            return 1.0
+        total = self._data_pool.capacity + self._index_pool.capacity
+        return self._data_pool.capacity / total
+
+    @property
+    def cache_admission(self) -> float:
+        """Database-wide cache-fill admission fraction (see the setter)."""
+        return self._cache_admission
+
+    # -- adaptive knob setters ----------------------------------------------
+
+    def set_pool_partition(self, data_fraction: float) -> tuple[int, int]:
+        """Move the frame boundary between the data and index pools.
+
+        The total frame budget is preserved exactly: one pool shrinks
+        (evicting surplus frames through the normal write-back path)
+        before the other grows.  Each pool keeps at least one frame.
+        Returns the new ``(data_pages, index_pages)`` split.
+        """
+        if self._index_pool is self._data_pool:
+            raise QueryError(
+                "pool partition requires split data/index pools "
+                "(index_pool_pages=...)"
+            )
+        if not 0.0 < data_fraction < 1.0:
+            raise QueryError(
+                f"data_fraction must be in (0, 1), got {data_fraction}"
+            )
+        total = self._data_pool.capacity + self._index_pool.capacity
+        data_pages = min(max(int(round(total * data_fraction)), 1), total - 1)
+        index_pages = total - data_pages
+        # Shrink first so the combined footprint never exceeds the budget.
+        if data_pages < self._data_pool.capacity:
+            self._data_pool.set_capacity(data_pages)
+            self._index_pool.set_capacity(index_pages)
+        else:
+            self._index_pool.set_capacity(index_pages)
+            self._data_pool.set_capacity(data_pages)
+        self._m_knob_data_pages.set(float(data_pages))
+        if self._m_knob_index_pages is not None:
+            self._m_knob_index_pages.set(float(index_pages))
+        return data_pages, index_pages
+
+    def set_group_commit(self, group_commit_records: int) -> None:
+        """Retune the WAL group-commit window (see
+        :meth:`repro.wal.log.WalWriter.set_group_commit`)."""
+        if self._wal is None:
+            raise QueryError(
+                "group-commit tuning requires a database built with wal="
+            )
+        self._wal.set_group_commit(group_commit_records)
+
+    def set_cache_admission(self, fraction: float) -> None:
+        """Set cache-fill admission on every cached index, now and future.
+
+        Existing :class:`CachedBTree` indexes are retuned immediately;
+        indexes created (or restored) later inherit the value at build
+        time, so the knob survives DDL.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise QueryError(
+                f"cache admission must be within [0, 1], got {fraction}"
+            )
+        self._cache_admission = float(fraction)
+        for tentry in self._catalog.tables():
+            for ientry in self._catalog.indexes_of(tentry.name):
+                if isinstance(ientry.index, CachedBTree):
+                    ientry.index.set_cache_admission(self._cache_admission)
+
     def enable_profiling(
         self,
         slow_log_size: int = 64,
@@ -230,6 +325,70 @@ class Database:
         for entry_name in self._catalog.table_names:
             self.table(entry_name).profiler = self._profiler
         return self._profiler
+
+    def enable_adaptive(
+        self,
+        rules=None,
+        knobs=None,
+        bindings=None,
+        sampler: "TelemetrySampler | None" = None,
+        interval_ns: float = 1_000_000.0,
+        audit_capacity: int = 64,
+    ) -> "AdaptiveController":
+        """Attach an :class:`~repro.obs.adaptive.AdaptiveController`.
+
+        Every table — existing and future — ticks the controller before
+        each operation; the controller samples a telemetry window when
+        ``interval_ns`` of *simulated* time has elapsed, judges the SLO
+        rules, and steps the registered knobs (see
+        :mod:`repro.obs.adaptive` for the hysteresis contract).
+
+        Defaults wire the full loop for this database: the standard SLO
+        rules (plus the WAL flush-amplification rule when a WAL is
+        attached), :func:`~repro.obs.adaptive.database_knobs`, and
+        :func:`~repro.obs.adaptive.default_bindings`.  Pass ``rules``/
+        ``knobs``/``bindings`` explicitly to extend the loop (e.g. with
+        hot/cold manager knobs).  Drivers that sample manually can hand
+        in their own ``sampler`` (built on this database's cost model)
+        and push points through ``controller.evaluate``.
+
+        Idempotent: calling again returns the installed controller.
+        Strictly opt-in; until this runs, the per-operation cost is a
+        single ``is not None`` test.
+        """
+        if self._adaptive is None:
+            from repro.obs.adaptive import (
+                AdaptiveController,
+                WAL_FLUSH_AMPLIFICATION_RULE,
+                database_knobs,
+                default_bindings,
+            )
+            from repro.obs.health import DEFAULT_SLO_RULES
+            from repro.obs.sampler import TelemetrySampler
+
+            if sampler is None:
+                sampler = TelemetrySampler(
+                    self._metrics, clock=self._cost, interval_ns=interval_ns
+                )
+            if rules is None:
+                rules = DEFAULT_SLO_RULES
+                if self._wal is not None:
+                    rules = rules + (WAL_FLUSH_AMPLIFICATION_RULE,)
+            if knobs is None:
+                knobs = database_knobs(self)
+            if bindings is None:
+                bindings = default_bindings(knobs, rules)
+            self._adaptive = AdaptiveController(
+                sampler,
+                rules=rules,
+                knobs=knobs,
+                bindings=bindings,
+                registry=self._metrics,
+                audit_capacity=audit_capacity,
+            )
+        for entry_name in self._catalog.table_names:
+            self.table(entry_name).ticker = self._adaptive
+        return self._adaptive
 
     def checkpoint(self) -> int:
         """Append a fuzzy checkpoint record (see
@@ -270,6 +429,8 @@ class Database:
             profiler=self._profiler,
         )
         self._catalog.register_table(name, schema, table)
+        if self._adaptive is not None:
+            table.ticker = self._adaptive
         if self._wal is not None:
             self._wal.log_create_table(table_meta(name, schema, heap))
         return table
@@ -340,6 +501,8 @@ class Database:
             cost_model=self._cost,
             registry=self._metrics,
         )
+        if self._cache_admission != 1.0:
+            index.set_cache_admission(self._cache_admission)
         table.attach_index(index_name, index)
         entry = self._catalog.register_index(
             index_name, table_name, tuple(key_columns), index
@@ -371,6 +534,8 @@ class Database:
             profiler=self._profiler,
         )
         self._catalog.register_table(name, schema, table)
+        if self._adaptive is not None:
+            table.ticker = self._adaptive
         return table
 
     def restore_index(
@@ -437,6 +602,8 @@ class Database:
             cost_model=self._cost,
             registry=self._metrics,
         )
+        if self._cache_admission != 1.0:
+            index.set_cache_admission(self._cache_admission)
         index.rebuild_from_heap()
         table.attach_index(index_name, index)
         self._catalog.register_index(

@@ -193,6 +193,12 @@ class Table:
         #: redo records so replay always lands on the state the engine
         #: actually reached.
         self._wal = wal
+        #: Optional repro.obs.adaptive.AdaptiveController (duck-typed:
+        #: anything with a ``tick()``).  When set, every operation ticks
+        #: the controller *before* doing its work — no pins are held, so
+        #: a triggered knob change (pool resize, WAL flush) is always
+        #: safe.  When None, the hot path pays one attribute test.
+        self._ticker = None
         #: Write observers (e.g. FkJoinCaches keyed on this table as the
         #: join parent) notified after every update/delete so derived
         #: caches living *outside* this table's indexes can invalidate.
@@ -260,6 +266,14 @@ class Table:
     def profiler(self, value) -> None:
         self._profiler = value
 
+    @property
+    def ticker(self):
+        return self._ticker
+
+    @ticker.setter
+    def ticker(self, value) -> None:
+        self._ticker = value
+
     def _profile(
         self,
         op: str,
@@ -289,6 +303,8 @@ class Table:
         rebuilds indexes *from the heap* never resurrects a half-inserted
         row — and the insert can simply be retried.
         """
+        if self._ticker is not None:
+            self._ticker.tick()
         with self._profile("insert"), self._tracer.span(
             "query.insert", table=self._name
         ):
@@ -319,6 +335,8 @@ class Table:
         Key columns of *any* attached index may not change (that would be
         a delete+insert, which callers do explicitly).
         """
+        if self._ticker is not None:
+            self._ticker.tick()
         for index in self._indexes.values():
             bad = set(changes) & set(index.key_columns)
             if bad:
@@ -351,6 +369,8 @@ class Table:
         the delete either happens completely or not at all, and can be
         retried verbatim after a heal.
         """
+        if self._ticker is not None:
+            self._ticker.tick()
         with self._profile(
             "delete", index_name=index_name, index=self.index(index_name)
         ), self._tracer.span("query.delete", table=self._name):
@@ -386,6 +406,8 @@ class Table:
         project: tuple[str, ...] | None = None,
     ) -> LookupResult:
         """Point lookup through the named index."""
+        if self._ticker is not None:
+            self._ticker.tick()
         index = self.index(index_name)
         with self._profile(
             "lookup", index_name=index_name, index=index, project=project
@@ -408,6 +430,8 @@ class Table:
         ``BufferPool.fetch_many``).  Results align positionally with
         ``key_values`` and equal a per-key :meth:`lookup` loop.
         """
+        if self._ticker is not None:
+            self._ticker.tick()
         index = self.index(index_name)
         with self._profile(
             "lookup_many",

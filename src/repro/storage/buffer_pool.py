@@ -199,6 +199,27 @@ class BufferPool:
     def wal(self, writer) -> None:
         self._wal = writer
 
+    def set_capacity(self, capacity_pages: int) -> None:
+        """Resize the pool in place (the adaptive partition knob).
+
+        Growing just raises the ceiling; shrinking evicts surplus frames
+        immediately (dirty ones are written back through the normal
+        WAL-respecting path) so the pool honours the new budget before
+        returning.  Pinned frames cannot be evicted, so a shrink below
+        the current pin count is refused rather than left half-applied.
+        """
+        if capacity_pages <= 0:
+            raise BufferPoolError("capacity must be at least one page")
+        pinned = sum(1 for f in self._frames.values() if f.pin_count > 0)
+        if pinned > capacity_pages:
+            raise BufferPoolError(
+                f"cannot shrink to {capacity_pages} frames: "
+                f"{pinned} frames are pinned"
+            )
+        self._capacity = capacity_pages
+        while len(self._frames) > self._capacity:
+            self._evict_one()
+
     def page_lsn(self, page_id: int) -> int:
         """The resident frame's stamped LSN (0 if clean-tracked or absent)."""
         frame = self._frames.get(page_id)

@@ -130,6 +130,8 @@ class WalWriter:
             rtype: reg.counter(f"wal.kind.{rtype.name.lower()}")
             for rtype in RecordType
         }
+        self._m_group_knob = reg.gauge("adaptive.knob.wal.group_commit_records")
+        self._m_group_knob.set(float(self._group))
 
     # -- properties ----------------------------------------------------------
 
@@ -166,6 +168,27 @@ class WalWriter:
     @property
     def last_checkpoint_lsn(self) -> int:
         return self._last_checkpoint_lsn
+
+    @property
+    def group_commit_records(self) -> int:
+        """Records per group-commit device append (the adaptive knob)."""
+        return self._group
+
+    def set_group_commit(self, group_commit_records: int) -> None:
+        """Retune the group-commit window on a live writer.
+
+        Durability is unaffected: records already buffered stay buffered
+        (or flush immediately if the new, smaller window is already
+        full), and ``flush_to`` still forces the buffer out whenever the
+        buffer pool needs it.  Only the *batching* of future device
+        appends changes.
+        """
+        if group_commit_records < 1:
+            raise WalError("group_commit_records must be >= 1")
+        self._group = int(group_commit_records)
+        self._m_group_knob.set(float(self._group))
+        if len(self._buffer) >= self._group:
+            self.flush()
 
     # -- LSN + record protocol ----------------------------------------------
 

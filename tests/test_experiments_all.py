@@ -13,7 +13,7 @@ def test_unknown_name_rejected():
 def test_known_names_registered():
     assert set(all_experiments._DRIVERS) >= {
         "fig2a", "fig2b", "fig2c", "fig3", "capacity", "encoding",
-        "fill_factor", "headline", "ablations",
+        "fill_factor", "headline", "ablations", "adaptive",
     }
 
 

@@ -76,6 +76,49 @@ def test_export_to_file(tmp_path, capsys):
     assert doc["workload"]["replayed_ops"] == 300
 
 
+def test_health_subcommand(capsys):
+    assert main(["health", *TINY]) == 0
+    out = capsys.readouterr().out
+    assert "engine health:" in out
+    assert "lookup-p95-latency-ceiling" in out
+    # The audit ring prints even when nothing was tuned.
+    assert "tuning actions:" in out
+    assert "window(s) evaluated" in out
+
+
+def test_tune_subcommand(capsys):
+    assert main(["tune", *TINY]) == 0
+    out = capsys.readouterr().out
+    assert "adaptive knobs" in out
+    assert "index_cache.admission" in out
+    assert "wal.group_commit_records" in out
+    assert "tuning actions:" in out
+    assert "engine health:" in out
+
+
+def test_report_shows_knob_section_without_controller(capsys):
+    # No --adaptive flag: the controller never exists, yet the knob-state
+    # gauges (owned by the subsystems) still render as their own section.
+    assert main(["report", *TINY]) == 0
+    out = capsys.readouterr().out
+    assert "— knobs" in out
+    assert "adaptive.knob.wal.group_commit_records" in out
+
+
+def test_adaptive_flag_keeps_run_deterministic():
+    base = run_observed_workload(
+        n_rows=60, n_ops=300, samples=4, pool_pages=16
+    )
+    tuned = run_observed_workload(
+        n_rows=60, n_ops=300, samples=4, pool_pages=16, adaptive=True
+    )
+    assert tuned.controller is not None
+    assert tuned.replayed_ops == base.replayed_ops
+    # Chunk-synchronous evaluation: arming the controller must not
+    # change how many telemetry windows the run samples.
+    assert tuned.sampler.samples_taken == base.sampler.samples_taken
+
+
 def test_no_wal_flag(capsys):
     assert main(["report", "--no-wal", *TINY]) == 0
     out = capsys.readouterr().out

@@ -47,8 +47,10 @@ def _runtime_names():
     from repro.obs.__main__ import run_observed_workload
 
     names = set()
+    # adaptive=True arms the controller, so the ``adaptive.*`` loop
+    # counters and knob gauges register alongside the v2 pipeline's.
     run = run_observed_workload(
-        n_rows=120, n_ops=600, samples=4, pool_pages=16
+        n_rows=120, n_ops=600, samples=4, pool_pages=16, adaptive=True
     )
     names.update(run.registry.names())
     # The fault drill reaches the names the clean workload never touches:
@@ -63,6 +65,8 @@ def test_table_parses():
     assert len(patterns) > 30
     assert "bufferpool.hit" in patterns
     assert "faults.kind.*" in patterns
+    assert "adaptive.knob.*" in patterns
+    assert "adaptive.actions" in patterns
 
 
 def test_every_runtime_metric_name_is_documented():
