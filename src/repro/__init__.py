@@ -48,6 +48,7 @@ from repro.schema.types import (
 )
 from repro.sim.cost_model import CostModel, CostPreset, END_TO_END_PRESET, PAPER_PRESET
 from repro.storage.heap import Rid
+from repro.txn import Session, SimScheduler, TransactionManager
 
 __version__ = "0.1.0"
 
@@ -69,6 +70,9 @@ __all__ = [
     "export_json",
     "format_report",
     "ReproError",
+    "Session",
+    "SimScheduler",
+    "TransactionManager",
     "BOOL",
     "INT8",
     "INT16",

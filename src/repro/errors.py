@@ -144,6 +144,26 @@ class QueryError(ReproError):
     """Malformed query against the :class:`repro.query.Database` facade."""
 
 
+class TxnError(ReproError):
+    """Base class for transaction/session-layer failures."""
+
+
+class TxnStateError(TxnError):
+    """A session was used outside the begin/commit/abort protocol
+    (write without begin, double begin, commit of an idle session)."""
+
+
+class TxnConflictError(TxnError):
+    """First-writer-wins write/write conflict under snapshot isolation.
+
+    Raised when a transaction writes a key that another in-flight
+    transaction has a pending write on, or that committed a newer
+    version after this transaction's snapshot.  The losing transaction
+    is rolled back automatically before this propagates; the session is
+    idle again and may retry with a fresh ``begin()``.
+    """
+
+
 class WorkloadError(ReproError):
     """Invalid workload or trace specification."""
 

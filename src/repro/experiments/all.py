@@ -34,6 +34,7 @@ from repro.experiments import (
     fill_factor,
     headline,
     obs,
+    txn,
     wal,
 )
 from repro.obs import MetricsRegistry, derived_rates, use_registry
@@ -52,6 +53,7 @@ _DRIVERS = {
     "wal": wal.main,
     "obs": obs.main,
     "adaptive": adaptive.main,
+    "txn": txn.main,
 }
 
 DEFAULT_JSON_PATH = "experiments_metrics.json"

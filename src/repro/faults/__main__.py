@@ -3,7 +3,12 @@
 Runs :func:`repro.faults.harness.run_fault_drill` with the given seed and
 sizes, prints the report summary plus any invariant-checker findings, and
 exits non-zero unless the drill passed (zero wrong results, database
-check OK, and the fault ledger balanced).
+check OK, and the fault ledger balanced) **and** every detected fault was
+recovered — an unrecoverable fault fails the gate even when quarantine
+kept query results correct, so CI catches recovery regressions early.
+
+``--sessions N`` runs the same workload through N interleaved MVCC
+sessions (snapshot isolation, conflicts, crash-during-commit recovery).
 """
 
 from __future__ import annotations
@@ -33,6 +38,10 @@ def main(argv: list[str] | None = None) -> int:
         "--pool-pages", type=int, default=16, help="buffer-pool frames"
     )
     parser.add_argument(
+        "--sessions", type=int, default=0,
+        help="interleaved MVCC sessions (0 = autocommit drill)",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="also dump the fault log"
     )
     args = parser.parse_args(argv)
@@ -42,6 +51,7 @@ def main(argv: list[str] | None = None) -> int:
         n_pages=args.pages,
         n_ops=args.ops,
         pool_pages=args.pool_pages,
+        sessions=args.sessions,
     )
     print(report.summary())
     for problem in report.check_problems:
@@ -49,6 +59,12 @@ def main(argv: list[str] | None = None) -> int:
     if args.verbose:
         for name, value in sorted(report.metrics.get("faults", {}).items()):
             print(f"  faults.{name} = {value}")
+    if report.faults_unrecoverable:
+        print(
+            f"  gate: {report.faults_unrecoverable} unrecoverable fault(s)",
+            file=sys.stderr,
+        )
+        return 1
     return 0 if report.passed else 1
 
 

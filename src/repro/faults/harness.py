@@ -34,7 +34,7 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass, field
 
-from repro.errors import SimulatedCrashError
+from repro.errors import SimulatedCrashError, TxnConflictError
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
 from repro.faults.recovery import RecoveryManager
@@ -88,6 +88,13 @@ class DrillReport:
     #: Knob adjustments applied by the adaptive controller across the
     #: whole drill, every restart included (0 = controller off).
     tuning_actions: int = 0
+    #: Concurrent logical sessions interleaved by the drill (0 = the
+    #: classic autocommit drill).
+    sessions: int = 0
+    #: Transaction outcomes across the whole drill (sessions mode).
+    txn_commits: int = 0
+    txn_aborts: int = 0
+    txn_conflicts: int = 0
 
     @property
     def ledger_balanced(self) -> bool:
@@ -102,8 +109,16 @@ class DrillReport:
 
     def summary(self) -> str:
         verdict = "PASS" if self.passed else "FAIL"
+        concurrency = ""
+        if self.sessions:
+            concurrency = (
+                f"{self.sessions} session(s): {self.txn_commits} commit(s), "
+                f"{self.txn_aborts} abort(s), {self.txn_conflicts} "
+                f"conflict(s), "
+            )
         return (
             f"fault drill [{verdict}] seed={self.seed}: {self.operations} ops, "
+            f"{concurrency}"
             f"{self.faults_injected} faults injected, "
             f"{self.faults_detected} detected = {self.faults_recovered} "
             f"recovered + {self.faults_unrecoverable} unrecoverable, "
@@ -187,6 +202,7 @@ def run_fault_drill(
     checkpoint_every: int = 1_000,
     telemetry_samples: int = 16,
     adaptive: bool = False,
+    sessions: int = 0,
 ) -> DrillReport:
     """Replay a mixed Wikipedia-revision workload under injected faults.
 
@@ -208,6 +224,16 @@ def run_fault_drill(
     fresh controller.  The controller may retune knobs mid-drill while
     faults fly; the drill's correctness verdict must be unaffected, which
     is exactly what this flag exists to prove.
+
+    ``sessions=N`` (N >= 1) runs the same workload through N interleaved
+    MVCC sessions (short 1–4 op transactions, seeded session pick per
+    op, ~10% voluntary aborts).  Ground truth becomes a *versioned*
+    mirror — committed versions stamped with the engine's commit CSNs —
+    so every read is verified against the session's own snapshot, and
+    the conflict oracle independently predicts each first-writer-wins
+    abort.  Crash restarts land mid-transaction by construction: the
+    recovery rollback must discard exactly the in-flight sessions'
+    writes, which the rebuilt durable mirror then verifies.
     """
     from repro.wal.replay import recover  # late: harness ← query ← wal
 
@@ -269,6 +295,19 @@ def run_fault_drill(
     next_rev_id = max(keys) + 1
     template = dict(data.revision_rows[0])
 
+    # -- concurrent-session infrastructure (sessions mode only) ----------------
+    # ``oracle`` is the versioned ground truth: key -> [(csn, row|None)]
+    # committed versions, csn 0 = the pre-concurrency base.  ``claims``
+    # mirrors the engine's write-pending table so conflicts are
+    # *predicted*, not just tolerated.
+    sess: list = []
+    sess_state: list = [None] * sessions
+    oracle: dict[int, list] = {}
+    claims: dict[int, int] = {}
+    if sessions:
+        sess = [db.session() for _ in range(sessions)]
+        oracle = {k: [(0, dict(row))] for k, row in mirror.items()}
+
     def check_result(key: int, result) -> int:
         expected = mirror.get(key)
         if expected is None:
@@ -322,6 +361,17 @@ def run_fault_drill(
         keys[:] = sorted(set(keys) | set(mirror))
         if keys:
             next_rev_id = max(next_rev_id, keys[-1] + 1)
+        if sessions:
+            # In-flight transactions died with RAM; recovery rolled
+            # their durable ops back (the durable fold above nets out
+            # ops + compensations), so the fresh oracle restarts from
+            # the committed state with no claims outstanding.
+            sess[:] = [db.session() for _ in range(sessions)]
+            for j in range(sessions):
+                sess_state[j] = None
+            claims.clear()
+            oracle.clear()
+            oracle.update({k: [(0, dict(row))] for k, row in mirror.items()})
         restarts_done += 1
         injector.arm(drill_plan)
 
@@ -345,6 +395,129 @@ def run_fault_drill(
         sampler.sample()
         sample_every = max(1, n_ops // telemetry_samples)
 
+    # -- session-mode op engine ------------------------------------------------
+
+    def oracle_visible(key: int, st: dict):
+        """The row ``st``'s snapshot must see (own writes overlay the
+        newest committed version at or below the begin CSN)."""
+        if key in st["writes"]:
+            return st["writes"][key]
+        chain = oracle.get(key)
+        if chain is None:
+            return None
+        value = None
+        for csn, row in chain:
+            if csn <= st["begin"]:
+                value = row
+        return value
+
+    def expect_conflict(key: int, i: int, st: dict) -> bool:
+        holder = claims.get(key)
+        if holder is not None and holder != i:
+            return True
+        chain = oracle.get(key)
+        return bool(chain) and chain[-1][0] > st["begin"]
+
+    def drop_txn(i: int) -> None:
+        for k in [k for k, owner in claims.items() if owner == i]:
+            del claims[k]
+        sess_state[i] = None
+
+    def end_txn(i: int, commit: bool) -> None:
+        st = sess_state[i]
+        if commit:
+            csn = db.recovery.call(sess[i].commit)
+            for k, row in st["writes"].items():
+                oracle.setdefault(k, [(0, None)]).append(
+                    (csn, dict(row) if row is not None else None)
+                )
+        else:
+            db.recovery.call(sess[i].abort)
+        drop_txn(i)
+
+    def check_session_result(result, expected) -> int:
+        if expected is None:
+            return 0 if not result.found else 1
+        if not result.found:
+            return 1
+        want = {name: expected[name] for name in PROJECTION}
+        return 0 if result.values == want else 1
+
+    def session_op() -> int:
+        """One interleaved step of a randomly chosen session; returns
+        the number of wrong results observed."""
+        nonlocal next_rev_id
+        i = rng.randrange(sessions)
+        st = sess_state[i]
+        if st is None:
+            begin = db.recovery.call(sess[i].begin)
+            st = sess_state[i] = {
+                "begin": begin, "writes": {}, "left": rng.randint(1, 4),
+            }
+        bad = 0
+        draw = rng.random()
+        key = keys[rng.randrange(len(keys))]
+        if draw < 0.50:
+            result = db.recovery.call(sess[i].lookup, "revision", key, PROJECTION)
+            bad += check_session_result(result, oracle_visible(key, st))
+        elif draw < 0.72:
+            predicted = expect_conflict(key, i, st)
+            new_len = rng.randint(100, 200_000)
+            try:
+                applied = db.recovery.call(
+                    sess[i].update, "revision", key, {"rev_len": new_len}
+                )
+            except TxnConflictError:
+                if not predicted:
+                    bad += 1
+                drop_txn(i)
+                return bad
+            if predicted:
+                bad += 1  # the engine missed a conflict the oracle saw
+            visible = oracle_visible(key, st)
+            if applied != (visible is not None):
+                bad += 1
+            if applied:
+                row = dict(visible)
+                row["rev_len"] = new_len
+                st["writes"][key] = row
+                claims[key] = i
+                result = db.recovery.call(
+                    sess[i].lookup, "revision", key, PROJECTION
+                )
+                bad += check_session_result(result, row)
+        elif draw < 0.88:
+            row = dict(template)
+            row["rev_id"] = next_rev_id
+            row["rev_text_id"] = next_rev_id
+            row["rev_len"] = rng.randint(100, 200_000)
+            db.recovery.call(sess[i].insert, "revision", row)
+            st["writes"][next_rev_id] = row
+            claims[next_rev_id] = i
+            keys.append(next_rev_id)
+            next_rev_id += 1
+        else:
+            predicted = expect_conflict(key, i, st)
+            try:
+                applied = db.recovery.call(sess[i].delete, "revision", key)
+            except TxnConflictError:
+                if not predicted:
+                    bad += 1
+                drop_txn(i)
+                return bad
+            if predicted:
+                bad += 1
+            visible = oracle_visible(key, st)
+            if applied != (visible is not None):
+                bad += 1
+            if applied:
+                st["writes"][key] = None
+                claims[key] = i
+        st["left"] -= 1
+        if st["left"] <= 0:
+            end_txn(i, commit=rng.random() >= 0.10)
+        return bad
+
     for op_i in range(n_ops):
         if op_i in crash_ops:
             restart()
@@ -352,6 +525,9 @@ def run_fault_drill(
             sampler.sample()
         if wal and checkpoint_every and op_i and op_i % checkpoint_every == 0:
             db.checkpoint()
+        if sessions:
+            wrong += session_op()
+            continue
         draw = rng.random()
         key = keys[rng.randrange(len(keys))]
         if draw < 0.15:
@@ -398,6 +574,21 @@ def run_fault_drill(
 
     injector.disarm()
 
+    if sessions:
+        # Quiesce: commit every open transaction (commits never
+        # re-validate, so these cannot conflict), then collapse the
+        # versioned oracle to its newest committed rows — with no
+        # transactions in flight, that is exactly what autocommit
+        # lookups must see in the sweep below.
+        for i in range(sessions):
+            if sess_state[i] is not None:
+                end_txn(i, commit=True)
+        mirror.clear()
+        for k, chain in oracle.items():
+            row = chain[-1][1]
+            if row is not None:
+                mirror[k] = row
+
     # Final sweep: every surviving row must read back exactly right, and
     # every deleted key must stay gone.
     digest = hashlib.sha256()
@@ -426,6 +617,7 @@ def run_fault_drill(
 
     check = db.check()
     snapshot = metrics.snapshot()
+    txn_stats = snapshot.get("txn", {})
     faults = snapshot.get("faults", {})
     recovery = snapshot.get("recovery", {})
     wal_stats = snapshot.get("wal", {})
@@ -458,4 +650,8 @@ def run_fault_drill(
         health_ok=health_report.ok if health_report is not None else True,
         health=health_report.as_dict() if health_report is not None else {},
         tuning_actions=sum(c.actions_taken for c in controllers),
+        sessions=sessions,
+        txn_commits=txn_stats.get("commits", 0),
+        txn_aborts=txn_stats.get("aborts", 0),
+        txn_conflicts=txn_stats.get("conflicts", 0),
     )

@@ -151,6 +151,7 @@ class Database:
         self._recovery = None
         self._profiler = None
         self._adaptive = None
+        self._txn_manager = None
         #: Database-wide cache-fill admission fraction, pushed into every
         #: cached index (existing and future) by :meth:`set_cache_admission`.
         self._cache_admission = 1.0
@@ -416,6 +417,34 @@ class Database:
         from repro.faults.checker import check_database
 
         return check_database(self)
+
+    # -- transactions ------------------------------------------------------------
+
+    @property
+    def txn_manager(self) -> "TransactionManager":
+        """Lazily built MVCC transaction manager (see DESIGN.md §5g).
+
+        One manager per database: it owns the CSN sequence, the
+        per-tuple version store, and the write-claim table every
+        session's conflict checks go through.
+        """
+        if self._txn_manager is None:
+            from repro.txn.manager import TransactionManager
+
+            self._txn_manager = TransactionManager(self, registry=self._metrics)
+            # Join the pool's full-obs-reset contract: a
+            # ``reset_counters(reset_obs=True)`` between experiment
+            # phases zeroes ``txn.*`` alongside ``faults.*``/``wal.*``.
+            self._data_pool.add_obs_reset_hook(self._txn_manager.reset_metrics)
+        return self._txn_manager
+
+    def session(self) -> "Session":
+        """Open a logical client session — ``begin()``, snapshot reads
+        and writes, ``commit()``/``abort()`` with first-writer-wins
+        conflict detection.  Works with or without a WAL (without one,
+        commits are not durable but isolation semantics are identical).
+        """
+        return self.txn_manager.session()
 
     # -- DDL --------------------------------------------------------------------
 

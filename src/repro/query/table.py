@@ -226,6 +226,17 @@ class Table:
     def index_names(self) -> list[str]:
         return list(self._indexes)
 
+    @property
+    def identity_index_name(self) -> str:
+        """Name of the identity (primary-key) index — the first attached
+        index.  The session layer resolves and tracks row versions
+        through it, so its key columns must uniquely identify a row."""
+        if not self._indexes:
+            raise QueryError(
+                f"table {self._name!r} has no index to identify rows by"
+            )
+        return next(iter(self._indexes))
+
     def index(self, name: str) -> AnyIndex:
         try:
             return self._indexes[name]
@@ -294,7 +305,7 @@ class Table:
             batch=batch,
         )
 
-    def insert(self, row: dict[str, object]) -> Rid:
+    def insert(self, row: dict[str, object], txn_id: int = 0) -> Rid:
         """Insert a row into the heap and every index.
 
         Failure-atomic: if an index insert fails (e.g. a corrupt index
@@ -302,6 +313,10 @@ class Table:
         withdrawn before the error propagates, so a recovery layer that
         rebuilds indexes *from the heap* never resurrects a half-inserted
         row — and the insert can simply be retried.
+
+        ``txn_id`` stamps the redo record with its owning transaction
+        (0 = autocommit); the session layer passes it so crash recovery
+        can tell committed writes from in-flight ones.
         """
         if self._ticker is not None:
             self._ticker.tick()
@@ -309,7 +324,7 @@ class Table:
             "query.insert", table=self._name
         ):
             record = pack_record_map(self._schema, row)
-            rid = self._wal_insert(record)
+            rid = self._wal_insert(record, txn_id=txn_id)
             inserted: list[AnyIndex] = []
             try:
                 for index in self._indexes.values():
@@ -323,12 +338,13 @@ class Table:
                         # This index is the broken one; rebuild-from-heap
                         # will reconstruct it without the withdrawn row.
                         pass
-                self._wal_delete(rid)
+                self._wal_delete(rid, txn_id=txn_id)
                 raise
             return rid
 
     def update(
-        self, index_name: str, key_value: object, changes: dict[str, object]
+        self, index_name: str, key_value: object, changes: dict[str, object],
+        txn_id: int = 0,
     ) -> bool:
         """Update non-key fields of the row found via ``index_name``.
 
@@ -351,7 +367,7 @@ class Table:
                 return False
             row = unpack_record_map(self._schema, self._heap.fetch(rid))
             row.update(changes)
-            self._wal_update(rid, pack_record_map(self._schema, row))
+            self._wal_update(rid, pack_record_map(self._schema, row), txn_id=txn_id)
             changed = set(changes)
             for index in self._indexes.values():
                 index.note_update(row, changed)
@@ -359,7 +375,9 @@ class Table:
                 observer.note_parent_update(row, changed)
             return True
 
-    def delete(self, index_name: str, key_value: object) -> bool:
+    def delete(
+        self, index_name: str, key_value: object, txn_id: int = 0
+    ) -> bool:
         """Delete the row found via ``index_name`` from heap and indexes.
 
         Failure-atomic, mirroring :meth:`insert`: index entries go first
@@ -383,7 +401,7 @@ class Table:
                 for index in self._indexes.values():
                     index.delete_key(row)
                     removed.append(index)
-                self._wal_delete(rid)
+                self._wal_delete(rid, txn_id=txn_id)
             except BaseException:
                 for index in removed:
                     try:
@@ -483,7 +501,7 @@ class Table:
 
     # -- internals ---------------------------------------------------------------
 
-    def _wal_insert(self, record: bytes) -> Rid:
+    def _wal_insert(self, record: bytes, txn_id: int = 0) -> Rid:
         """Heap insert under the WAL protocol.
 
         The LSN is reserved *before* the heap touches any page (the
@@ -497,24 +515,24 @@ class Table:
             return self._heap.insert(record)
         lsn = self._wal.reserve_lsn()
         rid = self._heap.insert(record, lsn=lsn)
-        self._wal.log_insert(self._name, rid, record, lsn=lsn)
+        self._wal.log_insert(self._name, rid, record, lsn=lsn, txn_id=txn_id)
         return rid
 
-    def _wal_update(self, rid: Rid, record: bytes) -> None:
+    def _wal_update(self, rid: Rid, record: bytes, txn_id: int = 0) -> None:
         if self._wal is None:
             self._heap.update(rid, record)
             return
         lsn = self._wal.reserve_lsn()
         self._heap.update(rid, record, lsn=lsn)
-        self._wal.log_update(self._name, rid, record, lsn=lsn)
+        self._wal.log_update(self._name, rid, record, lsn=lsn, txn_id=txn_id)
 
-    def _wal_delete(self, rid: Rid) -> None:
+    def _wal_delete(self, rid: Rid, txn_id: int = 0) -> None:
         if self._wal is None:
             self._heap.delete(rid)
             return
         lsn = self._wal.reserve_lsn()
         self._heap.delete(rid, lsn=lsn)
-        self._wal.log_delete(self._name, rid, lsn=lsn)
+        self._wal.log_delete(self._name, rid, lsn=lsn, txn_id=txn_id)
 
     def _find_rid(self, index_name: str, key_value: object) -> Rid | None:
         index = self.index(index_name)

@@ -106,6 +106,11 @@ class BufferPool:
         #: not import repro.wal).  When set, every write-back first calls
         #: ``wal.flush_to(frame.page_lsn)`` — the WAL rule.
         self._wal = wal
+        #: Extra ``reset_metrics()``-style callables run by
+        #: ``reset_counters(reset_obs=True)`` — lets higher layers (e.g.
+        #: the transaction manager's ``txn.*`` family) join the pool's
+        #: full-obs-reset contract without a storage -> txn import.
+        self._obs_reset_hooks: list = []
         self._capacity = capacity_pages
         self._policy = policy
         self._cost = cost_hook
@@ -199,6 +204,16 @@ class BufferPool:
     def wal(self, writer) -> None:
         self._wal = writer
 
+    def add_obs_reset_hook(self, hook) -> None:
+        """Register a callable run by ``reset_counters(reset_obs=True)``.
+
+        Duck-typed like the ``wal`` attachment: higher layers whose
+        instruments belong to this pool's full-reset contract register
+        their own ``reset_metrics``-style callable.  Idempotent per hook.
+        """
+        if hook not in self._obs_reset_hooks:
+            self._obs_reset_hooks.append(hook)
+
     def set_capacity(self, capacity_pages: int) -> None:
         """Resize the pool in place (the adaptive partition knob).
 
@@ -254,7 +269,10 @@ class BufferPool:
         on its integrity path.  Note that registry counters are shared by
         name: another component writing the same ``faults.*`` names (e.g.
         a second pool on the same registry) sees its contributions zeroed
-        as well.  The ``resident_pages`` gauge is re-synced either way
+        as well.  Hooks added with
+        :meth:`add_obs_reset_hook` (e.g. the transaction manager's
+        ``txn.*`` reset) run last.  The ``resident_pages`` gauge is
+        re-synced either way
         (it reflects the pool's current state, not a phase).
         """
         self._hits = 0
@@ -278,6 +296,8 @@ class BufferPool:
                 # path drives (via flush_to), so a full obs reset zeroes
                 # them too.
                 self._wal.reset_metrics()
+            for hook in self._obs_reset_hooks:
+                hook()
         self._m_resident.set(len(self._frames))
 
     # -- page lifecycle ------------------------------------------------------

@@ -1,0 +1,110 @@
+"""Transaction-aware oracle folds over a WAL record sequence.
+
+Two independent ways to compute "the state a correct engine must be in"
+from a (possibly crash-truncated) log:
+
+* :func:`committed_positional_fold` — physical: fold heap ops slot by
+  slot, skipping records of in-flight transactions (those past the
+  durable prefix's last TXN_COMMIT/TXN_ABORT).  Aborted transactions
+  need no skipping: their compensation records net them out.
+* :func:`serial_fold` — logical: replay committed transactions one at a
+  time **in commit-CSN order** (after the autocommit base load), keyed
+  by identity column.  This is the serial execution the snapshot-
+  isolation schedule must be equivalent to for write sets.
+
+Crash tests assert recovered-engine state == both folds; agreement of
+the physical and logical folds is itself evidence the conflict rules
+admitted only serializable write interleavings.
+"""
+
+from __future__ import annotations
+
+from repro.schema.record import unpack_record_map
+from repro.wal.record import HEAP_OP_TYPES, RecordType, WalRecord
+
+
+def txn_outcomes(records) -> tuple[dict[int, int], set[int], set[int]]:
+    """Classify every txn id in ``records``.
+
+    Returns ``(committed, aborted, in_flight)`` where ``committed`` maps
+    txn id -> commit CSN.  Txn id 0 (autocommit) is never classified.
+    """
+    seen: set[int] = set()
+    committed: dict[int, int] = {}
+    aborted: set[int] = set()
+    for rec in records:
+        if rec.txn_id:
+            seen.add(rec.txn_id)
+        if rec.rtype is RecordType.TXN_COMMIT:
+            committed[rec.txn_id] = rec.csn
+        elif rec.rtype is RecordType.TXN_ABORT:
+            aborted.add(rec.txn_id)
+    in_flight = seen - set(committed) - aborted
+    return committed, aborted, in_flight
+
+
+def committed_positional_fold(records) -> dict[tuple, bytes]:
+    """``(table, page_id, slot) -> payload`` of the committed prefix.
+
+    In-flight transactions' heap ops are skipped.  That is positionally
+    safe because an in-flight op never *frees* a slot another record
+    could reuse: inserts/updates keep their slots occupied, and DELETE
+    records are deferred to the commit protocol (logged contiguously
+    just before TXN_COMMIT), so an in-flight transaction's deletes can
+    only sit at the torn end of the log with nothing after them.
+    """
+    _, _, in_flight = txn_outcomes(records)
+    state: dict[tuple, bytes] = {}
+    for rec in records:
+        if rec.rtype not in HEAP_OP_TYPES or rec.txn_id in in_flight:
+            continue
+        addr = (rec.table, rec.page_id, rec.slot)
+        if rec.rtype is RecordType.DELETE:
+            state.pop(addr, None)
+        else:
+            state[addr] = rec.payload
+    return state
+
+
+def serial_fold(
+    records, table_name: str, schema, key_column: str
+) -> dict[object, dict]:
+    """``key -> row`` by serial replay of committed txns in CSN order.
+
+    The autocommit stream (txn id 0) is applied first in log order —
+    it is the pre-concurrency base load.  Each committed transaction's
+    logical ops then apply atomically in commit order; DELETE ops are
+    resolved to their key via the positional pre-image at the point the
+    record was logged.  Aborted transactions contribute nothing (ops
+    and compensations share a txn id and are excluded wholesale).
+    """
+    committed, _, _ = txn_outcomes(records)
+    pos: dict[tuple[int, int], bytes] = {}
+    base_ops: list[tuple[RecordType, object, dict | None]] = []
+    txn_ops: dict[int, list[tuple[RecordType, object, dict | None]]] = {}
+    for rec in records:
+        if rec.rtype not in HEAP_OP_TYPES or rec.table != table_name:
+            continue
+        addr = (rec.page_id, rec.slot)
+        if rec.rtype is RecordType.DELETE:
+            row = unpack_record_map(schema, pos[addr])
+            pos.pop(addr, None)
+        else:
+            row = unpack_record_map(schema, rec.payload)
+            pos[addr] = rec.payload
+        op = (rec.rtype, row[key_column], row)
+        if rec.txn_id == 0:
+            base_ops.append(op)
+        elif rec.txn_id in committed:
+            txn_ops.setdefault(rec.txn_id, []).append(op)
+    rows: dict[object, dict] = {}
+    def apply(ops):
+        for rtype, key, row in ops:
+            if rtype is RecordType.DELETE:
+                rows.pop(key, None)
+            else:
+                rows[key] = row
+    apply(base_ops)
+    for txn_id in sorted(committed, key=committed.get):
+        apply(txn_ops.get(txn_id, []))
+    return rows

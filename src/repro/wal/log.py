@@ -199,25 +199,55 @@ class WalWriter:
         return lsn
 
     def log_insert(
-        self, table: str, rid: Rid, payload: bytes, lsn: int | None = None
+        self, table: str, rid: Rid, payload: bytes, lsn: int | None = None,
+        txn_id: int = 0,
     ) -> int:
         return self._log(WalRecord(
             lsn=self._resolve(lsn), rtype=RecordType.INSERT, table=table,
             page_id=rid.page_id, slot=rid.slot, payload=bytes(payload),
+            txn_id=txn_id,
         ))
 
     def log_update(
-        self, table: str, rid: Rid, payload: bytes, lsn: int | None = None
+        self, table: str, rid: Rid, payload: bytes, lsn: int | None = None,
+        txn_id: int = 0,
     ) -> int:
         return self._log(WalRecord(
             lsn=self._resolve(lsn), rtype=RecordType.UPDATE, table=table,
             page_id=rid.page_id, slot=rid.slot, payload=bytes(payload),
+            txn_id=txn_id,
         ))
 
-    def log_delete(self, table: str, rid: Rid, lsn: int | None = None) -> int:
+    def log_delete(
+        self, table: str, rid: Rid, lsn: int | None = None, txn_id: int = 0
+    ) -> int:
         return self._log(WalRecord(
             lsn=self._resolve(lsn), rtype=RecordType.DELETE, table=table,
-            page_id=rid.page_id, slot=rid.slot,
+            page_id=rid.page_id, slot=rid.slot, txn_id=txn_id,
+        ))
+
+    def log_txn_begin(self, txn_id: int) -> int:
+        return self._log(WalRecord(
+            lsn=self.reserve_lsn(), rtype=RecordType.TXN_BEGIN,
+            meta={"txn": txn_id}, txn_id=txn_id,
+        ))
+
+    def log_txn_commit(self, txn_id: int, csn: int) -> int:
+        """Append the commit point for ``txn_id``.
+
+        The record rides the normal group-commit buffer, so commits
+        from many sessions batch into one device append; a session that
+        needs synchronous durability calls :meth:`flush` after.
+        """
+        return self._log(WalRecord(
+            lsn=self.reserve_lsn(), rtype=RecordType.TXN_COMMIT,
+            meta={"txn": txn_id, "csn": csn}, txn_id=txn_id,
+        ))
+
+    def log_txn_abort(self, txn_id: int) -> int:
+        return self._log(WalRecord(
+            lsn=self.reserve_lsn(), rtype=RecordType.TXN_ABORT,
+            meta={"txn": txn_id}, txn_id=txn_id,
         ))
 
     def log_create_table(self, meta: dict) -> int:

@@ -63,14 +63,28 @@ class RecordType(IntEnum):
     #: An index cache was dropped wholesale (e.g. by a heal); replay
     #: rebuilds indexes from the heap anyway, so this is an audit mark.
     INDEX_CACHE_DROP = 8
+    #: A transaction issued its first write (body: ``{"txn": id}``).
+    TXN_BEGIN = 9
+    #: A transaction committed (body: ``{"txn": id, "csn": csn}``).  The
+    #: commit point: a txn is durable iff this frame is in the durable
+    #: prefix — group commit batches commit records across sessions.
+    TXN_COMMIT = 10
+    #: A transaction finished rolling back (body: ``{"txn": id}``).  Its
+    #: compensation records — ordinary heap ops stamped with the same
+    #: ``txn_id`` — all precede this frame in log order.
+    TXN_ABORT = 11
 
 
 #: Record types that redo mutates heap pages for.
 HEAP_OP_TYPES = frozenset({RecordType.INSERT, RecordType.UPDATE, RecordType.DELETE})
+#: Transaction bracket records (JSON bodies carrying ``{"txn": id}``).
+TXN_TYPES = frozenset(
+    {RecordType.TXN_BEGIN, RecordType.TXN_COMMIT, RecordType.TXN_ABORT}
+)
 #: Record types whose body is a JSON document (``meta`` is populated).
 _JSON_TYPES = frozenset(
     {RecordType.CREATE_TABLE, RecordType.CREATE_INDEX, RecordType.CHECKPOINT}
-)
+) | TXN_TYPES
 
 
 @dataclass(frozen=True)
@@ -80,11 +94,14 @@ class WalRecord:
     Which fields are meaningful depends on ``rtype``:
 
     * heap ops (INSERT/UPDATE/DELETE): ``table``, ``page_id``, ``slot``,
+      the owning ``txn_id`` (0 = autocommit, outside any transaction),
       and for insert/update the tuple ``payload``;
     * HOT_COLD_MOVE: ``table`` (the partitioned table's label), source
       ``(page_id, slot)`` and destination ``(aux_page, aux_slot)``;
     * INDEX_CACHE_DROP: ``table`` holds the index name;
-    * JSON types (CREATE_TABLE/CREATE_INDEX/CHECKPOINT): ``meta``.
+    * JSON types (CREATE_TABLE/CREATE_INDEX/CHECKPOINT and the TXN
+      brackets): ``meta``; txn brackets also mirror ``meta["txn"]``
+      into ``txn_id``.
     """
 
     lsn: int
@@ -96,6 +113,7 @@ class WalRecord:
     meta: dict | None = field(default=None, hash=False)
     aux_page: int = 0
     aux_slot: int = 0
+    txn_id: int = 0
 
     @property
     def redo_from(self) -> int:
@@ -103,6 +121,13 @@ class WalRecord:
         if self.rtype is not RecordType.CHECKPOINT or self.meta is None:
             raise WalError("redo_from is only defined on CHECKPOINT records")
         return int(self.meta["redo_from"])
+
+    @property
+    def csn(self) -> int:
+        """TXN_COMMIT records only: the commit sequence number."""
+        if self.rtype is not RecordType.TXN_COMMIT or self.meta is None:
+            raise WalError("csn is only defined on TXN_COMMIT records")
+        return int(self.meta["csn"])
 
 
 def _encode_name(name: str) -> bytes:
@@ -117,9 +142,15 @@ def _encode_body(record: WalRecord) -> bytes:
     if rtype in _JSON_TYPES:
         if record.meta is None:
             raise WalError(f"{rtype.name} record requires meta")
+        if rtype in TXN_TYPES and "txn" not in record.meta:
+            raise WalError(f"{rtype.name} record requires meta['txn']")
         return json.dumps(record.meta, sort_keys=True).encode("utf-8")
     head = _encode_name(record.table)
     addr = record.page_id.to_bytes(4, "little") + record.slot.to_bytes(4, "little")
+    if rtype in HEAP_OP_TYPES:
+        if record.txn_id < 0 or record.txn_id > 0xFFFFFFFF:
+            raise WalError(f"txn_id {record.txn_id} outside u32 range")
+        addr += record.txn_id.to_bytes(4, "little")
     if rtype in (RecordType.INSERT, RecordType.UPDATE):
         if not record.payload:
             raise WalError(f"{rtype.name} record requires tuple payload")
@@ -159,7 +190,12 @@ def _decode_body(lsn: int, rtype: RecordType, body: bytes) -> WalRecord:
         meta = json.loads(body.decode("utf-8"))
         if not isinstance(meta, dict):
             raise WalError("JSON record body must be an object")
-        return WalRecord(lsn=lsn, rtype=rtype, meta=meta)
+        txn_id = 0
+        if rtype in TXN_TYPES:
+            if "txn" not in meta:
+                raise WalError(f"{rtype.name} record body lacks 'txn'")
+            txn_id = int(meta["txn"])
+        return WalRecord(lsn=lsn, rtype=rtype, meta=meta, txn_id=txn_id)
     if len(body) < 2:
         raise WalError("record body too short for name prefix")
     name_len = int.from_bytes(body[:2], "little")
@@ -174,18 +210,25 @@ def _decode_body(lsn: int, rtype: RecordType, body: bytes) -> WalRecord:
     page_id = int.from_bytes(rest[:4], "little")
     slot = int.from_bytes(rest[4:8], "little")
     rest = rest[8:]
+    txn_id = 0
+    if rtype in HEAP_OP_TYPES:
+        if len(rest) < 4:
+            raise WalError(f"{rtype.name} record body lacks its txn id")
+        txn_id = int.from_bytes(rest[:4], "little")
+        rest = rest[4:]
     if rtype in (RecordType.INSERT, RecordType.UPDATE):
         if not rest:
             raise WalError(f"{rtype.name} record has no tuple payload")
         return WalRecord(
             lsn=lsn, rtype=rtype, table=table, page_id=page_id, slot=slot,
-            payload=bytes(rest),
+            payload=bytes(rest), txn_id=txn_id,
         )
     if rtype is RecordType.DELETE:
         if rest:
             raise WalError("DELETE record has trailing bytes")
         return WalRecord(
-            lsn=lsn, rtype=rtype, table=table, page_id=page_id, slot=slot
+            lsn=lsn, rtype=rtype, table=table, page_id=page_id, slot=slot,
+            txn_id=txn_id,
         )
     if rtype is RecordType.HOT_COLD_MOVE:
         if len(rest) != 8:

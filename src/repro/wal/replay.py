@@ -72,6 +72,12 @@ class RecoveryReport:
     #: table name -> live rows after recovery.
     tables: dict[str, int] = field(default_factory=dict)
     replay_ns: int = 0
+    #: In-flight transactions (heap ops durable, no TXN_COMMIT/TXN_ABORT
+    #: in the durable prefix) rolled back by appending compensation
+    #: records — the crash-during-commit losers.
+    txns_rolled_back: int = 0
+    #: Compensation records appended for those rollbacks.
+    undo_records: int = 0
 
 
 def schema_from_meta(columns: list) -> Schema:
@@ -323,6 +329,20 @@ def recover(
                 m_rebuilds.inc()
                 m_recovered.inc()
 
+    # -- loser-transaction rollback ------------------------------------------
+    # Redo-only recovery replayed *everything* durable, including heap
+    # ops of transactions whose TXN_COMMIT never reached the device.
+    # Undo them here exactly the way a live abort would: compensation
+    # records (ordinary heap redo records with the loser's txn id) in
+    # reverse log order, closed by TXN_ABORT — so the log stays
+    # redo-only and a crash *during this rollback* just leaves a longer
+    # in-flight tail for the next recovery to converge on.
+    txns_rolled_back, undo_records = _rollback_in_flight(
+        db, records, page_size
+    )
+    if txns_rolled_back:
+        metrics.counter("wal.replay.txn_rollbacks").inc(txns_rolled_back)
+
     # -- catalog + index rebuild ---------------------------------------------
     tables: dict[str, int] = {}
     for name, meta in table_defs.items():
@@ -360,8 +380,83 @@ def recover(
         page_rebuilds=page_rebuilds,
         tables=tables,
         replay_ns=elapsed,
+        txns_rolled_back=txns_rolled_back,
+        undo_records=undo_records,
     )
     return db, report
+
+
+def _rollback_in_flight(db, records, page_size: int) -> tuple[int, int]:
+    """Undo every in-flight transaction's durable heap ops.
+
+    A transaction is in flight when its heap ops appear in the durable
+    prefix but neither its TXN_COMMIT nor its TXN_ABORT does — commit
+    records are logged after every op, so a torn tail can only strand a
+    *suffix* of a transaction, and the committed prefix of the log is
+    untouched.  One forward positional fold captures each loser
+    record's pre-image; compensation then applies in reverse log order
+    (the pre-image of op *k* is the post-image of op *k-1* on that
+    slot, so reverse replay restores the original bytes even across
+    repeated crash/recover cycles that already half-compensated).
+    """
+    from repro.storage.heap import Rid
+
+    seen: set[int] = set()
+    resolved: set[int] = set()
+    for rec in records:
+        if rec.txn_id:
+            seen.add(rec.txn_id)
+        if rec.rtype in (RecordType.TXN_COMMIT, RecordType.TXN_ABORT):
+            resolved.add(rec.txn_id)
+    losers = seen - resolved
+    if not losers:
+        return 0, 0
+    state: dict[tuple[str, int, int], bytes] = {}
+    loser_ops: list[tuple[WalRecord, bytes | None]] = []
+    for rec in records:
+        if rec.rtype not in HEAP_OP_TYPES:
+            continue
+        addr = (rec.table, rec.page_id, rec.slot)
+        if rec.txn_id in losers:
+            loser_ops.append((rec, state.get(addr)))
+        if rec.rtype is RecordType.DELETE:
+            state.pop(addr, None)
+        else:
+            state[addr] = rec.payload
+    writer = db.wal
+    pool = db.data_pool
+    undo_records = 0
+    for rec, pre in reversed(loser_ops):
+        rid = Rid(rec.page_id, rec.slot)
+        lsn = writer.reserve_lsn()
+        if rec.rtype is RecordType.DELETE:
+            if pre is None:  # pragma: no cover - delete of a dead slot
+                continue
+            comp = WalRecord(
+                lsn=lsn, rtype=RecordType.INSERT, table=rec.table,
+                page_id=rec.page_id, slot=rec.slot, payload=pre,
+                txn_id=rec.txn_id,
+            )
+            writer.log_insert(rec.table, rid, pre, lsn=lsn, txn_id=rec.txn_id)
+        elif pre is not None:
+            comp = WalRecord(
+                lsn=lsn, rtype=RecordType.UPDATE, table=rec.table,
+                page_id=rec.page_id, slot=rec.slot, payload=pre,
+                txn_id=rec.txn_id,
+            )
+            writer.log_update(rec.table, rid, pre, lsn=lsn, txn_id=rec.txn_id)
+        else:
+            comp = WalRecord(
+                lsn=lsn, rtype=RecordType.DELETE, table=rec.table,
+                page_id=rec.page_id, slot=rec.slot, txn_id=rec.txn_id,
+            )
+            writer.log_delete(rec.table, rid, lsn=lsn, txn_id=rec.txn_id)
+        _redo_one(pool, comp)
+        undo_records += 1
+    for txn_id in sorted(losers):
+        writer.log_txn_abort(txn_id)
+    writer.flush()
+    return len(losers), undo_records
 
 
 def _redo_one(pool, rec: WalRecord) -> bool:

@@ -97,3 +97,42 @@ def test_cli_exit_code_and_output(capsys):
     out = capsys.readouterr().out
     assert code == 0
     assert "fault drill [PASS]" in out
+
+
+@pytest.fixture(scope="module")
+def sessions_drill() -> DrillReport:
+    # High-contention shape: few pages, many sessions racing for the
+    # same keys, so FWW conflicts and crash-stranded txns both occur.
+    return run_fault_drill(
+        seed=3, n_pages=6, revisions_per_page=2, n_ops=800, sessions=6
+    )
+
+
+def test_sessions_drill_passes_under_contention(sessions_drill):
+    assert sessions_drill.passed
+    assert sessions_drill.wrong_results == 0
+    assert sessions_drill.sessions == 6
+
+
+def test_sessions_drill_exercises_the_txn_machinery(sessions_drill):
+    assert sessions_drill.txn_commits > 100
+    assert sessions_drill.txn_conflicts > 0
+    assert sessions_drill.txn_aborts >= sessions_drill.txn_conflicts
+
+
+def test_sessions_drill_is_reproducible_bit_for_bit(sessions_drill):
+    again = run_fault_drill(
+        seed=3, n_pages=6, revisions_per_page=2, n_ops=800, sessions=6
+    )
+    assert again.digest == sessions_drill.digest
+    assert again.txn_conflicts == sessions_drill.txn_conflicts
+
+
+def test_sessions_cli_flag(capsys):
+    code = faults_cli(
+        ["--seed", "1", "--ops", "300", "--pages", "60", "--sessions", "4"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "fault drill [PASS]" in out
+    assert "4 session(s)" in out and "conflict(s)" in out

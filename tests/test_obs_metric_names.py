@@ -57,6 +57,10 @@ def _runtime_names():
     # the fault ledger, recovery actions, and WAL crash-restart replay.
     report = run_fault_drill(n_pages=60, n_ops=300, seed=1)
     names.update(_flatten(report.metrics))
+    # Sessions mode registers the ``txn.*`` family (MVCC lifecycle,
+    # conflicts, undo) and the replay rollback counter.
+    report = run_fault_drill(n_pages=60, n_ops=300, seed=1, sessions=4)
+    names.update(_flatten(report.metrics))
     return names
 
 
@@ -67,6 +71,8 @@ def test_table_parses():
     assert "faults.kind.*" in patterns
     assert "adaptive.knob.*" in patterns
     assert "adaptive.actions" in patterns
+    assert "txn.commits" in patterns
+    assert "txn.conflicts" in patterns
 
 
 def test_every_runtime_metric_name_is_documented():

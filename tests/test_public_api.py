@@ -41,3 +41,17 @@ def test_experiment_drivers_importable():
     for module in (fig2a, fig2b, fig2c, fig3, capacity, encoding_waste,
                    fill_factor, headline, ablations):
         assert hasattr(module, "run") or hasattr(module, "main")
+
+
+def test_txn_entry_points_importable():
+    from repro import Session, SimScheduler, TransactionManager  # noqa: F401
+    from repro.txn import (  # noqa: F401
+        committed_positional_fold,
+        interleavings,
+        serial_fold,
+        txn_outcomes,
+    )
+    from repro.experiments import txn as txn_experiment
+
+    assert hasattr(txn_experiment, "main")
+    assert hasattr(txn_experiment, "run_contention")

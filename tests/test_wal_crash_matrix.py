@@ -230,3 +230,28 @@ def test_survived_disk_crash_matrix():
             next_id = max(expected, default=-1) + 1
     assert crashes >= 8
     assert bounded_redos >= 1
+
+
+def test_replay_is_idempotent_after_back_to_back_crashes(full_log, boundaries):
+    """Regression: recover, crash again before any new writes land, and
+    recover once more — replay must not double-apply.  Sampled across
+    the boundary matrix so torn positions with pending redo are covered
+    too, not just the clean full-log case."""
+    for cut in boundaries[:: max(1, len(boundaries) // 16)] + [len(full_log)]:
+        prefix = full_log[:cut]
+        db1, _ = recover(
+            prefix, page_size=PAGE_SIZE,
+            data_pool_pages=POOL_PAGES, seed=SEED,
+        )
+        state1 = recovered_state(db1)
+        log1 = bytes(db1.wal.device.data)
+        # Immediate second crash: nothing was written after recovery,
+        # so the survived log replays over a blank disk again.
+        db2, report2 = recover(
+            log1, page_size=PAGE_SIZE,
+            data_pool_pages=POOL_PAGES, seed=SEED,
+        )
+        assert recovered_state(db2) == state1, f"double-apply at cut {cut}"
+        assert bytes(db2.wal.device.data) == log1
+        assert report2.records_applied <= report2.records_scanned
+        assert check_database(db2).ok
