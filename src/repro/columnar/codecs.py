@@ -1,0 +1,194 @@
+"""Per-column physical codecs for the columnar mirror (§3 + §4).
+
+The row engine already knows how to squeeze waste out of individual
+values (``repro.core.encoding.codecs``); this module lifts those codecs
+to whole *column vectors*.  A sealed column segment stores each column
+as one :class:`EncodedColumn`: a validity bitmap (1 bit per position,
+dead slots stay addressable so positions line up across columns) plus a
+payload encoded by whichever codec wins for the live values actually
+present — bit-packed frame-of-reference for the int family, delta
+varints when the vector happens to be sorted, dictionary or raw
+fixed-width bytes for strings, packed bitmaps for booleans.
+
+The contract is the one the round-trip property tests enforce: for
+every *live* position, ``decode_column`` must return a value whose
+``ctype.pack`` bytes are identical to the original's — columnar
+materialization is byte-equivalent to the row path.  Dead positions
+round-trip as an arbitrary in-domain fill value and are never read.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.core.encoding.codecs import (
+    BitPackedIntCodec,
+    BooleanBitmapCodec,
+    DeltaVarintCodec,
+    DictionaryCodec,
+    Timestamp14Codec,
+)
+from repro.errors import SchemaError, TypeMismatchError
+from repro.schema.schema import Column
+from repro.schema.types import TypeKind
+from repro.util.bitpack import pack_bits, unpack_bits
+
+#: TypeKinds stored as Python ints — all eligible for bit-packing.
+INT_KINDS = frozenset(
+    {TypeKind.INT, TypeKind.UINT, TypeKind.TIMESTAMP, TypeKind.DATE, TypeKind.YEAR}
+)
+#: TypeKinds stored as Python strs.
+STRING_KINDS = frozenset(
+    {TypeKind.CHAR, TypeKind.VARCHAR, TypeKind.TIMESTAMP_STRING}
+)
+
+#: Dictionary encoding pays off only while the dictionary stays small
+#: relative to the vector; past this many distinct values fall back to
+#: raw fixed-width bytes.
+_DICT_MAX_DISTINCT = 256
+
+
+class EncodedColumn:
+    """One column vector in encoded form.
+
+    ``count`` covers every position including dead ones; ``validity``
+    is the 1-bit-per-position liveness bitmap.  ``codec`` carries the
+    stateful decoder (bit-pack range, dictionary) when one is needed.
+    """
+
+    __slots__ = ("name", "encoding", "count", "payload", "validity", "codec")
+
+    def __init__(self, name, encoding, count, payload, validity, codec=None):
+        self.name = name
+        self.encoding = encoding
+        self.count = count
+        self.payload = payload
+        self.validity = validity
+        self.codec = codec
+
+    @property
+    def encoded_bytes(self) -> int:
+        """Size of the encoded representation (payload + validity)."""
+        return len(self.payload) + len(self.validity)
+
+
+def default_fill(column: Column) -> object:
+    """An in-domain throwaway value used to plug dead positions."""
+    kind = column.ctype.kind
+    if kind is TypeKind.BOOL:
+        return False
+    if kind in INT_KINDS:
+        return 0
+    if kind is TypeKind.FLOAT:
+        return 0.0
+    return ""
+
+
+def _pack_validity(live: list[bool]) -> bytes:
+    if not live:
+        return b""
+    return pack_bits([1 if alive else 0 for alive in live], 1)
+
+
+def _unpack_validity(validity: bytes, count: int) -> list[bool]:
+    if count == 0:
+        return []
+    return [bool(bit) for bit in unpack_bits(validity, 1, count)]
+
+
+def _non_decreasing(values: list[int]) -> bool:
+    return all(a <= b for a, b in zip(values, values[1:]))
+
+
+def _encode_ints(name, full, validity) -> EncodedColumn:
+    lo, hi = min(full), max(full)
+    bitpack = BitPackedIntCodec.for_range(lo, hi)
+    payload = bitpack.encode(full)
+    codec: object = bitpack
+    encoding = "bitpack"
+    if lo >= 0 and _non_decreasing(full):  # uvarint head: no negatives
+        delta = DeltaVarintCodec().encode(full)
+        if len(delta) < len(payload):
+            payload, codec, encoding = delta, None, "delta"
+    return EncodedColumn(name, encoding, len(full), payload, validity, codec)
+
+
+def _encode_strings(column: Column, full, validity) -> EncodedColumn:
+    name = column.name
+    if column.ctype.kind is TypeKind.TIMESTAMP_STRING:
+        try:
+            payload = Timestamp14Codec().encode(full)
+            return EncodedColumn(name, "ts14", len(full), payload, validity)
+        except TypeMismatchError:
+            pass  # out-of-format strings: fall through to generic paths
+    if len(set(full)) <= min(_DICT_MAX_DISTINCT, max(1, len(full))):
+        codec = DictionaryCodec.build(full)
+        payload = codec.encode(full)
+        return EncodedColumn(name, "dict", len(full), payload, validity, codec)
+    raw = b"".join(column.ctype.pack(value) for value in full)
+    return EncodedColumn(name, "raw", len(full), raw, validity)
+
+
+def encode_column(
+    column: Column, values: list[object], live: list[bool]
+) -> EncodedColumn:
+    """Encode one column vector (``values[i]`` live iff ``live[i]``)."""
+    if len(values) != len(live):
+        raise SchemaError("values and liveness bitmap disagree on length")
+    validity = _pack_validity(live)
+    fill = next(
+        (v for v, alive in zip(values, live) if alive), default_fill(column)
+    )
+    full = [v if alive else fill for v, alive in zip(values, live)]
+    kind = column.ctype.kind
+    name = column.name
+    if not full:
+        return EncodedColumn(name, "empty", 0, b"", b"")
+    if kind is TypeKind.BOOL:
+        payload = BooleanBitmapCodec().encode([bool(v) for v in full])
+        return EncodedColumn(name, "bool", len(full), payload, validity)
+    if kind in INT_KINDS:
+        return _encode_ints(name, [int(v) for v in full], validity)
+    if kind is TypeKind.FLOAT:
+        payload = struct.pack(f"<{len(full)}d", *[float(v) for v in full])
+        return EncodedColumn(name, "float", len(full), payload, validity)
+    if kind in STRING_KINDS:
+        return _encode_strings(column, [str(v) for v in full], validity)
+    raise SchemaError(f"unhandled column kind {kind}")  # pragma: no cover
+
+
+def decode_column(
+    column: Column, encoded: EncodedColumn
+) -> tuple[list[object], list[bool]]:
+    """Inverse of :func:`encode_column` → ``(values, live)``."""
+    count = encoded.count
+    if count == 0:
+        return [], []
+    live = _unpack_validity(encoded.validity, count)
+    encoding = encoded.encoding
+    if encoding == "bool":
+        values: list[object] = BooleanBitmapCodec().decode(encoded.payload, count)
+    elif encoding == "bitpack":
+        values = encoded.codec.decode(encoded.payload, count)
+    elif encoding == "delta":
+        values = DeltaVarintCodec().decode(encoded.payload, count)
+    elif encoding == "float":
+        values = list(struct.unpack(f"<{count}d", encoded.payload))
+    elif encoding == "ts14":
+        values = Timestamp14Codec().decode(encoded.payload, count)
+    elif encoding == "dict":
+        values = encoded.codec.decode(encoded.payload, count)
+    elif encoding == "raw":
+        size = column.ctype.size
+        values = [
+            column.ctype.unpack(encoded.payload[i * size : (i + 1) * size])
+            for i in range(count)
+        ]
+    else:  # pragma: no cover - encode_column never emits other tags
+        raise SchemaError(f"unknown column encoding {encoding!r}")
+    return values, live
+
+
+def raw_bytes(column: Column, count: int) -> int:
+    """Row-format footprint of ``count`` values (the comparison base)."""
+    return column.ctype.size * count

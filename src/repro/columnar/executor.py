@@ -1,0 +1,225 @@
+"""Vectorized batch kernels over column segments.
+
+The row executor pays full Python interpreter overhead per tuple:
+unpack the record, build a dict, call ``predicate.matches``, copy the
+projection.  The batch executor instead runs each step over a whole
+:class:`~repro.columnar.store.ColumnSegment` at a time — list
+comprehensions, :func:`itertools.compress`, and builtin ``sum``/``min``
+/``max`` push the per-tuple work into C, so one interpreter step covers
+N tuples.  Per-row dicts are built only for rows that survive the
+filter (materialization is the last step, never the loop body).
+
+:func:`compile_predicate` translates the :mod:`repro.query.predicates`
+tree into a *kernel*: ``kernel(columns, n) -> list[bool]`` producing a
+raw selection vector.  Leaf kernels ignore liveness; the executor ANDs
+the segment's live mask in exactly once at the top, so ``Not`` composes
+correctly (``Not(Eq)`` must not resurrect dead rows).  An unsupported
+predicate type compiles to ``None`` and the caller falls back to the
+row executor — the oracle path is always available.
+"""
+
+from __future__ import annotations
+
+from itertools import compress
+
+from repro.errors import QueryError
+from repro.query.predicates import (
+    And,
+    ColumnEq,
+    ColumnIn,
+    ColumnRange,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+from repro.schema.schema import Schema
+
+#: Aggregate ops understood by :func:`aggregate_segments`.
+AGG_OPS = ("count", "sum", "min", "max", "avg")
+
+
+def compile_predicate(predicate: Predicate, schema: Schema):
+    """Compile a predicate tree into a selection-vector kernel.
+
+    Returns ``kernel(columns, n) -> list[bool]`` or ``None`` when the
+    tree contains a node the vectorized path doesn't understand (e.g. a
+    user-defined predicate class); ``None`` means "use the row path".
+    """
+    if isinstance(predicate, TruePredicate):
+        return lambda columns, n: [True] * n
+    if isinstance(predicate, ColumnEq):
+        if not schema.has_column(predicate.column):
+            return None
+        column, value = predicate.column, predicate.value
+        return lambda columns, n: [v == value for v in columns[column]]
+    if isinstance(predicate, ColumnIn):
+        if not schema.has_column(predicate.column):
+            return None
+        column, values = predicate.column, frozenset(predicate.values)
+        return lambda columns, n: [v in values for v in columns[column]]
+    if isinstance(predicate, ColumnRange):
+        if not schema.has_column(predicate.column):
+            return None
+        column, lo, hi = predicate.column, predicate.lo, predicate.hi
+        if lo is not None and hi is not None:
+            return lambda columns, n: [lo <= v < hi for v in columns[column]]
+        if lo is not None:
+            return lambda columns, n: [lo <= v for v in columns[column]]
+        if hi is not None:
+            return lambda columns, n: [v < hi for v in columns[column]]
+        return lambda columns, n: [True] * n
+    if isinstance(predicate, Not):
+        inner = compile_predicate(predicate.inner, schema)
+        if inner is None:
+            return None
+        return lambda columns, n: [not bit for bit in inner(columns, n)]
+    if isinstance(predicate, (And, Or)):
+        parts = [compile_predicate(part, schema) for part in predicate.parts]
+        if any(part is None for part in parts):
+            return None
+        if not parts:  # all(()) is True, any(()) is False — match matches()
+            result = isinstance(predicate, And)
+            return lambda columns, n: [result] * n
+        if isinstance(predicate, And):
+            def kernel_and(columns, n):
+                selection = parts[0](columns, n)
+                for part in parts[1:]:
+                    bits = part(columns, n)
+                    selection = [a and b for a, b in zip(selection, bits)]
+                return selection
+            return kernel_and
+
+        def kernel_or(columns, n):
+            selection = parts[0](columns, n)
+            for part in parts[1:]:
+                bits = part(columns, n)
+                selection = [a or b for a, b in zip(selection, bits)]
+            return selection
+        return kernel_or
+    return None
+
+
+def select_segments(segments, kernel) -> list[list[bool]]:
+    """Per-segment selection vectors: kernel output ANDed with liveness."""
+    selections: list[list[bool]] = []
+    for segment in segments:
+        raw = kernel(segment.columns, segment.count)
+        if segment.live_count == segment.count:
+            selections.append(raw)
+        else:
+            selections.append(
+                [a and b for a, b in zip(raw, segment.live)]
+            )
+    return selections
+
+
+def materialize(store, selections, project) -> list[dict[str, object]]:
+    """Build row dicts for selected positions, in heap order."""
+    segments = store.segments
+    vectors = [
+        [(name, segment.columns[name]) for name in project]
+        for segment in segments
+    ]
+    rows: list[dict[str, object]] = []
+    append = rows.append
+    for seg_index, position in store.heap_order():
+        if selections[seg_index][position]:
+            append(
+                {name: vector[position] for name, vector in vectors[seg_index]}
+            )
+    return rows
+
+
+def normalize_specs(specs, schema: Schema) -> list[tuple[str, str | None]]:
+    """Validate ``(op, column)`` aggregate specs; ``count`` takes None."""
+    normalized: list[tuple[str, str | None]] = []
+    for op, column in specs:
+        if op not in AGG_OPS:
+            raise QueryError(f"unknown aggregate op {op!r}")
+        if op == "count":
+            normalized.append(("count", None))
+            continue
+        if column is None or not schema.has_column(column):
+            raise QueryError(f"aggregate {op!r} needs an existing column")
+        normalized.append((op, column))
+    return normalized
+
+
+def spec_label(op: str, column: str | None) -> str:
+    return "count" if op == "count" else f"{op}({column})"
+
+
+def aggregate_segments(segments, selections, specs) -> dict[str, object]:
+    """Fold aggregates over selected positions, one column at a time.
+
+    Empty selections yield SQL-ish identities: ``count`` 0, ``sum`` 0,
+    ``min``/``max``/``avg`` None — matching the row-path fold exactly.
+    """
+    count = sum(sum(selection) for selection in selections)
+    out: dict[str, object] = {}
+    for op, column in specs:
+        label = spec_label(op, column)
+        if label in out:
+            continue
+        if op == "count":
+            out[label] = count
+            continue
+        chunks = [
+            compress(segment.columns[column], selection)
+            for segment, selection in zip(segments, selections)
+        ]
+        if op == "sum":
+            out[label] = sum(sum(chunk) for chunk in chunks)
+        elif op == "min":
+            mins = [m for m in (min(c, default=None) for c in chunks)
+                    if m is not None]
+            out[label] = min(mins, default=None)
+        elif op == "max":
+            maxes = [m for m in (max(c, default=None) for c in chunks)
+                     if m is not None]
+            out[label] = max(maxes, default=None)
+        else:  # avg
+            total = sum(sum(chunk) for chunk in chunks)
+            out[label] = (total / count) if count else None
+    return out
+
+
+def aggregate_rows(rows, specs) -> dict[str, object]:
+    """Row-path oracle fold over an iterable of row dicts."""
+    count = 0
+    sums: dict[str, object] = {}
+    mins: dict[str, object] = {}
+    maxes: dict[str, object] = {}
+    needed = {column for op, column in specs if column is not None}
+    want_sum = {c for op, c in specs if op in ("sum", "avg")}
+    want_min = {c for op, c in specs if op == "min"}
+    want_max = {c for op, c in specs if op == "max"}
+    for row in rows:
+        count += 1
+        for column in needed:
+            value = row[column]
+            if column in want_sum:
+                sums[column] = sums.get(column, 0) + value
+            if column in want_min:
+                best = mins.get(column)
+                if best is None or value < best:
+                    mins[column] = value
+            if column in want_max:
+                best = maxes.get(column)
+                if best is None or value > best:
+                    maxes[column] = value
+    out: dict[str, object] = {}
+    for op, column in specs:
+        label = spec_label(op, column)
+        if op == "count":
+            out[label] = count
+        elif op == "sum":
+            out[label] = sums.get(column, 0)
+        elif op == "min":
+            out[label] = mins.get(column)
+        elif op == "max":
+            out[label] = maxes.get(column)
+        else:  # avg
+            out[label] = (sums.get(column, 0) / count) if count else None
+    return out

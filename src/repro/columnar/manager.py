@@ -1,0 +1,258 @@
+"""ColumnarManager: wiring, metrics, and the per-table binding.
+
+One manager per database (built by ``Database.enable_columnar()``): it
+owns a :class:`~repro.columnar.store.ColumnStore` per attached table,
+the shared :class:`~repro.columnar.cache.IntermediateCache`, and the
+``columnar.*`` metrics family.  Instruments register at construction so
+the metric-name lint sees the family even before any columnar read.
+
+Each attached table gets a :class:`TableColumnar` binding (the table's
+``columnar`` attribute).  The binding is deliberately thin: the table
+calls ``plan_scan`` first — a ``None`` plan means "predicate not
+vectorizable, use the row path" and the table falls through *before*
+opening its profiler bracket, so an operation is never double-bracketed.
+
+Reset contract: ``reset_metrics`` hangs off
+``BufferPool.add_obs_reset_hook`` exactly like ``txn.*`` and
+``faults.*``, so ``reset_counters(reset_obs=True)`` zeroes the family.
+"""
+
+from __future__ import annotations
+
+from repro.columnar.cache import IntermediateCache
+from repro.columnar.executor import (
+    aggregate_segments,
+    compile_predicate,
+    materialize,
+    select_segments,
+)
+from repro.columnar.store import SEGMENT_ROWS, ColumnStore
+from repro.obs.registry import MetricsRegistry, resolve_registry
+
+
+def predicate_key(predicate) -> str:
+    """Canonical text of a predicate tree, stable across processes.
+
+    ``repr`` of the dataclass tree is deterministic except for
+    ``ColumnIn``'s frozenset ordering, which follows hash order — so
+    set members are rendered sorted by their own repr.
+    """
+    values = getattr(predicate, "values", None)
+    if isinstance(values, frozenset):
+        members = ",".join(sorted(repr(v) for v in values))
+        return f"In({predicate.column!r},{{{members}}})"
+    parts = getattr(predicate, "parts", None)
+    if parts is not None:
+        inner = ",".join(predicate_key(p) for p in parts)
+        return f"{type(predicate).__name__}({inner})"
+    inner = getattr(predicate, "inner", None)
+    if inner is not None:
+        return f"{type(predicate).__name__}({predicate_key(inner)})"
+    return repr(predicate)
+
+
+class ColumnarManager:
+    """Owns the columnar mirrors, the fragment cache, and ``columnar.*``."""
+
+    def __init__(
+        self,
+        database,
+        registry: MetricsRegistry | None = None,
+        segment_rows: int = SEGMENT_ROWS,
+        cache_entries: int = 256,
+    ) -> None:
+        self._db = database
+        self._segment_rows = segment_rows
+        self._stores: dict[str, ColumnStore] = {}
+        self.cache = IntermediateCache(cache_entries)
+        registry = resolve_registry(registry)
+        self._m_scans = registry.counter("columnar.scans")
+        self._m_aggregates = registry.counter("columnar.aggregates")
+        self._m_fallbacks = registry.counter("columnar.fallbacks")
+        self._m_rebuilds = registry.counter("columnar.rebuilds")
+        self._m_sealed = registry.counter("columnar.segments_sealed")
+        self._m_rows = registry.gauge("columnar.rows")
+        self._m_segments = registry.gauge("columnar.segments")
+        self._m_bytes_encoded = registry.gauge("columnar.bytes_encoded")
+        self._m_bytes_raw = registry.gauge("columnar.bytes_raw")
+        self._m_cache_hits = registry.counter("columnar.cache.hits")
+        self._m_cache_misses = registry.counter("columnar.cache.misses")
+        self._m_cache_invalidations = registry.counter(
+            "columnar.cache.invalidations"
+        )
+        self._m_cache_entries = registry.gauge("columnar.cache.entries")
+        self._rebuilds_seen = 0
+        self._sealed_seen = 0
+        self._cache_hits_seen = 0
+        self._cache_misses_seen = 0
+        self._cache_invalidations_seen = 0
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach(self, table) -> "TableColumnar":
+        """Mirror ``table`` (idempotent) and hand it its binding."""
+        store = self._stores.get(table.name)
+        if store is None or store.table is not table:
+            # New table, or the name was dropped and re-created: never
+            # serve a mirror of a table object that left the catalog.
+            store = ColumnStore(table, segment_rows=self._segment_rows)
+            self._stores[table.name] = store
+        if table.columnar is None or table.columnar.store is not store:
+            table.columnar = TableColumnar(self, table, store)
+        return table.columnar
+
+    def store(self, table_name: str) -> ColumnStore:
+        return self._stores[table_name]
+
+    @property
+    def stores(self) -> dict[str, ColumnStore]:
+        return dict(self._stores)
+
+    def current_csn(self) -> int:
+        """The engine CSN *without* force-building a txn manager (a
+        database that never opened a session has no commits: CSN 0)."""
+        manager = self._db._txn_manager
+        return manager.current_csn if manager is not None else 0
+
+    # -- metrics -----------------------------------------------------------
+
+    def count_fallback(self) -> None:
+        self._m_fallbacks.inc()
+
+    def sync_gauges(self) -> None:
+        """Publish store/cache state; fold monotonic per-store counters
+        into the registry counters by delta so resets stay honest."""
+        stores = self._stores.values()
+        self._m_rows.set(float(sum(s.live_rows for s in stores)))
+        self._m_segments.set(float(sum(len(s.segments) for s in stores)))
+        rebuilds = sum(s.rebuilds for s in stores)
+        self._m_rebuilds.inc(rebuilds - self._rebuilds_seen)
+        self._rebuilds_seen = rebuilds
+        sealed = sum(s.sealed_total for s in stores)
+        self._m_sealed.inc(sealed - self._sealed_seen)
+        self._sealed_seen = sealed
+        self._m_cache_hits.inc(self.cache.hits - self._cache_hits_seen)
+        self._cache_hits_seen = self.cache.hits
+        self._m_cache_misses.inc(self.cache.misses - self._cache_misses_seen)
+        self._cache_misses_seen = self.cache.misses
+        self._m_cache_invalidations.inc(
+            self.cache.invalidations - self._cache_invalidations_seen
+        )
+        self._cache_invalidations_seen = self.cache.invalidations
+        self._m_cache_entries.set(float(len(self.cache)))
+
+    def refresh_encoding_stats(self) -> tuple[int, int]:
+        """Publish ``columnar.bytes_encoded``/``bytes_raw``.
+
+        Separate from :meth:`sync_gauges` because it (re-)encodes every
+        dirty sealed segment — an O(rows) pass that must not ride on the
+        per-scan hot path.  Returns ``(encoded, raw)``.
+        """
+        encoded = sum(s.encoded_bytes() for s in self._stores.values())
+        raw = sum(s.raw_bytes() for s in self._stores.values())
+        self._m_bytes_encoded.set(float(encoded))
+        self._m_bytes_raw.set(float(raw))
+        return encoded, raw
+
+    def reset_metrics(self) -> None:
+        """Zero ``columnar.*`` counters (the pool obs-reset contract).
+
+        Gauges re-sync to live state rather than zeroing: rows mirrored
+        and bytes encoded are facts about *now*, not about the window.
+        """
+        self.cache.reset_stats()
+        self._cache_hits_seen = 0
+        self._cache_misses_seen = 0
+        self._cache_invalidations_seen = 0
+        for store in self._stores.values():
+            store.rebuilds = 0
+            store.sealed_total = 0
+        self._rebuilds_seen = 0
+        self._sealed_seen = 0
+        for counter in (
+            self._m_scans,
+            self._m_aggregates,
+            self._m_fallbacks,
+            self._m_rebuilds,
+            self._m_sealed,
+            self._m_cache_hits,
+            self._m_cache_misses,
+            self._m_cache_invalidations,
+        ):
+            counter.reset()
+        self.sync_gauges()
+
+
+class TableColumnar:
+    """One table's handle into the columnar subsystem."""
+
+    __slots__ = ("_manager", "_table", "store")
+
+    def __init__(self, manager: ColumnarManager, table, store: ColumnStore):
+        self._manager = manager
+        self._table = table
+        self.store = store
+
+    # -- write notifications (called by Table after each applied write) ----
+
+    def note_insert(self, rid, row) -> None:
+        self.store.note_insert(rid, row)
+
+    def note_update(self, rid, row) -> None:
+        self.store.note_update(rid, row)
+
+    def note_delete(self, rid) -> None:
+        self.store.note_delete(rid)
+
+    # -- planning ----------------------------------------------------------
+
+    def plan_scan(self, predicate):
+        """A kernel for ``predicate``, or None → row-path fallback."""
+        kernel = compile_predicate(predicate, self._table.schema)
+        if kernel is None:
+            self._manager.count_fallback()
+        return kernel
+
+    # -- execution (called inside the table's profiler bracket) ------------
+
+    def scan(self, kernel, predicate, project) -> list[dict[str, object]]:
+        manager = self._manager
+        store = self.store
+        store.ensure_current()
+        manager._m_scans.inc()
+        key = (
+            "scan",
+            self._table.name,
+            tuple(project),
+            predicate_key(predicate),
+        )
+        epoch, csn = store.epoch, manager.current_csn()
+        cached = manager.cache.get(key, epoch, csn)
+        if cached is None:
+            selections = select_segments(store.segments, kernel)
+            cached = materialize(store, selections, tuple(project))
+            manager.cache.put(key, epoch, csn, cached)
+        manager.sync_gauges()
+        # Serve copies: callers may mutate result dicts; the cached
+        # master must stay pristine.
+        return [dict(row) for row in cached]
+
+    def aggregate(self, kernel, predicate, specs) -> dict[str, object]:
+        manager = self._manager
+        store = self.store
+        store.ensure_current()
+        manager._m_aggregates.inc()
+        key = (
+            "aggregate",
+            self._table.name,
+            tuple(specs),
+            predicate_key(predicate),
+        )
+        epoch, csn = store.epoch, manager.current_csn()
+        cached = manager.cache.get(key, epoch, csn)
+        if cached is None:
+            selections = select_segments(store.segments, kernel)
+            cached = aggregate_segments(store.segments, selections, specs)
+            manager.cache.put(key, epoch, csn, cached)
+        manager.sync_gauges()
+        return dict(cached)

@@ -26,6 +26,7 @@ from repro.experiments import (
     adaptive,
     batched,
     capacity,
+    columnar,
     encoding_waste,
     fig2a,
     fig2b,
@@ -50,6 +51,7 @@ _DRIVERS = {
     "headline": headline.main,
     "ablations": ablations.main,
     "batched": batched.main,
+    "columnar": columnar.main,
     "wal": wal.main,
     "obs": obs.main,
     "adaptive": adaptive.main,

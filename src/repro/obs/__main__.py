@@ -72,6 +72,7 @@ def run_observed_workload(
     alpha: float = 1.1,
     wal: bool = True,
     adaptive: bool = False,
+    columnar: bool = False,
 ) -> ObservedRun:
     """Load, replay, profile, sample, and health-check one workload.
 
@@ -84,10 +85,15 @@ def run_observed_workload(
     by an infinite interval) and fed each chunk's point explicitly, so
     the control loop runs chunk-synchronously and the sample count stays
     identical to a non-adaptive run.
+
+    With ``columnar=True`` the §5h vectorized executor is attached and a
+    scan + aggregate run per sampler chunk, so the ``columnar.*`` family
+    carries real traffic (mirror maintenance, fragment cache churn).
     """
     # Late imports: repro.obs stays importable from the lowest layers;
     # only the CLI pulls in the query and workload packages.
     from repro.query.database import Database
+    from repro.query.predicates import ColumnRange
     from repro.schema.schema import Schema
     from repro.schema.types import UINT32, UINT64, char
     from repro.workload.replay import build_mixed_trace, replay
@@ -110,6 +116,7 @@ def run_observed_workload(
     )
     checker = HealthChecker(sampler, DEFAULT_SLO_RULES)
     controller = db.enable_adaptive(sampler=sampler) if adaptive else None
+    columnar_mgr = db.enable_columnar() if columnar else None
 
     trace = build_mixed_trace(
         n_ops,
@@ -130,9 +137,15 @@ def run_observed_workload(
             project=("k", "name"), lookup_batch_size=batch,
         )
         replayed += result.operations
+        if columnar_mgr is not None:
+            table.aggregate([("count", None), ("sum", "n")],
+                            ColumnRange("n", 0, 48))
+            list(table.scan(ColumnRange("n", 0, 8), project=("k", "n")))
         point = sampler.sample()
         if controller is not None:
             controller.evaluate(point)
+    if columnar_mgr is not None:
+        columnar_mgr.refresh_encoding_stats()
     if wal:
         db.wal.flush()
     return ObservedRun(

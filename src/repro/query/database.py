@@ -152,6 +152,7 @@ class Database:
         self._profiler = None
         self._adaptive = None
         self._txn_manager = None
+        self._columnar = None
         #: Database-wide cache-fill admission fraction, pushed into every
         #: cached index (existing and future) by :meth:`set_cache_admission`.
         self._cache_admission = 1.0
@@ -327,6 +328,44 @@ class Database:
             self.table(entry_name).profiler = self._profiler
         return self._profiler
 
+    @property
+    def columnar(self) -> "ColumnarManager | None":
+        """The columnar manager, once :meth:`enable_columnar` has run."""
+        return self._columnar
+
+    def enable_columnar(
+        self, segment_rows: int | None = None, cache_entries: int = 256
+    ) -> "ColumnarManager":
+        """Attach the vectorized columnar executor (DESIGN.md §5h).
+
+        Every table — existing and future — gains a column-major mirror
+        of its heap: scans and aggregates whose predicate compiles to a
+        batch kernel run over whole column vectors (one interpreter step
+        per segment instead of per tuple), with reusable fragments cached
+        under the PR-5 query fingerprint and invalidated by table epoch +
+        engine CSN.  The row executor remains the oracle: unsupported
+        predicates, or ``use_columnar=False``, take the unchanged row
+        path.  Idempotent; strictly opt-in (until this runs, the
+        per-operation cost is a single ``is not None`` test).
+        """
+        if self._columnar is None:
+            from repro.columnar.manager import ColumnarManager
+            from repro.columnar.store import SEGMENT_ROWS
+
+            self._columnar = ColumnarManager(
+                self,
+                registry=self._metrics,
+                segment_rows=segment_rows or SEGMENT_ROWS,
+                cache_entries=cache_entries,
+            )
+            # Join the pool's full-obs-reset contract: a
+            # ``reset_counters(reset_obs=True)`` between experiment
+            # phases zeroes ``columnar.*`` alongside ``txn.*``/``wal.*``.
+            self._data_pool.add_obs_reset_hook(self._columnar.reset_metrics)
+        for entry_name in self._catalog.table_names:
+            self._columnar.attach(self.table(entry_name))
+        return self._columnar
+
     def enable_adaptive(
         self,
         rules=None,
@@ -460,6 +499,8 @@ class Database:
         self._catalog.register_table(name, schema, table)
         if self._adaptive is not None:
             table.ticker = self._adaptive
+        if self._columnar is not None:
+            self._columnar.attach(table)
         if self._wal is not None:
             self._wal.log_create_table(table_meta(name, schema, heap))
         return table
@@ -565,6 +606,8 @@ class Database:
         self._catalog.register_table(name, schema, table)
         if self._adaptive is not None:
             table.ticker = self._adaptive
+        if self._columnar is not None:
+            self._columnar.attach(table)
         return table
 
     def restore_index(

@@ -203,6 +203,13 @@ class Table:
         #: join parent) notified after every update/delete so derived
         #: caches living *outside* this table's indexes can invalidate.
         self._write_observers: list = []
+        #: Optional repro.columnar.manager.TableColumnar binding
+        #: (duck-typed).  When set, scans and aggregates whose predicate
+        #: compiles to a batch kernel run over the columnar mirror, and
+        #: every applied write is mirrored through note_insert/update/
+        #: delete — exactly the index fan-out contract.  When None, the
+        #: hot path pays one attribute test.
+        self._columnar = None
 
     # -- properties ----------------------------------------------------------
 
@@ -285,6 +292,14 @@ class Table:
     def ticker(self, value) -> None:
         self._ticker = value
 
+    @property
+    def columnar(self):
+        return self._columnar
+
+    @columnar.setter
+    def columnar(self, value) -> None:
+        self._columnar = value
+
     def _profile(
         self,
         op: str,
@@ -340,6 +355,8 @@ class Table:
                         pass
                 self._wal_delete(rid, txn_id=txn_id)
                 raise
+            if self._columnar is not None:
+                self._columnar.note_insert(rid, row)
             return rid
 
     def update(
@@ -368,6 +385,8 @@ class Table:
             row = unpack_record_map(self._schema, self._heap.fetch(rid))
             row.update(changes)
             self._wal_update(rid, pack_record_map(self._schema, row), txn_id=txn_id)
+            if self._columnar is not None:
+                self._columnar.note_update(rid, row)
             changed = set(changes)
             for index in self._indexes.values():
                 index.note_update(row, changed)
@@ -411,6 +430,8 @@ class Table:
                         # key because the heap row is still in place.
                         pass
                 raise
+            if self._columnar is not None:
+                self._columnar.note_delete(rid)
             for observer in self._write_observers:
                 observer.note_parent_delete(row)
             return True
@@ -472,18 +493,73 @@ class Table:
         self,
         predicate: Predicate | None = None,
         project: tuple[str, ...] | None = None,
+        use_columnar: bool = True,
     ) -> Iterator[dict[str, object]]:
         """Full scan with optional filter and projection.
 
-        When profiling is enabled the bracket stays open until the
-        iterator is exhausted (or closed), so operations interleaved with
-        a half-drained scan are charged to the scan's fingerprint.
+        With a columnar binding attached and a predicate the batch
+        kernels understand, the whole scan is computed vectorized inside
+        one profiler bracket and an iterator over the materialized rows
+        is returned — output order and content are identical to the row
+        path.  ``use_columnar=False`` forces the row executor (the
+        oracle path differential tests compare against).
+
+        On the row path with profiling enabled, the bracket stays open
+        until the iterator is exhausted (or closed), so operations
+        interleaved with a half-drained scan are charged to the scan's
+        fingerprint.
         """
         predicate = predicate if predicate is not None else TruePredicate()
         project = project if project is not None else self._schema.names
+        if use_columnar and self._columnar is not None:
+            # Plan *before* opening the bracket: an unsupported predicate
+            # falls through to the row path without a second bracket.
+            kernel = self._columnar.plan_scan(predicate)
+            if kernel is not None:
+                with self._profile("scan", project=project):
+                    return iter(self._columnar.scan(kernel, predicate, project))
         if self._profiler is None:
             return self._scan_rows(predicate, project)
         return self._profiled_scan(predicate, project)
+
+    def aggregate(
+        self,
+        specs: list[tuple[str, str | None]],
+        predicate: Predicate | None = None,
+        use_columnar: bool = True,
+    ) -> dict[str, object]:
+        """Aggregate over the (filtered) table: ``[("sum", "n"), ...]``.
+
+        Supported ops: ``count`` (column ignored), ``sum``, ``min``,
+        ``max``, ``avg``.  Returns ``{"sum(n)": ..., "count": ...}``.
+        Empty selections yield count 0, sum 0, and None for min/max/avg.
+        Runs vectorized over the columnar mirror when attached and the
+        predicate compiles; otherwise folds over the row scan — both
+        paths produce identical results.
+        """
+        # Lazy: repro.columnar ↔ repro.query would cycle at import time
+        # (core.encoding's package init imports Table for migrate).
+        from repro.columnar.executor import aggregate_rows, normalize_specs
+
+        if self._ticker is not None:
+            self._ticker.tick()
+        predicate = predicate if predicate is not None else TruePredicate()
+        normalized = tuple(normalize_specs(specs, self._schema))
+        labels = tuple(
+            "count" if op == "count" else f"{op}({column})"
+            for op, column in normalized
+        )
+        if use_columnar and self._columnar is not None:
+            kernel = self._columnar.plan_scan(predicate)
+            if kernel is not None:
+                with self._profile("aggregate", project=labels):
+                    return self._columnar.aggregate(
+                        kernel, predicate, normalized
+                    )
+        with self._profile("aggregate", project=labels):
+            return aggregate_rows(
+                self._scan_rows(predicate, self._schema.names), normalized
+            )
 
     def _scan_rows(
         self, predicate: Predicate, project: tuple[str, ...]
@@ -497,7 +573,16 @@ class Table:
         self, predicate: Predicate, project: tuple[str, ...]
     ) -> Iterator[dict[str, object]]:
         with self._profile("scan", project=project):
-            yield from self._scan_rows(predicate, project)
+            try:
+                yield from self._scan_rows(predicate, project)
+            except GeneratorExit:
+                # An abandoned iterator (explicit close() or GC of a
+                # half-drained scan) must still close the profiler
+                # bracket — otherwise every subsequent operation is
+                # mis-charged to this scan's fingerprint — and must not
+                # be absorbed as a query *error*: returning converts the
+                # throw into a normal exit for the ``with`` block.
+                return
 
     # -- internals ---------------------------------------------------------------
 

@@ -1,0 +1,263 @@
+"""Vectorized executor vs the row oracle (DESIGN.md §5h).
+
+The contract under test: with the columnar mirror attached, every scan
+and aggregate the batch kernels can serve is *list-identical* (same
+rows, same values, same heap order) to the unchanged row executor, for
+every predicate shape, across inserts/updates/deletes, and through the
+fragment cache.  Unsupported predicates must fall back, counted, and
+still be correct.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.database import Database
+from repro.query.predicates import (
+    And,
+    ColumnEq,
+    ColumnIn,
+    ColumnRange,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+from repro.schema.schema import Schema
+from repro.schema.types import BOOL, INT32, UINT32, char
+
+pytestmark = pytest.mark.columnar
+
+SCHEMA = Schema.of(
+    ("id", UINT32), ("cat", char(4)), ("n", UINT32), ("d", INT32),
+    ("flag", BOOL),
+)
+
+
+def make_db(n_rows: int = 500, segment_rows: int = 64):
+    db = Database(seed=3, wal=False)
+    db.create_table("t", SCHEMA)
+    db.create_index("t", "pk", ("id",))
+    table = db.table("t")
+    for i in range(n_rows):
+        table.insert(
+            {
+                "id": i,
+                "cat": f"c{i % 5}",
+                "n": (i * 7) % 250,
+                "d": (i % 50) - 25,
+                "flag": i % 3 == 0,
+            }
+        )
+    manager = db.enable_columnar(segment_rows=segment_rows)
+    return db, table, manager
+
+
+PREDICATES = [
+    TruePredicate(),
+    ColumnEq("cat", "c2"),
+    ColumnEq("flag", True),
+    ColumnIn.of("cat", ["c0", "c3"]),
+    ColumnRange("n", 40, 160),
+    ColumnRange("n", lo=200),
+    ColumnRange("n", hi=30),
+    ColumnRange("d", -10, 10),
+    And((ColumnRange("n", 20, 200), ColumnEq("flag", False))),
+    Or((ColumnEq("cat", "c1"), ColumnRange("n", 240, 250))),
+    Not(ColumnEq("cat", "c4")),
+    Not(And((ColumnEq("flag", True), ColumnRange("n", 0, 125)))),
+    And(()),
+    Or(()),
+]
+
+
+@pytest.mark.parametrize("predicate", PREDICATES, ids=lambda p: repr(p)[:48])
+def test_scan_matches_row_oracle(predicate):
+    _, table, _ = make_db()
+    expected = list(table.scan(predicate, use_columnar=False))
+    got = list(table.scan(predicate))
+    assert got == expected
+
+
+@pytest.mark.parametrize("predicate", PREDICATES[:8], ids=lambda p: repr(p)[:48])
+def test_aggregate_matches_row_oracle(predicate):
+    _, table, _ = make_db()
+    specs = [("count", None), ("sum", "n"), ("min", "n"), ("max", "n"),
+             ("avg", "d")]
+    expected = table.aggregate(specs, predicate, use_columnar=False)
+    got = table.aggregate(specs, predicate)
+    assert got == expected
+
+
+def test_projection_matches_row_oracle():
+    _, table, _ = make_db()
+    predicate = ColumnRange("n", 10, 90)
+    for project in (("id",), ("n", "cat"), ("flag", "id", "d")):
+        expected = list(table.scan(predicate, project, use_columnar=False))
+        assert list(table.scan(predicate, project)) == expected
+
+
+def test_empty_selection_aggregate_identities():
+    _, table, _ = make_db()
+    predicate = ColumnEq("cat", "zzzz")
+    got = table.aggregate(
+        [("count", None), ("sum", "n"), ("min", "n"), ("max", "n"),
+         ("avg", "n")],
+        predicate,
+    )
+    assert got == {
+        "count": 0, "sum(n)": 0, "min(n)": None, "max(n)": None,
+        "avg(n)": None,
+    }
+    assert got == table.aggregate(
+        [("count", None), ("sum", "n"), ("min", "n"), ("max", "n"),
+         ("avg", "n")],
+        predicate,
+        use_columnar=False,
+    )
+
+
+def test_empty_table_scan_and_aggregate():
+    db = Database(seed=3, wal=False)
+    db.create_table("e", SCHEMA)
+    db.create_index("e", "pk", ("id",))
+    db.enable_columnar()
+    table = db.table("e")
+    assert list(table.scan()) == []
+    assert table.aggregate([("count", None), ("sum", "n")]) == {
+        "count": 0, "sum(n)": 0,
+    }
+
+
+class _OddId(Predicate):
+    """A predicate class the kernels can't compile."""
+
+    def matches(self, row) -> bool:
+        return row["id"] % 2 == 1
+
+
+def test_unsupported_predicate_falls_back_and_counts():
+    db, table, _ = make_db()
+    before = db.metrics.snapshot()["columnar"]["fallbacks"]
+    expected = list(table.scan(_OddId(), use_columnar=False))
+    got = list(table.scan(_OddId()))
+    assert got == expected and len(got) == 250
+    after = db.metrics.snapshot()["columnar"]["fallbacks"]
+    # Only the default-path scan planned (use_columnar=False never plans).
+    assert after == before + 1
+
+
+def test_mutations_keep_mirror_and_oracle_identical():
+    _, table, _ = make_db(n_rows=300, segment_rows=50)
+    predicate = ColumnRange("n", 0, 250)
+    list(table.scan(predicate))  # build the mirror
+    table.update("pk", 10, {"n": 249})
+    table.delete("pk", 20)
+    table.insert({"id": 900, "cat": "c9", "n": 1, "d": 0, "flag": False})
+    table.update("pk", 900, {"n": 2})
+    table.delete("pk", 900)
+    assert list(table.scan(predicate)) == list(
+        table.scan(predicate, use_columnar=False)
+    )
+    specs = [("count", None), ("sum", "n")]
+    assert table.aggregate(specs, predicate) == table.aggregate(
+        specs, predicate, use_columnar=False
+    )
+
+
+def test_slot_reuse_after_delete_stays_correct():
+    """Deleting then inserting reuses heap slots; the mirror must follow
+    heap order, not insertion order."""
+    _, table, _ = make_db(n_rows=200, segment_rows=32)
+    list(table.scan())  # build
+    for i in range(0, 100, 2):
+        table.delete("pk", i)
+    for i in range(1000, 1060):
+        table.insert(
+            {"id": i, "cat": "cX", "n": i % 250, "d": 0, "flag": True}
+        )
+    assert list(table.scan()) == list(table.scan(use_columnar=False))
+
+
+def test_cache_hit_serves_fresh_copies():
+    db, table, manager = make_db()
+    predicate = ColumnEq("cat", "c1")
+    first = list(table.scan(predicate))
+    hits0 = manager.cache.hits
+    second = list(table.scan(predicate))
+    assert manager.cache.hits == hits0 + 1
+    assert second == first
+    # Mutating served rows must not poison the cached master.
+    second[0]["n"] = 999999
+    third = list(table.scan(predicate))
+    assert third == first
+
+
+def test_cache_invalidated_by_write_epoch():
+    _, table, manager = make_db()
+    predicate = ColumnRange("n", 0, 100)
+    list(table.scan(predicate))
+    invalidations0 = manager.cache.invalidations
+    table.update("pk", 1, {"n": 7})
+    fresh = list(table.scan(predicate))
+    assert manager.cache.invalidations == invalidations0 + 1
+    assert fresh == list(table.scan(predicate, use_columnar=False))
+
+
+def test_fingerprint_collision_disambiguated_by_predicate_key():
+    """Two scans share a profiler fingerprint (constants are normalized
+    away) but must never share a cache entry."""
+    _, table, _ = make_db()
+    narrow = list(table.scan(ColumnRange("n", 0, 10)))
+    wide = list(table.scan(ColumnRange("n", 0, 200)))
+    assert len(narrow) < len(wide)
+    assert narrow == list(table.scan(ColumnRange("n", 0, 10)))
+
+
+def test_unknown_aggregate_op_rejected():
+    _, table, _ = make_db(n_rows=10)
+    with pytest.raises(QueryError):
+        table.aggregate([("median", "n")])
+    with pytest.raises(QueryError):
+        table.aggregate([("sum", "nope")])
+
+
+def test_reset_obs_zeroes_columnar_family():
+    """The PR-3/PR-7 reset contract extended to ``columnar.*``:
+    ``reset_counters(reset_obs=True)`` zeroes the family's counters
+    while gauges re-sync to live state."""
+    db, table, manager = make_db()
+    list(table.scan(ColumnEq("cat", "c1")))
+    list(table.scan(ColumnEq("cat", "c1")))
+    table.aggregate([("sum", "n")], ColumnRange("n", 0, 50))
+    family = db.metrics.snapshot()["columnar"]
+    assert family["scans"] == 2 and family["aggregates"] == 1
+    assert family["cache"]["hits"] == 1
+    db.data_pool.reset_counters(reset_obs=True)
+    family = db.metrics.snapshot()["columnar"]
+    assert family["scans"] == 0
+    assert family["aggregates"] == 0
+    assert family["rebuilds"] == 0
+    assert family["segments_sealed"] == 0
+    assert family["fallbacks"] == 0
+    assert family["cache"]["hits"] == 0
+    assert family["cache"]["misses"] == 0
+    assert family["cache"]["invalidations"] == 0
+    # Gauges describe *now*, not the window: still mirroring live rows.
+    assert family["rows"] == 500.0
+    # And the window restarts honestly: new traffic counts from zero.
+    list(table.scan(ColumnEq("cat", "c2")))
+    assert db.metrics.snapshot()["columnar"]["scans"] == 1
+
+
+def test_dropped_and_recreated_table_gets_fresh_mirror():
+    db, table, _ = make_db(n_rows=20)
+    list(table.scan())
+    db.drop_table("t")
+    db.create_table("t", SCHEMA)
+    db.create_index("t", "pk", ("id",))
+    fresh = db.table("t")
+    fresh.insert({"id": 1, "cat": "c0", "n": 5, "d": 0, "flag": True})
+    assert list(fresh.scan()) == list(fresh.scan(use_columnar=False))
+    assert len(list(fresh.scan())) == 1

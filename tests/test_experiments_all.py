@@ -21,3 +21,7 @@ def test_single_cheap_driver_runs(capsys):
     all_experiments.main(["fig2b"])
     out = capsys.readouterr().out
     assert "Figure 2(b)" in out
+
+
+def test_columnar_driver_registered():
+    assert "columnar" in all_experiments._DRIVERS

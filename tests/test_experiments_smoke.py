@@ -9,6 +9,7 @@ import pytest
 from repro.experiments import (
     ablations,
     capacity,
+    columnar,
     encoding_waste,
     fig2a,
     fig2b,
@@ -169,3 +170,14 @@ def test_ablation_routing_small():
     assert results[0].agree
     assert results[0].lookup_table_bytes > 0
     assert results[0].embedded_bytes == 0
+
+
+def test_columnar_small():
+    r = columnar.run(n_rows=800, n_queries=10, seed=1, segment_rows=128)
+    assert r.verified  # both executors agreed on every shape
+    assert r.compression_ratio > 1.0
+    assert 0 < r.cache_hit_rate <= 1
+    # Wall-time claims are gated at scale in benchmarks/; here only the
+    # sanity direction: the batch kernels are not slower than the rows.
+    assert r.scan_speedup_cold > 1.0
+    assert r.agg_speedup_cold > 1.0

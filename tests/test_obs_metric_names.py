@@ -48,9 +48,12 @@ def _runtime_names():
 
     names = set()
     # adaptive=True arms the controller, so the ``adaptive.*`` loop
-    # counters and knob gauges register alongside the v2 pipeline's.
+    # counters and knob gauges register alongside the v2 pipeline's;
+    # columnar=True arms the §5h batch executor and its ``columnar.*``
+    # family (mirror gauges, fragment-cache counters).
     run = run_observed_workload(
-        n_rows=120, n_ops=600, samples=4, pool_pages=16, adaptive=True
+        n_rows=120, n_ops=600, samples=4, pool_pages=16, adaptive=True,
+        columnar=True,
     )
     names.update(run.registry.names())
     # The fault drill reaches the names the clean workload never touches:
@@ -73,6 +76,8 @@ def test_table_parses():
     assert "adaptive.actions" in patterns
     assert "txn.commits" in patterns
     assert "txn.conflicts" in patterns
+    assert "columnar.scans" in patterns
+    assert "columnar.cache.hits" in patterns
 
 
 def test_every_runtime_metric_name_is_documented():

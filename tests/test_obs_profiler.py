@@ -276,3 +276,80 @@ def test_profiling_off_by_default_and_opt_in():
     assert db.profiler is None and t.profiler is None
     t.lookup("pk", 1, ("k",))  # no profiler: nothing recorded anywhere
     assert "profiler" not in db.metrics.snapshot()
+
+
+# -- abandoned-scan bracket (regression) ------------------------------------
+#
+# A half-drained Table.scan iterator that is closed or garbage-collected
+# without being exhausted used to leave the profiler bracket open (the
+# GeneratorExit arrived *inside* the ``with profiler.operation(...)``
+# body): subsequent unrelated operations were mis-charged to the scan's
+# fingerprint, and the abandoned scan itself was absorbed with
+# ``error=True``.  The scan generator now converts GeneratorExit into a
+# clean bracket close.
+
+
+def test_abandoned_scan_closes_bracket_cleanly():
+    db, t = _db()
+    profiler = db.enable_profiling()
+    it = t.scan()
+    next(it)  # half-drain: the bracket is open
+    it.close()
+    assert profiler._depth == 0  # bracket closed by the close() path
+    stats = profiler.stats("scan:t->k,name,n")
+    assert stats is not None and stats.calls == 1
+    assert stats.errors == 0  # abandoned is not failed
+    assert "errors" not in db.metrics.snapshot().get("profiler", {}) or (
+        db.metrics.snapshot()["profiler"]["errors"] == 0
+    )
+
+
+def test_gc_of_half_drained_scan_closes_bracket():
+    import gc
+
+    db, t = _db()
+    profiler = db.enable_profiling()
+    it = t.scan()
+    next(it)
+    del it  # refcount GC delivers GeneratorExit immediately (CPython)
+    gc.collect()
+    assert profiler._depth == 0
+    assert db.metrics.snapshot()["profiler"]["errors"] == 0
+
+
+def test_cyclic_gc_of_scan_does_not_mischarge_later_ops():
+    """The worst case: the iterator is trapped in a reference cycle, so
+    GeneratorExit only arrives at the next cyclic-GC pass.  Operations
+    issued *before* that pass must still be charged to their own
+    fingerprints once the cycle is collected."""
+    import gc
+
+    db, t = _db()
+    profiler = db.enable_profiling()
+
+    class Holder:
+        pass
+
+    holder = Holder()
+    holder.it = t.scan()
+    holder.self = holder  # cycle: survives refcounting
+    next(holder.it)
+    del holder
+    gc.collect()  # delivers GeneratorExit through the cycle collector
+    assert profiler._depth == 0
+    before = profiler.stats("lookup:t.pk->k,name,n")
+    t.lookup("pk", 3, ("k", "name", "n"))
+    after = profiler.stats("lookup:t.pk->k,name,n")
+    assert (after.calls - (before.calls if before else 0)) == 1
+    scan_stats = profiler.stats("scan:t->k,name,n")
+    assert scan_stats.errors == 0
+
+
+def test_exhausted_scan_still_counts_once():
+    db, t = _db()
+    profiler = db.enable_profiling()
+    rows = list(t.scan())
+    assert len(rows) == 100
+    stats = profiler.stats("scan:t->k,name,n")
+    assert stats.calls == 1 and stats.errors == 0
+    assert profiler._depth == 0

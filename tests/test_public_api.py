@@ -55,3 +55,18 @@ def test_txn_entry_points_importable():
 
     assert hasattr(txn_experiment, "main")
     assert hasattr(txn_experiment, "run_contention")
+
+
+def test_columnar_entry_points_importable():
+    from repro.columnar import (  # noqa: F401
+        ColumnarManager,
+        ColumnStore,
+        IntermediateCache,
+        compile_predicate,
+        decode_column,
+        encode_column,
+    )
+    from repro.experiments import columnar as columnar_experiment
+
+    assert hasattr(columnar_experiment, "main")
+    assert hasattr(columnar_experiment, "run")
