@@ -1,0 +1,124 @@
+"""Sharded scale-out: ≥3x at 4 shards, hot keys spread ≤40% per shard.
+
+The §5i acceptance claim: sharding the 10x Zipf wikipedia workload over
+4 engines — each with the *same* per-machine buffer pool — runs the
+lookup+scan mix at least three times faster than one engine, because
+every shard's partition now fits its pool; and after one Zipf-aware
+rebalance no shard carries more than 40% of hot-key traffic.
+
+The experiment's clock is **simulated** (each engine charges its cost
+model; the facade advances by the max over touched shards), so every
+number here is deterministic to the digit on any host.  That makes the
+baseline gate exact: the committed side facts
+(``benchmarks/baselines/shard.json`` — measured ops, simulated
+microseconds, pool hit rates, keys migrated) must match the run
+bit-for-bit.  A drifted sim time means the cost charged per operation
+changed; a drifted hit rate means placement or pool economics moved —
+regressions wall clocks can't hide and fast machines can't excuse.
+
+A trajectory point is appended to ``BENCH_shard.json`` at the repo root
+on every run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import shard
+
+pytestmark = pytest.mark.shard
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+TRAJECTORY_PATH = REPO_ROOT / "BENCH_shard.json"
+BASELINE_PATH = Path(__file__).resolve().parent / "baselines" / "shard.json"
+
+#: The acceptance claim: 4 shards beat 1 by ≥3x on the measured mix.
+SPEEDUP_FLOOR = 3.0
+#: No shard may carry more than this share of hot-key traffic after the
+#: rebalance.
+HOT_SHARE_CEILING = 0.40
+
+
+@pytest.fixture(scope="module")
+def result():
+    return shard.run()
+
+
+def _point(result):
+    return {
+        "n_rows": result.n_rows,
+        "points": [
+            {
+                "n_shards": p.n_shards,
+                "ops": p.ops,
+                "sim_us": round(p.sim_s * 1e6, 1),
+                "pool_hit_rate": round(p.pool_hit_rate, 4),
+                "keys_moved": p.keys_moved,
+            }
+            for p in result.points
+        ],
+        "speedup_at_widest": round(
+            result.speedup(max(p.n_shards for p in result.points)), 1
+        ),
+        "max_hot_share": round(result.max_hot_share, 4),
+    }
+
+
+def bench_shard_scaleout_at_least_3x(result, run_check):
+    """Acceptance: the 4-shard sweep point clears the 3x floor and the
+    deterministic side facts match the committed baseline exactly."""
+
+    def body():
+        widest = max(p.n_shards for p in result.points)
+        speedup = result.speedup(widest)
+        point = _point(result)
+        print(
+            f"shard: {speedup:.1f}x at {widest} shards "
+            f"(hit rates "
+            + " / ".join(f"{p.pool_hit_rate:.0%}" for p in result.points)
+            + f"), max hot-key share {result.max_hot_share:.0%} "
+            f"after rebalance"
+        )
+
+        if TRAJECTORY_PATH.exists():
+            document = json.loads(TRAJECTORY_PATH.read_text())
+        else:
+            document = {"bench": "shard", "points": []}
+        document["points"].append(point)
+        TRAJECTORY_PATH.write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n"
+        )
+
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"scale-out speedup {speedup:.1f}x at {widest} shards below "
+            f"{SPEEDUP_FLOOR:.0f}x floor"
+        )
+        assert result.max_hot_share <= HOT_SHARE_CEILING, (
+            f"a shard carries {result.max_hot_share:.0%} of hot-key "
+            f"traffic after rebalance (ceiling {HOT_SHARE_CEILING:.0%})"
+        )
+
+        # Simulated time is deterministic: the baseline must match
+        # exactly.  A mismatch means the workload, placement, or cost
+        # accounting changed — regenerate the baseline deliberately.
+        baseline = json.loads(BASELINE_PATH.read_text())
+        assert point == baseline, (
+            "deterministic shard counters drifted from "
+            "benchmarks/baselines/shard.json; if the change is "
+            "intentional, regenerate the baseline"
+        )
+
+    run_check(body)
+
+
+def bench_shard_results_identical_across_configs(result, run_check):
+    """Every sweep point found every traced key and returned the same
+    aggregate totals — scale-out never changes answers."""
+
+    def body():
+        assert result.verified
+
+    run_check(body)

@@ -47,6 +47,7 @@ from repro.schema.types import (
     varchar,
 )
 from repro.sim.cost_model import CostModel, CostPreset, END_TO_END_PRESET, PAPER_PRESET
+from repro.shard import ShardedDatabase, ShardRouter, recover_sharded
 from repro.storage.heap import Rid
 from repro.txn import Session, SimScheduler, TransactionManager
 
@@ -73,6 +74,9 @@ __all__ = [
     "Session",
     "SimScheduler",
     "TransactionManager",
+    "ShardedDatabase",
+    "ShardRouter",
+    "recover_sharded",
     "BOOL",
     "INT8",
     "INT16",

@@ -35,6 +35,7 @@ from repro.experiments import (
     fill_factor,
     headline,
     obs,
+    shard,
     txn,
     wal,
 )
@@ -52,6 +53,7 @@ _DRIVERS = {
     "ablations": ablations.main,
     "batched": batched.main,
     "columnar": columnar.main,
+    "shard": shard.main,
     "wal": wal.main,
     "obs": obs.main,
     "adaptive": adaptive.main,

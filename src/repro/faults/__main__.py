@@ -9,6 +9,11 @@ kept query results correct, so CI catches recovery regressions early.
 
 ``--sessions N`` runs the same workload through N interleaved MVCC
 sessions (snapshot isolation, conflicts, crash-during-commit recovery).
+
+``--shards N`` runs the drill over a sharded database instead: N engines
+with independent injectors and WALs, hot keys migrating between shards
+mid-drill, the RAM budget split across the shards.  Mutually exclusive
+with ``--sessions``.
 """
 
 from __future__ import annotations
@@ -42,9 +47,15 @@ def main(argv: list[str] | None = None) -> int:
         help="interleaved MVCC sessions (0 = autocommit drill)",
     )
     parser.add_argument(
+        "--shards", type=int, default=0,
+        help="shard the drill over N engines (0 = single engine)",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="also dump the fault log"
     )
     args = parser.parse_args(argv)
+    if args.shards and args.sessions:
+        parser.error("--shards and --sessions are mutually exclusive")
 
     report = run_fault_drill(
         seed=args.seed,
@@ -52,6 +63,7 @@ def main(argv: list[str] | None = None) -> int:
         n_ops=args.ops,
         pool_pages=args.pool_pages,
         sessions=args.sessions,
+        shards=args.shards,
     )
     print(report.summary())
     for problem in report.check_problems:

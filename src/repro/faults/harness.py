@@ -95,6 +95,10 @@ class DrillReport:
     txn_commits: int = 0
     txn_aborts: int = 0
     txn_conflicts: int = 0
+    #: Shards the drill ran over (0 = the classic single-engine drill).
+    shards: int = 0
+    #: Hot keys migrated by the sharded drill's mid-flight rebalances.
+    keys_migrated: int = 0
 
     @property
     def ledger_balanced(self) -> bool:
@@ -109,6 +113,12 @@ class DrillReport:
 
     def summary(self) -> str:
         verdict = "PASS" if self.passed else "FAIL"
+        sharding = ""
+        if self.shards:
+            sharding = (
+                f"{self.shards} shard(s), {self.keys_migrated} hot key(s) "
+                f"migrated, "
+            )
         concurrency = ""
         if self.sessions:
             concurrency = (
@@ -118,6 +128,7 @@ class DrillReport:
             )
         return (
             f"fault drill [{verdict}] seed={self.seed}: {self.operations} ops, "
+            f"{sharding}"
             f"{concurrency}"
             f"{self.faults_injected} faults injected, "
             f"{self.faults_detected} detected = {self.faults_recovered} "
@@ -203,6 +214,7 @@ def run_fault_drill(
     telemetry_samples: int = 16,
     adaptive: bool = False,
     sessions: int = 0,
+    shards: int = 0,
 ) -> DrillReport:
     """Replay a mixed Wikipedia-revision workload under injected faults.
 
@@ -234,7 +246,28 @@ def run_fault_drill(
     abort.  Crash restarts land mid-transaction by construction: the
     recovery rollback must discard exactly the in-flight sessions'
     writes, which the rebuilt durable mirror then verifies.
+    ``shards=N`` (N >= 1) runs the autocommit drill over a
+    :class:`~repro.shard.ShardedDatabase` instead — N engines, each with
+    its own faulty disk, injector (seeded ``seed + i``), WAL, and metrics
+    namespace — with two hot-key rebalances fired *mid-drill*, so
+    cross-shard migrations commit while faults fly.  Mutually exclusive
+    with ``sessions`` (MVCC is per-engine) and with crash restarts, whose
+    sharded equivalent — cutting both logs mid-migration — is the crash
+    matrix test's job (``tests/test_shard_migration_crash.py``).
     """
+    if shards:
+        if sessions:
+            raise ValueError("shards and sessions are mutually exclusive")
+        return _run_sharded_drill(
+            seed=seed,
+            n_pages=n_pages,
+            revisions_per_page=revisions_per_page,
+            n_ops=n_ops,
+            pool_pages=pool_pages,
+            wal=wal,
+            checkpoint_every=checkpoint_every,
+            shards=shards,
+        )
     from repro.wal.replay import recover  # late: harness ← query ← wal
 
     metrics = MetricsRegistry()
@@ -654,4 +687,225 @@ def run_fault_drill(
         txn_commits=txn_stats.get("commits", 0),
         txn_aborts=txn_stats.get("aborts", 0),
         txn_conflicts=txn_stats.get("conflicts", 0),
+    )
+
+
+def _run_sharded_drill(
+    *,
+    seed: int,
+    n_pages: int,
+    revisions_per_page: int,
+    n_ops: int,
+    pool_pages: int,
+    wal: bool,
+    checkpoint_every: int,
+    shards: int,
+) -> DrillReport:
+    """The autocommit drill over a :class:`~repro.shard.ShardedDatabase`.
+
+    Each shard gets its own injector (seeded ``seed + i``) armed with the
+    standard mix aimed at *that shard's* index and heap pages; every
+    operation routes through the facade, whose per-call recovery managers
+    heal exactly like the classic drill's.  At one third and two thirds
+    of the op budget the drill fires :meth:`rebalance` — hot keys migrate
+    between shards while faults fly, and every subsequent read is still
+    verified against the mirror, so a migration that lost or duplicated a
+    tuple would surface as a wrong result or a failed cross-shard
+    ownership check.  Telemetry sampling and crash restarts stay off
+    (restart coverage for sharding is the crash-matrix test); the digest
+    folds the final sweep plus all shards' injector logs in shard order.
+    """
+    from repro.shard.database import ShardedDatabase  # late: avoids cycle
+
+    metrics = MetricsRegistry()
+    shard_regs = [MetricsRegistry() for _ in range(shards)]
+    injectors = [
+        FaultInjector(seed=seed + i, registry=shard_regs[i])
+        for i in range(shards)
+    ]
+    # Split the drill's RAM budget across the shards (rounded up, floor
+    # of 4 frames) — otherwise N shards quietly get N× the classic
+    # drill's memory, every partition fits, and no I/O ever reaches the
+    # faulty disks, which would turn the drill into a no-op.
+    per_shard_pool = max(4, -(-pool_pages // shards))
+    sdb = ShardedDatabase(
+        shards,
+        mode="zipf",
+        data_pool_pages=per_shard_pool,
+        seed=seed,
+        metrics=metrics,
+        shard_metrics=shard_regs,
+        fault_injectors=injectors,
+        retry_policy=RetryPolicy(corrupt_rereads=3),
+        wal=bool(wal),
+        recovery=True,
+    )
+    table = sdb.create_table("revision", REVISION_SCHEMA)
+    sdb.create_cached_index("revision", "rev_pk", ("rev_id",), CACHED_FIELDS)
+
+    data = generate(
+        WikipediaConfig(
+            n_pages=n_pages, revisions_per_page_mean=revisions_per_page,
+            seed=seed,
+        )
+    )
+    mirror: dict[int, dict[str, object]] = {}
+    for row in data.revision_rows:
+        table.insert(row)
+        mirror[row["rev_id"]] = dict(row)
+
+    def make_filters(i: int):
+        local = sdb.shard(i).table("revision")
+        tree = local.index("rev_pk").tree
+
+        def is_index_page(page_id: int) -> bool:
+            return page_id in tree._leaf_ids or page_id in tree._internal_ids
+
+        def is_heap_page(page_id: int) -> bool:
+            return local.heap.owns_page(page_id)
+
+        return is_index_page, is_heap_page
+
+    for i, injector in enumerate(injectors):
+        is_index_page, is_heap_page = make_filters(i)
+        injector.arm(
+            default_plan(is_index_page, is_heap_page if wal else None)
+        )
+
+    rng = DeterministicRng(seed)
+    keys = sorted(mirror)
+    wrong = 0
+    next_rev_id = max(keys) + 1
+    template = dict(data.revision_rows[0])
+    keys_migrated = 0
+    rebalance_ops = frozenset((n_ops // 3, 2 * n_ops // 3))
+
+    def check_result(key: int, result) -> int:
+        expected = mirror.get(key)
+        if expected is None:
+            return 0 if not result.found else 1
+        if not result.found:
+            return 1
+        want = {name: expected[name] for name in PROJECTION}
+        return 0 if result.values == want else 1
+
+    def verify_lookup(key: int) -> int:
+        return check_result(key, table.lookup("rev_pk", key, PROJECTION))
+
+    for op_i in range(n_ops):
+        if op_i and op_i in rebalance_ops:
+            keys_migrated += sdb.rebalance().keys_moved
+        if wal and checkpoint_every and op_i and op_i % checkpoint_every == 0:
+            sdb.checkpoint()
+        draw = rng.random()
+        key = keys[rng.randrange(len(keys))]
+        if draw < 0.15:
+            batch = [key] + [
+                keys[rng.randrange(len(keys))]
+                for _ in range(rng.randint(1, 5))
+            ]
+            results = table.lookup_many("rev_pk", batch, PROJECTION)
+            wrong += sum(check_result(k, r) for k, r in zip(batch, results))
+        elif draw < 0.70:
+            wrong += verify_lookup(key)
+        elif draw < 0.85:
+            if key in mirror:
+                new_len = rng.randint(100, 200_000)
+                applied = table.update("rev_pk", key, {"rev_len": new_len})
+                if applied:
+                    mirror[key]["rev_len"] = new_len
+                else:
+                    wrong += 1
+                wrong += verify_lookup(key)
+            else:
+                wrong += verify_lookup(key)
+        elif draw < 0.95:
+            row = dict(template)
+            row["rev_id"] = next_rev_id
+            row["rev_text_id"] = next_rev_id
+            row["rev_len"] = rng.randint(100, 200_000)
+            table.insert(row)
+            mirror[next_rev_id] = row
+            keys.append(next_rev_id)
+            next_rev_id += 1
+        else:
+            if key in mirror:
+                applied = table.delete("rev_pk", key)
+                if applied:
+                    del mirror[key]
+                else:
+                    wrong += 1
+            wrong += verify_lookup(key)
+
+    for injector in injectors:
+        injector.disarm()
+
+    # Final sweep + digest: every surviving row reads back exactly right,
+    # every deleted key stays gone, and the fault history of *every*
+    # shard is folded in shard order.
+    digest = hashlib.sha256()
+    for key in sorted(set(keys)):
+        wrong += verify_lookup(key)
+        expected = mirror.get(key)
+        digest.update(repr((key, expected and expected["rev_len"])).encode())
+    for injector in injectors:
+        for fault in injector.log:
+            digest.update(
+                repr((fault.seq, fault.kind.value, fault.page_id, fault.bit,
+                      fault.tear_at)).encode()
+            )
+
+    if wal:
+        # Same straggler sweep as the classic drill, once per shard.
+        for i in range(shards):
+            local = sdb.shard(i).table("revision")
+            sweeper = RecoveryManager(
+                sdb.shard(i), max_heals=256, registry=shard_regs[i]
+            )
+            sweeper.call(lambda t=local: sum(1 for _ in t.scan()))
+
+    check = sdb.check()
+    problems = list(check.problems)
+    for i, shard_check in enumerate(check.per_shard):
+        problems += [f"shard {i}: {p}" for p in shard_check.problems]
+    snapshot = sdb.snapshot()
+    faults_detected = faults_recovered = faults_unrecoverable = 0
+    retries = index_rebuilds = heap_rebuilds = wal_records = 0
+    quarantined = 0
+    for i in range(shards):
+        shard_snap = snapshot["shard"][str(i)]
+        shard_snap.get("wal", {}).get("replay", {}).pop("ns", None)
+        faults = shard_snap.get("faults", {})
+        faults_detected += faults.get("detected", 0)
+        faults_recovered += faults.get("recovered", 0)
+        faults_unrecoverable += faults.get("unrecoverable", 0)
+        retries += faults.get("retries", 0)
+        recovery_stats = shard_snap.get("recovery", {})
+        index_rebuilds += recovery_stats.get("index_rebuilds", 0)
+        heap_rebuilds += recovery_stats.get("heap_page_rebuilds", 0)
+        wal_records += shard_snap.get("wal", {}).get("records", 0)
+        db = sdb.shard(i)
+        quarantined += len(
+            db.data_pool.quarantined_pages | db.index_pool.quarantined_pages
+        )
+    return DrillReport(
+        seed=seed,
+        operations=n_ops,
+        wrong_results=wrong,
+        faults_injected=sum(inj.injected for inj in injectors),
+        faults_detected=faults_detected,
+        faults_recovered=faults_recovered,
+        faults_unrecoverable=faults_unrecoverable,
+        retries=retries,
+        index_rebuilds=index_rebuilds,
+        quarantined_pages=quarantined,
+        check_ok=check.ok,
+        check_problems=problems,
+        digest=digest.hexdigest(),
+        metrics=snapshot,
+        heap_page_rebuilds=heap_rebuilds,
+        crash_restarts=0,
+        wal_records=wal_records,
+        shards=shards,
+        keys_migrated=keys_migrated,
     )

@@ -1,0 +1,751 @@
+"""N independent engines behind one facade: scatter-gather + migration.
+
+A :class:`ShardedDatabase` owns ``n_shards`` complete
+:class:`~repro.query.database.Database` instances — each with its own
+simulated disk, buffer pools, WAL, cost model, optional fault injector,
+and a *private* metrics registry surfaced as ``shard.<i>.*`` in the
+merged snapshot.  A :class:`~repro.shard.router.ShardRouter` places every
+routing key on exactly one shard; reads and writes on the routing index
+touch only that shard, while scans, aggregates, and non-routing lookups
+scatter to all shards and gather through a merge.
+
+**Simulated parallelism.**  Shards model independent machines, so a
+scatter-gather operation's elapsed simulated time is the *maximum* of
+the involved shards' cost-model deltas, not their sum — accumulated into
+:attr:`ShardedDatabase.sim_now_ns`, which `experiments.shard` reads to
+measure scale-out on one real CPU deterministically.
+
+**Online rebalance.**  :meth:`rebalance` applies the router's hot-key
+spreading plan one key at a time, each key moved failure-atomically by
+copy-then-delete riding the shards' own WALs: a ``SHARD_MIGRATE`` intent
+is appended to the destination log, the copy-insert follows it, the
+destination WAL is flushed (the durability point — the destination now
+owns the key), and only then is the source copy deleted.  A crash at any
+byte of either log recovers to exactly one owner (see
+:mod:`repro.shard.recovery` and DESIGN.md §5i).
+"""
+
+from __future__ import annotations
+
+import heapq
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.errors import QueryError
+from repro.obs.registry import (
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    get_default_registry,
+)
+from repro.query.database import Database
+from repro.query.table import Table
+from repro.schema.schema import Schema
+from repro.shard.router import ShardRouter
+from repro.storage.buffer_pool import EvictionPolicy
+from repro.storage.constants import DEFAULT_PAGE_SIZE
+
+
+def json_safe_key(key: object) -> object:
+    """Routing key in the form a JSON WAL record can carry (tuples become
+    lists; :func:`key_from_json` is the inverse)."""
+    if isinstance(key, tuple):
+        return list(key)
+    return key
+
+
+def key_from_json(raw: object) -> object:
+    """Inverse of :func:`json_safe_key` (lists back to tuples)."""
+    if isinstance(raw, list):
+        return tuple(raw)
+    return raw
+
+
+@dataclass(frozen=True)
+class RebalanceReport:
+    """What one :meth:`ShardedDatabase.rebalance` pass did."""
+
+    planned: int
+    keys_moved: int
+    rows_moved: int
+
+
+@dataclass
+class ShardCheckReport:
+    """Per-shard invariant walks plus the cross-shard ownership check."""
+
+    per_shard: list = field(default_factory=list)
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems and all(r.ok for r in self.per_shard)
+
+
+class ShardedTable:
+    """One logical table partitioned across every shard by routing key."""
+
+    def __init__(self, sdb: "ShardedDatabase", name: str, schema: Schema):
+        self._sdb = sdb
+        self._name = name
+        self._schema = schema
+        #: Name + key columns of the routing (first/identity) index; set
+        #: when the first index is created or restored.
+        self.routing_index: str | None = None
+        self.routing_columns: tuple[str, ...] = ()
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def num_rows(self) -> int:
+        return sum(t.num_rows for t in self._shard_tables())
+
+    def shard_table(self, i: int) -> Table:
+        """The shard-local :class:`Table` living on shard ``i``."""
+        return self._sdb.shard(i).table(self._name)
+
+    def _shard_tables(self) -> list[Table]:
+        return [self.shard_table(i) for i in range(self._sdb.n_shards)]
+
+    # -- routing -------------------------------------------------------------
+
+    def _require_routing(self) -> str:
+        if self.routing_index is None:
+            raise QueryError(
+                f"sharded table {self._name!r} has no routing index yet"
+            )
+        return self.routing_index
+
+    def key_of_row(self, row: dict[str, object]) -> object:
+        """Extract the routing key from a full row."""
+        self._require_routing()
+        if len(self.routing_columns) == 1:
+            return row[self.routing_columns[0]]
+        return tuple(row[c] for c in self.routing_columns)
+
+    def _route(self, key: object) -> int:
+        router = self._sdb.router
+        shard = router.shard_of(key)
+        router.record_access(key)
+        return shard
+
+    # -- writes --------------------------------------------------------------
+
+    def insert(self, row: dict[str, object]):
+        shard = self._route(self.key_of_row(row))
+        with self._sdb._charge([shard]):
+            return self._sdb._call(shard, self.shard_table(shard).insert, row)
+
+    def update(
+        self, index_name: str, key_value: object, changes: dict[str, object]
+    ) -> bool:
+        if index_name == self.routing_index:
+            shard = self._route(key_value)
+            with self._sdb._charge([shard]):
+                return self._sdb._call(
+                    shard, self.shard_table(shard).update,
+                    index_name, key_value, changes,
+                )
+        # Non-routing (still unique) index: the owner is unknown, probe
+        # shards in order until one applies the update.
+        with self._sdb._charge(list(range(self._sdb.n_shards))):
+            for i in range(self._sdb.n_shards):
+                applied = self._sdb._call(
+                    i, self.shard_table(i).update, index_name, key_value,
+                    changes,
+                )
+                if applied:
+                    return True
+            return False
+
+    def delete(self, index_name: str, key_value: object) -> bool:
+        if index_name == self.routing_index:
+            shard = self._route(key_value)
+            with self._sdb._charge([shard]):
+                return self._sdb._call(
+                    shard, self.shard_table(shard).delete, index_name,
+                    key_value,
+                )
+        with self._sdb._charge(list(range(self._sdb.n_shards))):
+            for i in range(self._sdb.n_shards):
+                applied = self._sdb._call(
+                    i, self.shard_table(i).delete, index_name, key_value
+                )
+                if applied:
+                    return True
+            return False
+
+    # -- reads ---------------------------------------------------------------
+
+    def lookup(
+        self,
+        index_name: str,
+        key_value: object,
+        project: tuple[str, ...] | None = None,
+    ):
+        if index_name == self.routing_index:
+            shard = self._route(key_value)
+            with self._sdb._charge([shard]):
+                return self._sdb._call(
+                    shard, self.shard_table(shard).lookup,
+                    index_name, key_value, project,
+                )
+        # Broadcast: a unique non-routing index has at most one owner.
+        with self._sdb._charge(list(range(self._sdb.n_shards))):
+            miss = None
+            for i in range(self._sdb.n_shards):
+                result = self._sdb._call(
+                    i, self.shard_table(i).lookup, index_name, key_value,
+                    project,
+                )
+                if result.found:
+                    return result
+                miss = result
+            return miss
+
+    def lookup_many(
+        self,
+        index_name: str,
+        key_values: list[object],
+        project: tuple[str, ...] | None = None,
+    ) -> list:
+        """Batched point lookups, grouped per shard (positional results).
+
+        Routing-index batches split by placement and reuse each shard's
+        PR-3 batched path (shared descents, page-ordered heap fetches);
+        results land back in request positions.  Non-routing batches
+        degrade to a broadcast per key.
+        """
+        if index_name != self.routing_index:
+            return [self.lookup(index_name, k, project) for k in key_values]
+        by_shard: dict[int, list[int]] = {}
+        for pos, key in enumerate(key_values):
+            by_shard.setdefault(self._route(key), []).append(pos)
+        results: list = [None] * len(key_values)
+        with self._sdb._charge(sorted(by_shard)):
+            for i in sorted(by_shard):
+                positions = by_shard[i]
+                batch = [key_values[p] for p in positions]
+                got = self._sdb._call(
+                    i, self.shard_table(i).lookup_many, index_name, batch,
+                    project,
+                )
+                for pos, result in zip(positions, got):
+                    results[pos] = result
+        return results
+
+    def scan(
+        self,
+        predicate=None,
+        project: tuple[str, ...] | None = None,
+        use_columnar: bool = True,
+    ):
+        """Scatter-gather scan, merged in ascending routing-key order.
+
+        Per-shard heaps have independent physical orders, so the sharded
+        scan defines its output order as the routing key's: each shard
+        scans (columnar kernels engage per shard when armed), sorts its
+        partition, and a k-way merge stitches the streams.  The oracle
+        identity: ``sorted(single_engine.scan(...), key=routing_key)``.
+        """
+        self._require_routing()
+        project_out = (
+            tuple(project) if project is not None else self._schema.names
+        )
+        fetch = tuple(dict.fromkeys(project_out + self.routing_columns))
+        cols = self.routing_columns
+
+        def sort_key(row: dict[str, object]):
+            return tuple(row[c] for c in cols)
+
+        shards = list(range(self._sdb.n_shards))
+        with self._sdb._charge(shards):
+            streams = []
+            for i in shards:
+                rows = self._sdb._call(
+                    i,
+                    lambda t=self.shard_table(i): sorted(
+                        t.scan(predicate, fetch, use_columnar=use_columnar),
+                        key=sort_key,
+                    ),
+                )
+                streams.append(rows)
+        merged = heapq.merge(*streams, key=sort_key)
+        if fetch == project_out:
+            return iter(list(merged))
+        return iter(
+            [{name: row[name] for name in project_out} for row in merged]
+        )
+
+    def aggregate(
+        self,
+        specs: list[tuple[str, str | None]],
+        predicate=None,
+        use_columnar: bool = True,
+    ) -> dict[str, object]:
+        """Scatter-gather aggregate: per-shard partials, exact combine.
+
+        ``count``/``sum`` partials add, ``min``/``max`` fold, and ``avg``
+        is recomputed from fanned-out ``sum`` + ``count`` (averaging
+        per-shard averages would weight shards, not rows).  Identical to
+        the single-engine fold on every predicate shape.
+        """
+        from repro.columnar.executor import normalize_specs, spec_label
+
+        normalized = normalize_specs(list(specs), self._schema)
+        partial: list[tuple[str, str | None]] = []
+        for op, column in normalized:
+            if op == "avg":
+                partial.append(("sum", column))
+                partial.append(("count", None))
+            else:
+                partial.append((op, column))
+        partial = list(dict.fromkeys(partial))
+        shards = list(range(self._sdb.n_shards))
+        with self._sdb._charge(shards):
+            pieces = [
+                self._sdb._call(
+                    i, self.shard_table(i).aggregate, partial, predicate,
+                    use_columnar,
+                )
+                for i in shards
+            ]
+        out: dict[str, object] = {}
+        for op, column in normalized:
+            label = spec_label(op, column)
+            if op == "count":
+                out[label] = sum(p["count"] for p in pieces)
+            elif op == "sum":
+                out[label] = sum(p[label] for p in pieces)
+            elif op in ("min", "max"):
+                values = [p[label] for p in pieces if p[label] is not None]
+                if not values:
+                    out[label] = None
+                else:
+                    out[label] = min(values) if op == "min" else max(values)
+            else:  # avg
+                total = sum(p[f"sum({column})"] for p in pieces)
+                count = sum(p["count"] for p in pieces)
+                out[label] = (total / count) if count else None
+        return out
+
+
+class ShardedDatabase:
+    """Routing facade over ``n_shards`` independent engines."""
+
+    def __init__(
+        self,
+        n_shards: int = 2,
+        *,
+        mode: str = "hash",
+        boundaries: tuple | None = None,
+        hot_fraction: float = 0.05,
+        tracker_decay: float = 0.5,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        data_pool_pages: int = 256,
+        index_pool_pages: int | None = None,
+        eviction: EvictionPolicy = EvictionPolicy.LRU,
+        seed: int = 0,
+        metrics: MetricsRegistry | None = None,
+        shard_metrics: list[MetricsRegistry] | None = None,
+        wal: bool = False,
+        wal_group_commit: int = 8,
+        fault_injectors: list | None = None,
+        retry_policy=None,
+        recovery: bool = False,
+        _adopt: tuple | None = None,
+    ) -> None:
+        """
+        Args:
+            n_shards, mode, boundaries, hot_fraction, tracker_decay:
+                router configuration (see :class:`ShardRouter`).
+            page_size, data_pool_pages, index_pool_pages, eviction,
+            retry_policy: per-shard engine configuration —
+                ``data_pool_pages`` is **per shard** (shards model
+                machines, each brings its own RAM).
+            seed: base seed; shard ``i`` derives ``seed + i``.
+            metrics: the *parent* registry (``shard.*`` family); ambient
+                or fresh when ``None``, like :class:`Database`.
+            shard_metrics: one private registry per shard (surfaced as
+                ``shard.<i>.*`` in :meth:`snapshot`); fresh ones are
+                built when omitted.
+            wal, wal_group_commit: per-shard durability.
+            fault_injectors: one armed/armable injector per shard (the
+                sharded fault drill's hook).
+            recovery: route every delegated engine call through that
+                shard's :class:`~repro.faults.recovery.RecoveryManager`
+                (heal + retry on corruption), like the fault drill does.
+        """
+        if metrics is None:
+            ambient = get_default_registry()
+            metrics = ambient if ambient is not NULL_REGISTRY else MetricsRegistry()
+        self._metrics = metrics
+        self._use_recovery = recovery
+        self._sim_ns = 0.0
+        self._migration_seq = 1
+        self._tables: dict[str, ShardedTable] = {}
+
+        if _adopt is not None:
+            dbs, regs, router = _adopt
+            n_shards = len(dbs)
+            self._dbs = list(dbs)
+            self._shard_metrics = list(regs)
+            self._router = router
+        else:
+            if n_shards < 1:
+                raise QueryError(f"need at least one shard, got {n_shards}")
+            if fault_injectors is not None and len(fault_injectors) != n_shards:
+                raise QueryError(
+                    f"fault_injectors must have one entry per shard "
+                    f"({n_shards}), got {len(fault_injectors)}"
+                )
+            if shard_metrics is not None and len(shard_metrics) != n_shards:
+                raise QueryError(
+                    f"shard_metrics must have one registry per shard "
+                    f"({n_shards}), got {len(shard_metrics)}"
+                )
+            if shard_metrics is None:
+                if isinstance(metrics, NullRegistry):
+                    shard_metrics = [NULL_REGISTRY] * n_shards
+                else:
+                    shard_metrics = [MetricsRegistry() for _ in range(n_shards)]
+            self._shard_metrics = list(shard_metrics)
+            self._router = ShardRouter(
+                n_shards,
+                mode=mode,
+                boundaries=boundaries,
+                hot_fraction=hot_fraction,
+                decay=tracker_decay,
+                registry=metrics,
+            )
+            self._dbs = [
+                Database(
+                    page_size=page_size,
+                    data_pool_pages=data_pool_pages,
+                    index_pool_pages=index_pool_pages,
+                    eviction=eviction,
+                    seed=seed + i,
+                    metrics=self._shard_metrics[i],
+                    fault_injector=(
+                        fault_injectors[i] if fault_injectors else None
+                    ),
+                    retry_policy=retry_policy,
+                    wal=wal,
+                    wal_group_commit=wal_group_commit,
+                )
+                for i in range(n_shards)
+            ]
+        self._m_count = metrics.gauge("shard.count")
+        self._m_count.set(float(len(self._dbs)))
+        self._m_fanout_ops = metrics.counter("shard.fanout.ops")
+        self._m_fanout_shards = metrics.histogram("shard.fanout.shards")
+        self._m_rebalances = metrics.counter("shard.rebalance.runs")
+        self._m_keys_moved = metrics.counter("shard.rebalance.keys_moved")
+        self._m_intents = metrics.counter("shard.migration.intents")
+        self._m_migrations = metrics.counter("shard.migration.completed")
+        if _adopt is not None:
+            self._restore_tables()
+
+    # -- adoption (recovery side door) ---------------------------------------
+
+    @classmethod
+    def adopt(
+        cls,
+        dbs: list[Database],
+        shard_metrics: list[MetricsRegistry],
+        router: ShardRouter,
+        metrics: MetricsRegistry | None = None,
+        recovery: bool = False,
+    ) -> "ShardedDatabase":
+        """Wrap already-recovered per-shard engines (see
+        :func:`repro.shard.recovery.recover_sharded`); sharded tables and
+        routing metadata are rebuilt from shard 0's catalog."""
+        return cls(
+            metrics=metrics,
+            recovery=recovery,
+            _adopt=(dbs, shard_metrics, router),
+        )
+
+    def _restore_tables(self) -> None:
+        catalog = self._dbs[0].catalog
+        for name in catalog.table_names:
+            entry = catalog.table(name)
+            stable = ShardedTable(self, name, entry.schema)
+            indexes = catalog.indexes_of(name)
+            if indexes:
+                stable.routing_index = indexes[0].name
+                stable.routing_columns = tuple(indexes[0].key_columns)
+            self._tables[name] = stable
+
+    # -- properties ----------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._dbs)
+
+    @property
+    def shards(self) -> list[Database]:
+        return list(self._dbs)
+
+    def shard(self, i: int) -> Database:
+        return self._dbs[i]
+
+    def shard_registry(self, i: int) -> MetricsRegistry:
+        return self._shard_metrics[i]
+
+    @property
+    def router(self) -> ShardRouter:
+        return self._router
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The parent registry (the ``shard.*`` family lives here)."""
+        return self._metrics
+
+    @property
+    def sim_now_ns(self) -> float:
+        """Simulated elapsed time with shards running in parallel: every
+        operation advances this by the *slowest involved shard's* delta."""
+        return self._sim_ns
+
+    @property
+    def table_names(self) -> list[str]:
+        return list(self._tables)
+
+    def table(self, name: str) -> ShardedTable:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise QueryError(f"no sharded table {name!r}") from None
+
+    # -- internals -----------------------------------------------------------
+
+    def _call(self, i: int, fn, *args, **kwargs):
+        """Delegate one engine call to shard ``i``, healing if armed."""
+        if self._use_recovery:
+            return self._dbs[i].recovery.call(fn, *args, **kwargs)
+        return fn(*args, **kwargs)
+
+    @contextmanager
+    def _charge(self, shard_ids: list[int]):
+        """Advance the parallel sim clock by max over involved shards."""
+        ids = list(shard_ids)
+        starts = [self._dbs[i].cost_model.now_ns for i in ids]
+        try:
+            yield
+        finally:
+            deltas = [
+                self._dbs[i].cost_model.now_ns - s
+                for i, s in zip(ids, starts)
+            ]
+            self._sim_ns += max(deltas, default=0.0)
+            self._m_fanout_ops.inc()
+            self._m_fanout_shards.record(len(ids))
+
+    # -- DDL (fans out to every shard) ---------------------------------------
+
+    def create_table(
+        self, name: str, schema: Schema, append_only: bool = False
+    ) -> ShardedTable:
+        for db in self._dbs:
+            db.create_table(name, schema, append_only=append_only)
+        stable = ShardedTable(self, name, schema)
+        self._tables[name] = stable
+        return stable
+
+    def create_index(
+        self,
+        table_name: str,
+        index_name: str,
+        key_columns: tuple[str, ...],
+        split_fraction: float = 0.5,
+    ) -> None:
+        for db in self._dbs:
+            db.create_index(
+                table_name, index_name, key_columns,
+                split_fraction=split_fraction,
+            )
+        self._note_index(table_name, index_name, key_columns)
+
+    def create_cached_index(
+        self,
+        table_name: str,
+        index_name: str,
+        key_columns: tuple[str, ...],
+        cached_fields: tuple[str, ...],
+        **kwargs,
+    ) -> None:
+        for db in self._dbs:
+            db.create_cached_index(
+                table_name, index_name, key_columns, cached_fields, **kwargs
+            )
+        self._note_index(table_name, index_name, key_columns)
+
+    def _note_index(
+        self, table_name: str, index_name: str, key_columns: tuple[str, ...]
+    ) -> None:
+        stable = self.table(table_name)
+        if stable.routing_index is None:
+            stable.routing_index = index_name
+            stable.routing_columns = tuple(key_columns)
+
+    def enable_columnar(self, **kwargs) -> None:
+        """Arm the PR-8 columnar mirror on every shard's engine."""
+        for db in self._dbs:
+            db.enable_columnar(**kwargs)
+
+    def checkpoint(self) -> None:
+        for db in self._dbs:
+            if db.wal is not None:
+                db.checkpoint()
+
+    def flush_wals(self) -> None:
+        for db in self._dbs:
+            if db.wal is not None:
+                db.wal.flush()
+
+    # -- rebalance / migration -----------------------------------------------
+
+    def rebalance(self) -> RebalanceReport:
+        """Apply the router's hot-key spreading plan, one failure-atomic
+        migration per key (every sharded table moves its row for the key,
+        so co-partitioned tables stay aligned); decays the tracker one
+        epoch afterwards so stale heat fades."""
+        plan = self._router.plan_rebalance()
+        keys_moved = 0
+        rows_moved = 0
+        for key, src, dst in plan:
+            rows_moved += self._migrate_key(key, src, dst)
+            self._router.apply_move(key, dst)
+            keys_moved += 1
+        self._router.advance_epoch()
+        self._m_rebalances.inc()
+        self._m_keys_moved.inc(keys_moved)
+        return RebalanceReport(
+            planned=len(plan), keys_moved=keys_moved, rows_moved=rows_moved
+        )
+
+    def _migrate_key(self, key: object, src: int, dst: int) -> int:
+        """Copy-then-delete one key from ``src`` to ``dst``, riding both
+        shards' WALs.
+
+        Protocol (per table holding the key): (1) append a SHARD_MIGRATE
+        intent to the *destination* log; (2) insert the copy there; (3)
+        flush the destination WAL — the durability point after which the
+        destination owns the key; (4) delete the source copy (its record
+        rides the source's group commit).  A crash before (3) leaves
+        only the source copy durable; after (3), recovery finds the key
+        on both shards and the durable intent rolls it forward (delete
+        the source copy).  Either way: exactly one owner, zero lost or
+        duplicated tuples.
+        """
+        seq = self._migration_seq
+        self._migration_seq += 1
+        src_db, dst_db = self._dbs[src], self._dbs[dst]
+        moved = 0
+        with self._charge([src, dst]):
+            for name, stable in self._tables.items():
+                if stable.routing_index is None:
+                    continue
+                found = self._call(
+                    src, src_db.table(name).lookup, stable.routing_index, key
+                )
+                if not found.found:
+                    continue
+                row = dict(found.values)
+                if dst_db.wal is not None:
+                    dst_db.wal.log_shard_migrate({
+                        "table": name,
+                        "key": json_safe_key(key),
+                        "src": src,
+                        "dst": dst,
+                        "seq": seq,
+                    })
+                    self._m_intents.inc()
+                self._call(dst, dst_db.table(name).insert, row)
+                if dst_db.wal is not None:
+                    dst_db.wal.flush()
+                self._call(
+                    src, src_db.table(name).delete, stable.routing_index, key
+                )
+                moved += 1
+        if moved:
+            self._m_migrations.inc()
+        return moved
+
+    # -- obs contracts --------------------------------------------------------
+
+    def reset_counters(self, reset_obs: bool = False) -> None:
+        """Fan the buffer-pool reset contract out to every shard.
+
+        ``reset_obs=True`` additionally zeroes each shard's full
+        ``shard.<i>.*`` namespace (pool, faults, WAL, and every
+        registered reset hook — exactly what a single engine's
+        ``data_pool.reset_counters(reset_obs=True)`` covers) *and* the
+        parent ``shard.*`` family, then re-syncs the level gauges.
+        """
+        for db in self._dbs:
+            db.data_pool.reset_counters(reset_obs=reset_obs)
+            if db.index_pool is not db.data_pool:
+                db.index_pool.reset_counters(reset_obs=False)
+        if reset_obs:
+            for name in self._metrics.names():
+                if name == "shard" or name.startswith("shard."):
+                    instrument = self._metrics.get(name)
+                    if instrument is not None:
+                        instrument.reset()
+            self._m_count.set(float(len(self._dbs)))
+            self._metrics.gauge("shard.router.overrides").set(
+                float(len(self._router.overrides))
+            )
+
+    def snapshot(self) -> dict:
+        """Parent snapshot with per-shard registries nested under
+        ``shard.<i>`` (so ``shard.0.bufferpool.hit`` is addressable)."""
+        snap = self._metrics.snapshot()
+        tree = snap.setdefault("shard", {})
+        for i, reg in enumerate(self._shard_metrics):
+            tree[str(i)] = reg.snapshot()
+        return snap
+
+    # -- invariants -----------------------------------------------------------
+
+    def check(self) -> ShardCheckReport:
+        """Every shard's invariant walk plus exactly-one-owner: no
+        routing key may be resident on two shards."""
+        report = ShardCheckReport()
+        for db in self._dbs:
+            report.per_shard.append(db.check())
+        for name, stable in self._tables.items():
+            if stable.routing_index is None:
+                continue
+            seen: dict[object, int] = {}
+            for i in range(self.n_shards):
+                for row in stable.shard_table(i).scan(
+                    project=stable.routing_columns, use_columnar=False
+                ):
+                    key = stable.key_of_row(row)
+                    if key in seen:
+                        report.problems.append(
+                            f"table {name!r}: key {key!r} resident on "
+                            f"shards {seen[key]} and {i}"
+                        )
+                    else:
+                        seen[key] = i
+        return report
+
+    def resident_shard(self, table_name: str, key: object) -> int | None:
+        """Which shard physically holds ``key`` (None if absent) —
+        bypasses the router; used by recovery and tests."""
+        stable = self.table(table_name)
+        index = stable._require_routing()
+        for i in range(self.n_shards):
+            if stable.shard_table(i).lookup(index, key).found:
+                return i
+        return None

@@ -1,0 +1,257 @@
+"""Sharded recovery: per-shard replay plus cross-shard reconciliation.
+
+A crash can land at any byte of any shard's log, including mid-migration
+(after the ``SHARD_MIGRATE`` intent and copy-insert are durable on the
+destination but before the source's delete is).  Per-shard
+:func:`repro.wal.replay.recover` restores each engine to its own durable
+prefix — which, for an in-flight migration, can leave a key resident on
+*two* shards, on the *wrong* shard, or split across shards for different
+co-partitioned tables.  :func:`recover_sharded` resolves all of that to
+exactly one owner per key:
+
+1. **Residency walk** — scan every shard's copy of every table and build
+   ``key -> {table: [shards holding it]}``.
+2. **Owner election** per key: the durable ``SHARD_MIGRATE`` intent with
+   the highest ``seq`` whose destination actually holds the key wins
+   (its copy-insert reached the durability point, so the migration rolls
+   *forward*); with no applicable intent the single resident shard wins,
+   and a no-intent duplicate (cannot happen via migration, but the rule
+   must total) falls back to base placement if resident, else the lowest
+   resident shard.  ``seq`` is a monotonic counter carried in every
+   intent precisely so ping-pong migrations (A→B then B→A) order
+   correctly even though the two intents live in *different* logs.
+3. **Repair** — delete loser duplicates; relocate rows resident only on
+   non-owner shards (both logged normally, then flushed).
+4. **Override rebuild** — every key whose owner differs from base
+   placement gets a router override, so post-recovery routing agrees
+   with physical residency without any lookup-time probing.
+
+The argument for exactly-one-owner is in DESIGN.md §5i; the
+crash-matrix test cuts both logs at every frame boundary of a live
+migration and asserts it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.registry import (
+    MetricsRegistry,
+    NULL_REGISTRY,
+    get_default_registry,
+)
+from repro.shard.database import ShardedDatabase, key_from_json
+from repro.shard.router import ShardRouter, stable_key_hash
+from repro.storage.constants import DEFAULT_PAGE_SIZE
+from repro.wal.log import WalDevice, WalWriter
+from repro.wal.record import RecordType, scan_wal
+from repro.wal.replay import RecoveryReport, recover
+
+
+@dataclass(frozen=True)
+class ShardRecoveryReport:
+    """What :func:`recover_sharded` replayed and reconciled."""
+
+    per_shard: tuple[RecoveryReport, ...]
+    #: Durable SHARD_MIGRATE intents seen across all logs.
+    intents_seen: int
+    #: Keys found resident on more than one shard (loser copies deleted).
+    duplicates_resolved: int
+    #: Rows moved because they survived only on a non-owner shard.
+    relocations: int
+    #: Router overrides reinstalled from physical residency.
+    overrides_rebuilt: int
+    keys_checked: int = 0
+
+
+def _wal_bytes(wal) -> bytes:
+    if isinstance(wal, WalWriter):
+        return wal.device.data
+    if isinstance(wal, WalDevice):
+        return wal.data
+    return bytes(wal)
+
+
+def recover_sharded(
+    wals: list,
+    *,
+    disks: list | None = None,
+    page_size: int = DEFAULT_PAGE_SIZE,
+    data_pool_pages: int = 256,
+    index_pool_pages: int | None = None,
+    seed: int = 0,
+    metrics: MetricsRegistry | None = None,
+    shard_metrics: list[MetricsRegistry] | None = None,
+    retry_policy=None,
+    group_commit_records: int = 8,
+    mode: str = "hash",
+    boundaries: tuple | None = None,
+    hot_fraction: float = 0.05,
+    tracker_decay: float = 0.5,
+    recovery: bool = False,
+) -> tuple[ShardedDatabase, ShardRecoveryReport]:
+    """Restore a :class:`ShardedDatabase` from one WAL per shard.
+
+    Args:
+        wals: one log per shard — raw bytes, ``WalDevice``, or
+            ``WalWriter`` — in shard order.
+        disks: optionally, the shards' survived disks (same order);
+            ``None`` replays every shard onto a blank disk.
+        page_size .. group_commit_records: forwarded to each shard's
+            :func:`~repro.wal.replay.recover` (``seed + i`` per shard,
+            like the live constructor).
+        metrics: the parent registry for the rebuilt facade's
+            ``shard.*`` family (ambient or fresh when ``None``).
+        shard_metrics: one registry per shard; fresh ones when omitted.
+        mode, boundaries, hot_fraction, tracker_decay: router
+            configuration — must match the pre-crash router for base
+            placements to line up (the override map itself is *not*
+            logged; it is rebuilt from residency).
+        recovery: arm per-call heal-and-retry on the rebuilt facade.
+
+    Returns:
+        ``(sharded_database, report)`` with exactly one owner per key.
+    """
+    n = len(wals)
+    if n < 1:
+        raise ValueError("need at least one shard WAL")
+    if disks is not None and len(disks) != n:
+        raise ValueError(f"disks must have one entry per shard ({n})")
+    if metrics is None:
+        ambient = get_default_registry()
+        metrics = ambient if ambient is not NULL_REGISTRY else MetricsRegistry()
+    if shard_metrics is None:
+        shard_metrics = [MetricsRegistry() for _ in range(n)]
+    elif len(shard_metrics) != n:
+        raise ValueError(f"shard_metrics must have one registry per shard ({n})")
+
+    m_dups = metrics.counter("shard.recovery.duplicates_resolved")
+    m_reloc = metrics.counter("shard.recovery.relocations")
+    m_overrides = metrics.counter("shard.recovery.overrides_rebuilt")
+
+    # -- 0. harvest durable migration intents before replay mutates logs ----
+    # (replay truncates torn tails only, but read first for clarity; the
+    # valid prefix is identical either way).
+    intents: list[dict] = []
+    for i, wal in enumerate(wals):
+        for rec in scan_wal(_wal_bytes(wal)).records:
+            if rec.rtype is RecordType.SHARD_MIGRATE:
+                intents.append(dict(rec.meta))
+    max_seq = max((int(m["seq"]) for m in intents), default=0)
+
+    # -- 1. per-shard replay -------------------------------------------------
+    dbs, reports = [], []
+    for i, wal in enumerate(wals):
+        db, report = recover(
+            wal,
+            disk=disks[i] if disks is not None else None,
+            page_size=page_size,
+            data_pool_pages=data_pool_pages,
+            index_pool_pages=index_pool_pages,
+            seed=seed + i,
+            metrics=shard_metrics[i],
+            retry_policy=retry_policy,
+            group_commit_records=group_commit_records,
+        )
+        dbs.append(db)
+        reports.append(report)
+
+    router = ShardRouter(
+        n,
+        mode=mode,
+        boundaries=boundaries,
+        hot_fraction=hot_fraction,
+        decay=tracker_decay,
+        registry=metrics,
+    )
+    sdb = ShardedDatabase.adopt(
+        dbs, shard_metrics, router, metrics=metrics, recovery=recovery
+    )
+    sdb._migration_seq = max_seq + 1
+
+    # -- 2. residency walk ---------------------------------------------------
+    # key -> table -> [shards holding a copy]; shards share DDL (the
+    # facade fans every CREATE out), so shard 0's catalog names them all.
+    residency: dict[object, dict[str, list[int]]] = {}
+    for name in sdb.table_names:
+        stable = sdb.table(name)
+        if stable.routing_index is None:
+            continue
+        for i in range(n):
+            for row in stable.shard_table(i).scan(
+                project=stable.routing_columns, use_columnar=False
+            ):
+                key = stable.key_of_row(row)
+                residency.setdefault(key, {}).setdefault(name, []).append(i)
+
+    # Applicable intents per key, newest first.
+    intents_by_key: dict[object, list[dict]] = {}
+    for meta in sorted(intents, key=lambda m: -int(m["seq"])):
+        intents_by_key.setdefault(key_from_json(meta["key"]), []).append(meta)
+
+    # -- 3. owner election + repair ------------------------------------------
+    duplicates = relocations = 0
+    owners: dict[object, int] = {}
+    ordered_keys = sorted(
+        residency, key=lambda k: (stable_key_hash(k), repr(k))
+    )
+    for key in ordered_keys:
+        by_table = residency[key]
+        candidates = sorted({i for shards in by_table.values() for i in shards})
+        owner = None
+        for meta in intents_by_key.get(key, ()):
+            if int(meta["dst"]) in candidates:
+                owner = int(meta["dst"])
+                break
+        if owner is None:
+            if len(candidates) == 1:
+                owner = candidates[0]
+            elif router.base_shard(key) in candidates:
+                owner = router.base_shard(key)
+            else:
+                owner = candidates[0]
+        owners[key] = owner
+        for name in sorted(by_table):
+            stable = sdb.table(name)
+            index = stable.routing_index
+            holders = by_table[name]
+            if holders == [owner]:
+                continue
+            if owner in holders:
+                # Duplicate: the intent's copy-insert reached durability
+                # on the owner; finish the migration by deleting losers.
+                for i in holders:
+                    if i != owner:
+                        sdb.shard(i).table(name).delete(index, key)
+                        duplicates += 1
+            else:
+                # Resident only elsewhere: relocate to the elected owner
+                # (copy-then-delete, logged normally on both shards).
+                src = holders[0]
+                found = sdb.shard(src).table(name).lookup(index, key)
+                sdb.shard(owner).table(name).insert(dict(found.values))
+                for i in holders:
+                    sdb.shard(i).table(name).delete(index, key)
+                    if len(holders) > 1:
+                        duplicates += 1
+                relocations += 1
+
+    # -- 4. override rebuild --------------------------------------------------
+    overrides = 0
+    for key, owner in owners.items():
+        if owner != router.base_shard(key):
+            router.set_override(key, owner)
+            overrides += 1
+
+    sdb.flush_wals()
+    m_dups.inc(duplicates)
+    m_reloc.inc(relocations)
+    m_overrides.inc(overrides)
+    return sdb, ShardRecoveryReport(
+        per_shard=tuple(reports),
+        intents_seen=len(intents),
+        duplicates_resolved=duplicates,
+        relocations=relocations,
+        overrides_rebuilt=overrides,
+        keys_checked=len(owners),
+    )

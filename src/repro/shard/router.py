@@ -1,0 +1,214 @@
+"""Shard placement: hash, range, and Zipf-aware hot-key spreading.
+
+The §3 locality argument scaled out (ROADMAP item 2): shards behave like
+memory tiers, and the router's job is to keep every shard's *hot*
+partition small enough to fit in that shard's buffer pool.  Three modes:
+
+* ``hash`` — stable CRC32 of the routing key modulo shard count.
+  ``hash()`` is salted per process (PYTHONHASHSEED), so the router never
+  uses it: placement must be identical across runs and across the crash
+  boundary (recovery re-derives base placement from key bytes alone).
+* ``range`` — ``n_shards - 1`` sorted boundaries, bisect placement;
+  keys below the first boundary go to shard 0, and so on.
+* ``zipf`` — hash base placement plus an override map maintained from
+  live :class:`~repro.core.hot_cold.tracker.AccessTracker` stats:
+  :meth:`plan_rebalance` ranks the hot fraction of tracked keys by
+  decayed count and deals them round-robin across shards, so the hot ~5%
+  — which under a Zipfian workload would otherwise concentrate wherever
+  the hash sent the head of the distribution — spreads evenly ("Exploiting
+  Data Skew for Improved Query Performance", PAPERS.md).
+
+The router itself is pure metadata: it never touches rows.  Moving the
+bytes is :meth:`repro.shard.database.ShardedDatabase.rebalance`, which
+applies a plan one failure-atomic migration at a time and calls
+:meth:`apply_move` only after the copy is durable on the destination.
+"""
+
+from __future__ import annotations
+
+import zlib
+from bisect import bisect_right
+
+from repro.core.hot_cold.tracker import AccessTracker
+from repro.errors import QueryError
+from repro.obs.registry import MetricsRegistry, resolve_registry
+
+#: Placement modes the router understands.
+ROUTER_MODES = ("hash", "range", "zipf")
+
+
+def stable_key_hash(key: object) -> int:
+    """Process-independent hash of a routing key.
+
+    CRC32 over the key's canonical repr: deterministic across runs,
+    machines, and PYTHONHASHSEED values — the property recovery leans on
+    when it re-derives base placement from surviving rows.  Tuples and
+    lists canonicalize to the same value (index keys arrive as either).
+    """
+    if isinstance(key, (tuple, list)):
+        raw = "\x1f".join(repr(part) for part in key)
+    else:
+        raw = repr(key)
+    return zlib.crc32(raw.encode("utf-8"))
+
+
+class ShardRouter:
+    """Key → shard placement with hot-key spreading overrides."""
+
+    def __init__(
+        self,
+        n_shards: int,
+        mode: str = "hash",
+        boundaries: tuple | None = None,
+        hot_fraction: float = 0.05,
+        decay: float = 0.5,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        """
+        Args:
+            n_shards: how many shards placement targets.
+            mode: one of :data:`ROUTER_MODES`.
+            boundaries: ``range`` mode only — ``n_shards - 1`` sorted
+                split points; a key routes to the leftmost shard whose
+                boundary exceeds it.
+            hot_fraction: ``zipf`` mode — fraction of *tracked* keys a
+                rebalance plan treats as hot (the paper's ~5%).
+            decay: per-epoch multiplier for the access tracker.
+            registry: sink for ``shard.router.*`` instruments.
+        """
+        if n_shards < 1:
+            raise QueryError(f"need at least one shard, got {n_shards}")
+        if mode not in ROUTER_MODES:
+            raise QueryError(
+                f"unknown router mode {mode!r}; expected one of {ROUTER_MODES}"
+            )
+        if mode == "range":
+            if boundaries is None or len(boundaries) != n_shards - 1:
+                raise QueryError(
+                    f"range mode over {n_shards} shard(s) needs exactly "
+                    f"{n_shards - 1} boundaries"
+                )
+            self._boundaries = tuple(boundaries)
+            if list(self._boundaries) != sorted(self._boundaries):
+                raise QueryError("range boundaries must be sorted ascending")
+        else:
+            if boundaries is not None:
+                raise QueryError(f"mode {mode!r} takes no boundaries")
+            self._boundaries = ()
+        if not 0.0 < hot_fraction <= 1.0:
+            raise QueryError("hot_fraction must be in (0, 1]")
+        self._n = n_shards
+        self._mode = mode
+        self._hot_fraction = hot_fraction
+        #: key -> shard, installed by completed migrations only.
+        self._overrides: dict[object, int] = {}
+        self._tracker = AccessTracker(decay=decay) if mode == "zipf" else None
+        reg = resolve_registry(registry)
+        self._m_routes = reg.counter("shard.router.routes")
+        self._m_overrides = reg.gauge("shard.router.overrides")
+
+    # -- properties ----------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return self._n
+
+    @property
+    def mode(self) -> str:
+        return self._mode
+
+    @property
+    def hot_fraction(self) -> float:
+        return self._hot_fraction
+
+    @property
+    def tracker(self) -> AccessTracker | None:
+        """The live access tracker (``zipf`` mode only)."""
+        return self._tracker
+
+    @property
+    def overrides(self) -> dict[object, int]:
+        """Snapshot of the hot-key override map (key → shard)."""
+        return dict(self._overrides)
+
+    # -- placement -----------------------------------------------------------
+
+    def base_shard(self, key: object) -> int:
+        """Placement before any override — pure function of the key."""
+        if self._mode == "range":
+            return bisect_right(self._boundaries, key)
+        return stable_key_hash(key) % self._n
+
+    def placement(self, key: object) -> int:
+        """Current placement (override or base) without counting a route."""
+        override = self._overrides.get(key)
+        return override if override is not None else self.base_shard(key)
+
+    def shard_of(self, key: object) -> int:
+        """Route one operation on ``key`` (counts ``shard.router.routes``)."""
+        self._m_routes.inc()
+        return self.placement(key)
+
+    def record_access(self, key: object, weight: float = 1.0) -> None:
+        """Feed the zipf-mode tracker; a no-op in hash/range modes."""
+        if self._tracker is not None:
+            self._tracker.record(key, weight)
+
+    def advance_epoch(self) -> None:
+        """Decay tracked counts one epoch (zipf mode; no-op otherwise)."""
+        if self._tracker is not None:
+            self._tracker.advance_epoch()
+
+    # -- hot-key spreading ---------------------------------------------------
+
+    def plan_rebalance(self) -> list[tuple[object, int, int]]:
+        """Compute ``(key, src, dst)`` moves that spread the hot set.
+
+        The hottest ``hot_fraction`` of tracked keys, ranked by decayed
+        count (ties broken by stable hash, then repr — never ``hash()``),
+        are dealt round-robin across shards; keys whose current placement
+        already matches stay put.  Overrides for keys that have *cooled
+        out* of the hot set are planned back to base placement, so the
+        override map follows the workload instead of growing forever.
+
+        Deterministic: two routers fed identical access sequences plan
+        identical moves.  The plan is metadata only — nothing moves until
+        the database applies it migration by migration.
+        """
+        if self._tracker is None or self._n == 1:
+            return []
+        hot = self._tracker.hot_set(self._hot_fraction)
+        ranked = sorted(
+            hot,
+            key=lambda k: (
+                -self._tracker.count_of(k), stable_key_hash(k), repr(k)
+            ),
+        )
+        target: dict[object, int] = {
+            key: rank % self._n for rank, key in enumerate(ranked)
+        }
+        moves: list[tuple[object, int, int]] = []
+        for key in ranked:
+            src = self.placement(key)
+            if src != target[key]:
+                moves.append((key, src, target[key]))
+        cooled = [k for k in self._overrides if k not in target]
+        cooled.sort(key=lambda k: (stable_key_hash(k), repr(k)))
+        for key in cooled:
+            moves.append((key, self._overrides[key], self.base_shard(key)))
+        return moves
+
+    def apply_move(self, key: object, dst: int) -> None:
+        """Record that ``key`` now resides on ``dst`` (called after the
+        copy is durable there).  Moving back to base drops the override."""
+        if not 0 <= dst < self._n:
+            raise QueryError(f"shard {dst} outside 0..{self._n - 1}")
+        if dst == self.base_shard(key):
+            self._overrides.pop(key, None)
+        else:
+            self._overrides[key] = dst
+        self._m_overrides.set(float(len(self._overrides)))
+
+    def set_override(self, key: object, shard: int) -> None:
+        """Install an override directly (recovery's residency rebuild)."""
+        self.apply_move(key, shard)

@@ -267,6 +267,13 @@ class WalWriter:
             aux_page=dst.page_id, aux_slot=dst.slot,
         ))
 
+    def log_shard_migrate(self, meta: dict) -> int:
+        """Append a cross-shard migration intent (to the *dst* shard's
+        log; ``meta`` carries table, JSON-safe key, src, dst, seq)."""
+        return self._log(WalRecord(
+            lsn=self.reserve_lsn(), rtype=RecordType.SHARD_MIGRATE, meta=meta
+        ))
+
     def log_index_cache_drop(self, index_name: str) -> int:
         return self._log(WalRecord(
             lsn=self.reserve_lsn(), rtype=RecordType.INDEX_CACHE_DROP,

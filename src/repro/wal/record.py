@@ -73,6 +73,13 @@ class RecordType(IntEnum):
     #: compensation records — ordinary heap ops stamped with the same
     #: ``txn_id`` — all precede this frame in log order.
     TXN_ABORT = 11
+    #: A cross-shard migration intent (body: ``{"table", "key", "src",
+    #: "dst", "seq"}``), appended to the **destination** shard's log
+    #: immediately before the copy-insert.  Single-engine replay ignores
+    #: it; :func:`repro.shard.recovery.recover_sharded` uses it to
+    #: resolve a key found resident on two shards after a crash
+    #: mid-migration to exactly one owner (DESIGN.md §5i).
+    SHARD_MIGRATE = 12
 
 
 #: Record types that redo mutates heap pages for.
@@ -83,7 +90,8 @@ TXN_TYPES = frozenset(
 )
 #: Record types whose body is a JSON document (``meta`` is populated).
 _JSON_TYPES = frozenset(
-    {RecordType.CREATE_TABLE, RecordType.CREATE_INDEX, RecordType.CHECKPOINT}
+    {RecordType.CREATE_TABLE, RecordType.CREATE_INDEX, RecordType.CHECKPOINT,
+     RecordType.SHARD_MIGRATE}
 ) | TXN_TYPES
 
 

@@ -25,3 +25,7 @@ def test_single_cheap_driver_runs(capsys):
 
 def test_columnar_driver_registered():
     assert "columnar" in all_experiments._DRIVERS
+
+
+def test_shard_driver_registered():
+    assert "shard" in all_experiments._DRIVERS

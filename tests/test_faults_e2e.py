@@ -136,3 +136,56 @@ def test_sessions_cli_flag(capsys):
     assert code == 0
     assert "fault drill [PASS]" in out
     assert "4 session(s)" in out and "conflict(s)" in out
+
+
+@pytest.fixture(scope="module")
+def sharded_drill() -> DrillReport:
+    # Big enough that per-shard pools miss (faults need real I/O) and
+    # that both mid-drill rebalances migrate hot keys between shards.
+    return run_fault_drill(seed=2, n_pages=240, n_ops=1_500, shards=3)
+
+
+def test_sharded_drill_passes_with_zero_wrong_results(sharded_drill):
+    assert sharded_drill.passed
+    assert sharded_drill.wrong_results == 0
+    assert sharded_drill.shards == 3
+    assert sharded_drill.check_ok  # includes the cross-shard owner walk
+
+
+def test_sharded_drill_injects_and_recovers_faults(sharded_drill):
+    assert sharded_drill.faults_injected > 50
+    assert sharded_drill.faults_recovered > 0
+    assert sharded_drill.faults_unrecoverable == 0
+    assert sharded_drill.ledger_balanced
+
+
+def test_sharded_drill_migrates_hot_keys_under_fire(sharded_drill):
+    assert sharded_drill.keys_migrated > 0
+    shard_tree = sharded_drill.metrics["shard"]
+    assert shard_tree["rebalance"]["runs"] == 2
+    assert shard_tree["migration"]["completed"] > 0
+    # Per-shard namespaces all saw traffic.
+    for i in range(3):
+        assert shard_tree[str(i)]["bufferpool"]["hit"] > 0
+
+
+def test_sharded_drill_is_reproducible_bit_for_bit(sharded_drill):
+    again = run_fault_drill(seed=2, n_pages=240, n_ops=1_500, shards=3)
+    assert again.digest == sharded_drill.digest
+    assert again.keys_migrated == sharded_drill.keys_migrated
+    assert again.faults_injected == sharded_drill.faults_injected
+
+
+def test_sharded_and_sessions_modes_are_exclusive():
+    with pytest.raises(ValueError):
+        run_fault_drill(shards=2, sessions=2)
+
+
+def test_sharded_cli_flag(capsys):
+    code = faults_cli(
+        ["--seed", "1", "--ops", "500", "--pages", "150", "--shards", "2"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "fault drill [PASS]" in out
+    assert "2 shard(s)" in out and "migrated" in out

@@ -64,6 +64,11 @@ def _runtime_names():
     # conflicts, undo) and the replay rollback counter.
     report = run_fault_drill(n_pages=60, n_ops=300, seed=1, sessions=4)
     names.update(_flatten(report.metrics))
+    # Sharded mode registers the §5i facade family (router, fanout,
+    # rebalance, migration) plus every per-engine name under its
+    # ``shard.<i>.`` prefix.
+    report = run_fault_drill(n_pages=60, n_ops=300, seed=1, shards=2)
+    names.update(_flatten(report.metrics))
     return names
 
 
@@ -78,6 +83,9 @@ def test_table_parses():
     assert "txn.conflicts" in patterns
     assert "columnar.scans" in patterns
     assert "columnar.cache.hits" in patterns
+    assert "shard.fanout.ops" in patterns
+    assert "shard.recovery.*" in patterns
+    assert "shard.*.*" in patterns
 
 
 def test_every_runtime_metric_name_is_documented():
