@@ -1,0 +1,206 @@
+"""Distributed-tracing overhead: the §5j off switch must be (near-)free.
+
+The trace/journal/rollup hooks of §5j are compiled into every sharded
+hot path — the router notes hops, ``_charge`` tests for an armed
+collector before every fan-out, ``_call`` tests for an active trace
+before every shard delegation.  Disarmed (the default), each crossing
+must collapse to an attribute test, so the measured claim mirrors
+``bench_obs_overhead``:
+
+* **disabled tax** — across a sharded Zipf lookup+scan workload, the
+  time spent in those off-state hook crossings, timed in isolation, is
+  under 5% of the workload's wall-clock runtime; and
+* **armed neutrality + determinism** — arming the full §5j pipeline
+  (collector + journal + rollup) reads clocks and registries but never
+  advances them: the armed run's *simulated* time and query answers are
+  bit-identical to the disarmed run's, and its deterministic side facts
+  (spans recorded, events journaled, shards covered by the final
+  scatter-gather trace) match the committed baseline
+  (``benchmarks/baselines/trace_overhead.json``) exactly.
+
+A trajectory point is appended to ``BENCH_trace_overhead.json`` at the
+repo root on every run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.shard.database import ShardedDatabase
+from repro.workload.wikipedia import (
+    REVISION_SCHEMA,
+    WikipediaConfig,
+    generate,
+    revision_lookup_trace,
+)
+
+pytestmark = pytest.mark.trace
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+TRAJECTORY_PATH = REPO_ROOT / "BENCH_trace_overhead.json"
+BASELINE_PATH = (
+    Path(__file__).resolve().parent / "baselines" / "trace_overhead.json"
+)
+
+N_SHARDS = 4
+N_PAGES = 600
+REVISIONS_PER_PAGE = 4
+POOL_PAGES = 48
+TRACE_LEN = 1_200
+N_SCANS = 2
+
+
+def _run_sharded_zipf(armed: bool) -> dict:
+    """The sharded Zipf workload, §5j disarmed or armed.
+
+    Returns the facade plus the deterministic side facts both runs must
+    agree on (simulated time, aggregate totals) and the number of
+    disabled-hook crossings the op mix performs (one ``_note_hop`` +
+    one ``_charge`` gate per op, one ``_call`` gate per touched shard).
+    """
+    data = generate(
+        WikipediaConfig(
+            n_pages=N_PAGES,
+            revisions_per_page_mean=REVISIONS_PER_PAGE,
+            seed=7,
+        )
+    )
+    warm = revision_lookup_trace(data, TRACE_LEN, seed=70)
+    measured = revision_lookup_trace(data, TRACE_LEN, seed=71)
+
+    sdb = ShardedDatabase(
+        N_SHARDS, mode="zipf", data_pool_pages=POOL_PAGES, seed=7
+    )
+    if armed:
+        sdb.enable_tracing()
+        sdb.enable_events()
+        rollup = sdb.enable_rollup()
+    sdb.create_table("revision", REVISION_SCHEMA)
+    sdb.create_index("revision", "rev_pk", ("rev_id",))
+    table = sdb.table("revision")
+
+    ops = fanouts = 0
+    for row in data.revision_rows:
+        table.insert(row)
+        ops, fanouts = ops + 1, fanouts + 1
+    for rev_id in warm:
+        table.lookup("rev_pk", rev_id)
+        ops, fanouts = ops + 1, fanouts + 1
+    report = sdb.rebalance()
+    for rev_id in measured:
+        assert table.lookup("rev_pk", rev_id).found
+        ops, fanouts = ops + 1, fanouts + 1
+    for _ in range(N_SCANS):
+        sum(1 for _ in table.scan(project=("rev_id", "rev_len")))
+        ops, fanouts = ops + 1, fanouts + N_SHARDS
+    totals = table.aggregate([("count", None), ("sum", "rev_len")])
+    ops, fanouts = ops + 1, fanouts + N_SHARDS
+    if armed:
+        rollup.refresh()
+    return {
+        "sdb": sdb,
+        "crossings": ops * 2 + fanouts,
+        "totals": totals,
+        "keys_moved": report.keys_moved,
+        "sim_ns": sdb.sim_now_ns,
+    }
+
+
+def _time_disabled_crossings(sdb, n: int) -> float:
+    """Time ``n`` off-state hook crossings in isolation: the router's
+    ``_note_hop`` guard, the ``_charge`` arm test, the ``_call`` active
+    test — the exact §5j instructions a disarmed op executes."""
+    note_hop = sdb._note_hop
+    start = time.perf_counter()
+    for _ in range(n):
+        note_hop(0)                                  # router hop hook
+        trace = sdb._trace                           # _charge gate
+        if trace is not None:
+            pass  # pragma: no cover - disarmed by construction
+        trace = sdb._trace                           # _call gate
+        if trace is not None and trace.active is not None:
+            pass  # pragma: no cover - disarmed by construction
+    return time.perf_counter() - start
+
+
+def bench_disabled_trace_tax_under_5_percent(run_check):
+    def body():
+        start = time.perf_counter()
+        run = _run_sharded_zipf(armed=False)
+        loop_s = time.perf_counter() - start
+        assert run["sdb"].trace is None  # opt-in: never armed here
+
+        n = run["crossings"]
+        off_s = min(
+            _time_disabled_crossings(run["sdb"], n) for _ in range(3)
+        )
+        tax = off_s / loop_s
+        print(
+            f"disabled-trace tax: {n} hook crossings, "
+            f"{off_s * 1e3:.2f} ms vs {loop_s * 1e3:.1f} ms workload "
+            f"({tax:.2%})"
+        )
+        assert tax < 0.05
+
+    run_check(body)
+
+
+def bench_armed_trace_is_neutral_and_matches_baseline(run_check):
+    """Arming §5j changes no simulated time and no answers, and its
+    deterministic counts stay pinned to the committed baseline."""
+
+    def body():
+        silent = _run_sharded_zipf(armed=False)
+        armed = _run_sharded_zipf(armed=True)
+
+        # Neutrality: spans/journal/rollup read the clocks, never
+        # advance them — simulated time and answers are bit-identical.
+        assert armed["sim_ns"] == silent["sim_ns"]
+        assert armed["totals"] == silent["totals"]
+        assert armed["keys_moved"] == silent["keys_moved"]
+
+        sdb = armed["sdb"]
+        reg = sdb.metrics
+        last = sdb.trace.last()  # the final full-fanout aggregate
+        point = {
+            "sim_us": round(armed["sim_ns"] / 1e3, 1),
+            "traces_finished": int(reg.counter("trace.finished").value),
+            "spans": int(reg.counter("trace.spans").value),
+            "events": int(reg.counter("events.emitted").value),
+            "keys_moved": armed["keys_moved"],
+            "last_trace_shards": last.shards_touched(),
+            "fleet_heat_imbalance": round(
+                reg.gauge("fleet.imbalance.heat").value, 4
+            ),
+        }
+        print(
+            "armed-trace point: "
+            + ", ".join(f"{k}={v}" for k, v in point.items())
+        )
+        assert point["last_trace_shards"] == list(range(N_SHARDS))
+
+        if TRAJECTORY_PATH.exists():
+            document = json.loads(TRAJECTORY_PATH.read_text())
+        else:
+            document = {"bench": "trace_overhead", "points": []}
+        document["points"].append(point)
+        TRAJECTORY_PATH.write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n"
+        )
+
+        # Everything in the point is simulated/counted, not timed: the
+        # baseline must match exactly.  A drift means span coverage,
+        # journal traffic, or placement changed — regenerate only if
+        # the change is deliberate.
+        baseline = json.loads(BASELINE_PATH.read_text())
+        assert point == baseline, (
+            "deterministic trace counters drifted from "
+            "benchmarks/baselines/trace_overhead.json; if the change is "
+            "intentional, regenerate the baseline"
+        )
+
+    run_check(body)

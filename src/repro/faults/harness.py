@@ -99,6 +99,11 @@ class DrillReport:
     shards: int = 0
     #: Hot keys migrated by the sharded drill's mid-flight rebalances.
     keys_migrated: int = 0
+    #: §5j causal event journal of the sharded drill (fault, checkpoint,
+    #: migration intent/commit, rebalance records as dicts, causal order).
+    events: list = field(default_factory=list)
+    #: §5j exported cross-shard span trees (sharded drill; newest last).
+    traces: list = field(default_factory=list)
 
     @property
     def ledger_balanced(self) -> bool:
@@ -740,6 +745,13 @@ def _run_sharded_drill(
         wal=bool(wal),
         recovery=True,
     )
+    # §5j: the sharded drill always runs observed — cross-shard traces,
+    # the causal event journal, and fleet rollups all read clocks and
+    # registries without advancing them, so the drill's digest and every
+    # correctness verdict are unchanged by arming them.
+    trace = sdb.enable_tracing()
+    journal = sdb.enable_events()
+    rollup = sdb.enable_rollup()
     table = sdb.create_table("revision", REVISION_SCHEMA)
     sdb.create_cached_index("revision", "rev_pk", ("rev_id",), CACHED_FIELDS)
 
@@ -862,7 +874,14 @@ def _run_sharded_drill(
             sweeper = RecoveryManager(
                 sdb.shard(i), max_heals=256, registry=shard_regs[i]
             )
+            sweeper.journal = journal
+            sweeper.journal_shard = i
             sweeper.call(lambda t=local: sum(1 for _ in t.scan()))
+
+    # One traced full-fanout aggregate after the guns go quiet: its span
+    # tree must cover every shard (the report's acceptance exhibit).
+    table.aggregate([("count", None)])
+    rollup.refresh()
 
     check = sdb.check()
     problems = list(check.problems)
@@ -908,4 +927,6 @@ def _run_sharded_drill(
         wal_records=wal_records,
         shards=shards,
         keys_migrated=keys_migrated,
+        events=journal.as_dicts(),
+        traces=trace.as_dicts(8),
     )

@@ -50,11 +50,21 @@ class RecoveryManager:
         self.heals = 0
         self.failed_heals = 0
         self.heap_rebuilds = 0
+        #: Optional repro.obs.events.EventJournal (+ the shard id this
+        #: engine runs as, None for a standalone database).  When set,
+        #: every detection/heal/unrecoverable transition is journaled;
+        #: when None the fault path pays one is-None test.
+        self.journal = None
+        self.journal_shard: int | None = None
         metrics = resolve_registry(registry)
         self._m_recovered = metrics.counter("faults.recovered")
         self._m_unrecoverable = metrics.counter("faults.unrecoverable")
         self._m_rebuilds = metrics.counter("recovery.index_rebuilds")
         self._m_heap_rebuilds = metrics.counter("recovery.heap_page_rebuilds")
+
+    def _emit(self, kind: str, **payload) -> None:
+        if self.journal is not None:
+            self.journal.emit(kind, shard=self.journal_shard, **payload)
 
     @property
     def max_heals(self) -> int:
@@ -73,9 +83,15 @@ class RecoveryManager:
             try:
                 return fn(*args, **kwargs)
             except CorruptPageError as exc:
+                self._emit("fault.detected", page=exc.page_id)
                 if heals_spent >= self._max_heals:
                     self._m_unrecoverable.inc()
                     self.failed_heals += 1
+                    self._emit(
+                        "fault.unrecoverable",
+                        page=exc.page_id,
+                        reason="heal budget exhausted",
+                    )
                     raise RecoveryError(
                         f"gave up after {heals_spent} heal(s); last corrupt "
                         f"page was {exc.page_id}"
@@ -108,6 +124,11 @@ class RecoveryManager:
                     self._m_unrecoverable.inc()  # the heap page
                     self._m_unrecoverable.inc()  # the aborted index heal
                     self.failed_heals += 2
+                    self._emit(
+                        "fault.unrecoverable", page=exc.page_id,
+                        reason="heap page unrecoverable during index rebuild",
+                    )
+                    self._emit("fault.quarantine", page=exc.page_id)
                     return False
             wal = getattr(self._db, "wal", None)
             if wal is not None and getattr(index_entry.index, "cached_fields", None):
@@ -115,11 +136,20 @@ class RecoveryManager:
             self._m_recovered.inc()
             self._m_rebuilds.inc()
             self.heals += 1
+            self._emit(
+                "fault.recovered", page=page_id, action="index_rebuild",
+                index=index_entry.name,
+            )
             return True
         if self._recover_heap(page_id):
+            self._emit("fault.recovered", page=page_id, action="heap_redo")
             return True
         self._m_unrecoverable.inc()
         self.failed_heals += 1
+        self._emit(
+            "fault.unrecoverable", page=page_id, reason="no WAL or unowned page"
+        )
+        self._emit("fault.quarantine", page=page_id)
         return False
 
     # -- internals ------------------------------------------------------------

@@ -7,6 +7,27 @@ uninstrumented runs at near-zero overhead and bit-identical outputs.
 See DESIGN.md ("Observability") for the metric naming scheme.
 """
 
+from repro.obs.events import (
+    DEFAULT_JOURNAL_CAPACITY,
+    EVENT_KINDS,
+    EngineEvent,
+    EventJournal,
+)
+from repro.obs.rollup import (
+    FLEET_SLO_RULES,
+    FleetRegistryView,
+    FleetRollup,
+    FleetStat,
+    fleet_rules,
+    fleet_selector,
+)
+from repro.obs.trace import (
+    DEFAULT_TRACE_RING,
+    Trace,
+    TraceCollector,
+    TraceContext,
+    TraceSpan,
+)
 from repro.obs.adaptive import (
     AdaptiveController,
     Knob,
@@ -102,4 +123,19 @@ __all__ = [
     "database_knobs",
     "default_bindings",
     "hot_cold_knobs",
+    "DEFAULT_TRACE_RING",
+    "Trace",
+    "TraceCollector",
+    "TraceContext",
+    "TraceSpan",
+    "DEFAULT_JOURNAL_CAPACITY",
+    "EVENT_KINDS",
+    "EngineEvent",
+    "EventJournal",
+    "FLEET_SLO_RULES",
+    "FleetRegistryView",
+    "FleetRollup",
+    "FleetStat",
+    "fleet_rules",
+    "fleet_selector",
 ]

@@ -8,7 +8,18 @@ Usage::
     python -m repro.obs export            # one JSON document with everything
     python -m repro.obs health            # SLO verdicts + tuning audit ring
     python -m repro.obs tune              # adaptive knobs, audit, verdicts
+    python -m repro.obs trace             # §5j span trees (+ Chrome export)
+    python -m repro.obs events            # §5j causal event journal
+    python -m repro.obs fleet --shards 4  # §5j fleet rollup + skew report
     python -m repro.obs top --ops 20000 --batch 16 --no-wal
+    python -m repro.obs report --shards 4 # any subcommand, sharded
+
+Every subcommand accepts ``--shards N``: the same workload then runs
+over a :class:`~repro.shard.ShardedDatabase` (zipf router, per-shard
+WALs and registries) with §5j tracing, the event journal, and the fleet
+rollup armed; the sampler reads the merged
+:class:`~repro.obs.rollup.FleetRegistryView`, so wildcard selectors
+like ``rate:shard.*.bufferpool.hit`` resolve in timelines.
 
 Every subcommand drives the same seeded workload: a table with a plain
 primary index and a §2.1 cached index, loaded and then replayed with a
@@ -60,6 +71,13 @@ class ObservedRun:
     elapsed_ns: float
     #: The AdaptiveController when ``adaptive=True``, else None.
     controller: object | None = None
+    #: §5j instruments, armed when ``observe=True`` or ``shards > 0``.
+    trace: object | None = None
+    journal: object | None = None
+    #: The FleetRollup (sharded runs only).
+    rollup: object | None = None
+    #: Shards the workload ran over (0 = single engine).
+    shards: int = 0
 
 
 def run_observed_workload(
@@ -73,6 +91,8 @@ def run_observed_workload(
     wal: bool = True,
     adaptive: bool = False,
     columnar: bool = False,
+    shards: int = 0,
+    observe: bool = False,
 ) -> ObservedRun:
     """Load, replay, profile, sample, and health-check one workload.
 
@@ -89,6 +109,14 @@ def run_observed_workload(
     With ``columnar=True`` the §5h vectorized executor is attached and a
     scan + aggregate run per sampler chunk, so the ``columnar.*`` family
     carries real traffic (mirror maintenance, fragment cache churn).
+
+    With ``observe=True`` the §5j trace collector and event journal are
+    armed (they always are when ``shards > 0``).  ``shards=N`` runs the
+    replay over a :class:`~repro.shard.ShardedDatabase`: the cached
+    index doubles as the routing index, the sampler reads the merged
+    fleet view, the rollup refreshes once per chunk, and the SLO rule
+    set gains the fleet skew rule.  ``adaptive`` is single-engine only
+    (the controller tunes one engine's knobs) and is ignored sharded.
     """
     # Late imports: repro.obs stays importable from the lowest layers;
     # only the CLI pulls in the query and workload packages.
@@ -99,24 +127,67 @@ def run_observed_workload(
     from repro.workload.replay import build_mixed_trace, replay
 
     registry = MetricsRegistry()
-    db = Database(
-        seed=seed, metrics=registry, data_pool_pages=pool_pages, wal=wal,
-    )
-    schema = Schema.of(("k", UINT64), ("name", char(12)), ("n", UINT32))
-    table = db.create_table("t", schema)
-    db.create_index("t", "pk", ("k",))
-    db.create_cached_index("t", "pk_cache", ("k",), ("name", "n"))
-    for k in range(n_rows):
-        table.insert({"k": k, "name": f"r{k}", "n": k % 97})
+    rollup = None
+    if shards:
+        from repro.obs.rollup import FLEET_SLO_RULES, fleet_rules
+        from repro.shard.database import ShardedDatabase
 
-    profiler = db.enable_profiling(slow_log_size=64)
-    sampler = TelemetrySampler(
-        registry, clock=db.cost_model, capacity=max(samples + 1, 16),
-        interval_ns=float("inf") if adaptive else 1_000_000.0,
-    )
-    checker = HealthChecker(sampler, DEFAULT_SLO_RULES)
-    controller = db.enable_adaptive(sampler=sampler) if adaptive else None
-    columnar_mgr = db.enable_columnar() if columnar else None
+        # Split the RAM budget like the sharded fault drill does, so
+        # scaling out does not quietly multiply the cache.
+        per_shard_pool = max(4, -(-pool_pages // shards))
+        db = ShardedDatabase(
+            shards, mode="zipf", seed=seed, metrics=registry,
+            data_pool_pages=per_shard_pool, wal=wal,
+        )
+        trace_collector = db.enable_tracing()
+        journal = db.enable_events()
+        rollup = db.enable_rollup()
+        schema = Schema.of(("k", UINT64), ("name", char(12)), ("n", UINT32))
+        table = db.create_table("t", schema)
+        # The cached index is created first, so it is the routing index:
+        # point ops touch one shard, scans and aggregates scatter.
+        db.create_cached_index("t", "pk_cache", ("k",), ("name", "n"))
+        for k in range(n_rows):
+            table.insert({"k": k, "name": f"r{k}", "n": k % 97})
+        profiler = db.shard(0).enable_profiling(slow_log_size=64)
+        for i in range(1, shards):
+            db.shard(i).enable_profiling(slow_log_size=64)
+        sampler = TelemetrySampler(
+            db.fleet_view(), clock=lambda: db.sim_now_ns,
+            capacity=max(samples + 1, 16), interval_ns=1_000_000.0,
+        )
+        checker = HealthChecker(
+            sampler, fleet_rules(DEFAULT_SLO_RULES) + tuple(FLEET_SLO_RULES),
+            journal=journal,
+        )
+        controller = None
+        columnar_mgr = None
+        if columnar:
+            db.enable_columnar()
+    else:
+        db = Database(
+            seed=seed, metrics=registry, data_pool_pages=pool_pages, wal=wal,
+        )
+        if observe:
+            trace_collector = db.enable_tracing()
+            journal = db.enable_events()
+        else:
+            trace_collector = journal = None
+        schema = Schema.of(("k", UINT64), ("name", char(12)), ("n", UINT32))
+        table = db.create_table("t", schema)
+        db.create_index("t", "pk", ("k",))
+        db.create_cached_index("t", "pk_cache", ("k",), ("name", "n"))
+        for k in range(n_rows):
+            table.insert({"k": k, "name": f"r{k}", "n": k % 97})
+
+        profiler = db.enable_profiling(slow_log_size=64)
+        sampler = TelemetrySampler(
+            registry, clock=db.cost_model, capacity=max(samples + 1, 16),
+            interval_ns=float("inf") if adaptive else 1_000_000.0,
+        )
+        checker = HealthChecker(sampler, DEFAULT_SLO_RULES, journal=journal)
+        controller = db.enable_adaptive(sampler=sampler) if adaptive else None
+        columnar_mgr = db.enable_columnar() if columnar else None
 
     trace = build_mixed_trace(
         n_ops,
@@ -127,27 +198,50 @@ def run_observed_workload(
         alpha=alpha,
         seed=seed,
     )
-    start_ns = db.cost_model.now_ns
+    clock_now = (
+        (lambda: db.sim_now_ns) if shards else (lambda: db.cost_model.now_ns)
+    )
+    start_ns = clock_now()
     sampler.sample()  # baseline: gauges only, no window yet
     chunk = max(1, len(trace) // max(1, samples))
+    mid_chunk = max(1, (len(trace) // chunk) // 2)
     replayed = 0
+    chunks_done = 0
     for lo in range(0, len(trace), chunk):
         result = replay(
             table, "pk_cache", trace[lo:lo + chunk],
             project=("k", "name"), lookup_batch_size=batch,
         )
         replayed += result.operations
-        if columnar_mgr is not None:
+        chunks_done += 1
+        if columnar:
             table.aggregate([("count", None), ("sum", "n")],
                             ColumnRange("n", 0, 48))
             list(table.scan(ColumnRange("n", 0, 8), project=("k", "n")))
+        if journal is not None and chunks_done == mid_chunk:
+            # Give the journal a real mid-run story: a fuzzy checkpoint
+            # (per shard when sharded) and, sharded, one hot-key
+            # rebalance whose migration intents/commits land as events.
+            if wal:
+                db.checkpoint()
+            if shards:
+                db.rebalance()
+        if rollup is not None:
+            rollup.refresh()
         point = sampler.sample()
         if controller is not None:
             controller.evaluate(point)
+        elif journal is not None:
+            # SLO transitions journal themselves as they happen, not
+            # only at the end-of-run verdict.
+            checker.evaluate()
     if columnar_mgr is not None:
         columnar_mgr.refresh_encoding_stats()
     if wal:
-        db.wal.flush()
+        if shards:
+            db.flush_wals()
+        else:
+            db.wal.flush()
     return ObservedRun(
         registry=registry,
         profiler=profiler,
@@ -155,8 +249,12 @@ def run_observed_workload(
         health=checker.evaluate(),
         database=db,
         replayed_ops=replayed,
-        elapsed_ns=db.cost_model.now_ns - start_ns,
+        elapsed_ns=clock_now() - start_ns,
         controller=controller,
+        trace=trace_collector,
+        journal=journal,
+        rollup=rollup,
+        shards=shards,
     )
 
 
@@ -253,12 +351,48 @@ def _cmd_tune(run: ObservedRun, args: argparse.Namespace) -> None:
     print(run.health.format())
 
 
+def _cmd_trace(run: ObservedRun, args: argparse.Namespace) -> None:
+    collector = run.trace
+    trees = collector.traces(args.n)
+    print(
+        f"traces: showing {len(trees)} of {len(collector.traces())} "
+        f"retained span tree(s)"
+    )
+    for tree in trees:
+        print(tree.format())
+    if args.chrome:
+        import json
+
+        with open(args.chrome, "w", encoding="utf-8") as fh:
+            json.dump(collector.to_chrome(), fh, indent=2, sort_keys=True)
+        print(f"wrote Chrome trace_event JSON to {args.chrome} "
+              f"(load in about:tracing / Perfetto)")
+
+
+def _cmd_events(run: ObservedRun, args: argparse.Namespace) -> None:
+    print(run.journal.format(
+        limit=args.n, kind=args.kind, shard=args.shard,
+    ))
+
+
+def _cmd_fleet(run: ObservedRun, args: argparse.Namespace) -> None:
+    run.rollup.refresh()
+    print(run.rollup.format(args.n))
+    print()
+    print(run.health.format())
+
+
 def _cmd_export(run: ObservedRun, args: argparse.Namespace) -> None:
+    extra_obs = {}
+    if run.trace is not None:
+        extra_obs["traces"] = run.trace.as_dicts(args.spans)
+    if run.journal is not None:
+        extra_obs["events"] = run.journal.as_dicts()
     text = export_json(
         run.registry,
         path=args.out,
         label="repro.obs",
-        tracer=run.database.tracer,
+        tracer=getattr(run.database, "tracer", None),
         span_limit=args.spans,
         extra={
             "profiler": run.profiler.as_dict(),
@@ -267,7 +401,9 @@ def _cmd_export(run: ObservedRun, args: argparse.Namespace) -> None:
             "workload": {
                 "replayed_ops": run.replayed_ops,
                 "elapsed_ns": run.elapsed_ns,
+                "shards": run.shards,
             },
+            **extra_obs,
         },
     )
     if args.out:
@@ -295,7 +431,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run without a write-ahead log")
     common.add_argument("--adaptive", action="store_true",
                         help="attach the AdaptiveController to the run "
-                        "(always on for the health/tune subcommands)")
+                        "(always on for the health/tune subcommands; "
+                        "single-engine only)")
+    common.add_argument("--shards", type=int, default=0, metavar="N",
+                        help="run the workload over a ShardedDatabase with "
+                        "N shards (0 = single engine; arms §5j tracing, "
+                        "the event journal, and the fleet rollup)")
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
@@ -353,11 +494,52 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune.add_argument("--actions", type=int, default=16,
                         help="newest tuning actions shown (default 16)")
     p_tune.set_defaults(func=_cmd_tune, force_adaptive=True)
+
+    p_trace = sub.add_parser(
+        "trace", parents=[common],
+        help="§5j span trees of the replayed workload (+ Chrome export)",
+    )
+    p_trace.add_argument("-n", type=int, default=4,
+                         help="newest span trees shown (default 4)")
+    p_trace.add_argument("--chrome", metavar="PATH",
+                         help="also write Chrome trace_event JSON to PATH")
+    p_trace.set_defaults(func=_cmd_trace, force_observe=True)
+
+    p_events = sub.add_parser(
+        "events", parents=[common],
+        help="§5j causal event journal (checkpoints, tuning, SLO, faults)",
+    )
+    p_events.add_argument("-n", type=int, default=20,
+                          help="newest events shown (default 20)")
+    p_events.add_argument("--kind", metavar="GLOB",
+                          help="filter by kind, fnmatch glob ok "
+                          "(e.g. migration.*)")
+    p_events.add_argument("--shard", type=int, default=None,
+                          help="filter by shard id")
+    p_events.set_defaults(func=_cmd_events, force_observe=True)
+
+    p_fleet = sub.add_parser(
+        "fleet", parents=[common],
+        help="§5j fleet rollup: cross-shard totals, skew, hot shard "
+        "(defaults to --shards 2 when unset)",
+    )
+    p_fleet.add_argument("-n", type=int, default=8,
+                         help="most-skewed metrics shown (default 8)")
+    p_fleet.set_defaults(func=_cmd_fleet, default_shards=2)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    shards = args.shards or getattr(args, "default_shards", 0)
+    adaptive = args.adaptive or getattr(args, "force_adaptive", False)
+    if shards and adaptive and not args.adaptive and args.command == "health":
+        adaptive = False  # health works sharded, just without the controller
+    if shards and adaptive:
+        print("error: --shards is incompatible with the adaptive "
+              "controller (health works sharded; tune is single-engine)",
+              file=sys.stderr)
+        return 2
     run = run_observed_workload(
         n_rows=args.rows,
         n_ops=args.ops,
@@ -367,7 +549,9 @@ def main(argv: list[str] | None = None) -> int:
         samples=args.samples,
         alpha=args.alpha,
         wal=not args.no_wal,
-        adaptive=args.adaptive or getattr(args, "force_adaptive", False),
+        adaptive=adaptive,
+        shards=shards,
+        observe=getattr(args, "force_observe", False),
     )
     args.func(run, args)
     return 0

@@ -192,11 +192,16 @@ class AdaptiveController:
         registry: MetricsRegistry | None = None,
         enabled: bool = True,
         audit_capacity: int = 64,
+        journal=None,
     ) -> None:
         if audit_capacity < 1:
             raise ObservabilityError("audit_capacity must be >= 1")
         self._sampler = sampler
-        self._checker = HealthChecker(sampler, tuple(rules))
+        #: Optional repro.obs.events.EventJournal — every applied
+        #: TuningAction also lands there as a ``tuning.action`` record,
+        #: ordered against faults, migrations, and SLO transitions.
+        self._journal = journal
+        self._checker = HealthChecker(sampler, tuple(rules), journal=journal)
         rule_names = {r.name for r in self._checker.rules}
         self._knobs: dict[str, Knob] = {}
         for knob in knobs:
@@ -255,6 +260,18 @@ class AdaptiveController:
     def enabled(self, value: bool) -> None:
         self._enabled = bool(value)
         self._m_enabled.set(1.0 if self._enabled else 0.0)
+
+    @property
+    def journal(self):
+        return self._journal
+
+    @journal.setter
+    def journal(self, value) -> None:
+        """Attach (or detach) an event journal after construction — the
+        late-binding twin of the constructor arg, used by
+        ``Database.enable_events`` when adaptive was armed first."""
+        self._journal = value
+        self._checker.journal = value
 
     @property
     def actions(self) -> list[TuningAction]:
@@ -358,6 +375,17 @@ class AdaptiveController:
             self._actions_total += 1
             self._audit.append(action)
             self._m_actions.inc()
+            if self._journal is not None:
+                from repro.obs.events import TUNING_ACTION
+
+                self._journal.emit(
+                    TUNING_ACTION,
+                    knob=knob.name,
+                    rule=rule.name,
+                    direction=binding.direction,
+                    before=before,
+                    after=action.after,
+                )
             actions.append(action)
         return actions
 

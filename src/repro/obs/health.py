@@ -11,9 +11,12 @@ average over; :class:`HealthChecker` evaluates every rule against a
 
 Rules that cannot be evaluated (the metric never resolved in the
 window — e.g. a WAL rule on a WAL-less database) report ``no-data``:
-visible on the dashboard, but not a breach.  The checker holds no
-state and writes nothing into the registry, so health evaluation can
-never perturb the telemetry it judges.
+visible on the dashboard, but not a breach.  The checker writes nothing
+into the registry, so health evaluation can never perturb the telemetry
+it judges.  With a §5j event journal attached the checker does keep one
+piece of state — each rule's last verdict — so it can journal the
+*transitions* (``slo.breach`` on ok→breach, ``slo.clear`` on
+breach→ok) instead of re-reporting a standing condition every sample.
 """
 
 from __future__ import annotations
@@ -162,19 +165,36 @@ DEFAULT_SLO_RULES: tuple[SloRule, ...] = (
 
 
 class HealthChecker:
-    """Evaluates a rule set against a sampler's retained points."""
+    """Evaluates a rule set against a sampler's retained points.
+
+    ``journal`` (optional, a :class:`~repro.obs.events.EventJournal`)
+    receives ``slo.breach`` / ``slo.clear`` events on verdict
+    *transitions* — a rule entering breach journals once, not once per
+    evaluation.  ``no-data`` verdicts never transition either way.
+    """
 
     def __init__(
         self,
         sampler: TelemetrySampler,
         rules: tuple[SloRule, ...] | list[SloRule] = DEFAULT_SLO_RULES,
+        journal=None,
     ) -> None:
         self._sampler = sampler
         self._rules = tuple(rules)
+        self._journal = journal
+        self._last_status: dict[str, str] = {}
 
     @property
     def rules(self) -> tuple[SloRule, ...]:
         return self._rules
+
+    @property
+    def journal(self):
+        return self._journal
+
+    @journal.setter
+    def journal(self, value) -> None:
+        self._journal = value
 
     def evaluate(self) -> HealthReport:
         points = self._sampler.points
@@ -190,12 +210,33 @@ class HealthChecker:
                 continue
             observed = sum(values) / len(values)
             ok = _OPS[rule.op](observed, rule.threshold)
-            results.append(
-                RuleResult(
-                    rule,
-                    "ok" if ok else "breach",
-                    observed=observed,
-                    samples=len(values),
-                )
+            result = RuleResult(
+                rule,
+                "ok" if ok else "breach",
+                observed=observed,
+                samples=len(values),
             )
+            results.append(result)
+            if self._journal is not None:
+                self._note_transition(result)
         return HealthReport(tuple(results))
+
+    def _note_transition(self, result: RuleResult) -> None:
+        from repro.obs.events import SLO_BREACH, SLO_CLEAR
+
+        previous = self._last_status.get(result.rule.name)
+        self._last_status[result.rule.name] = result.status
+        if result.status == "breach" and previous != "breach":
+            self._journal.emit(
+                SLO_BREACH,
+                rule=result.rule.name,
+                selector=result.rule.selector,
+                observed=result.observed,
+                threshold=result.rule.threshold,
+            )
+        elif result.status == "ok" and previous == "breach":
+            self._journal.emit(
+                SLO_CLEAR,
+                rule=result.rule.name,
+                observed=result.observed,
+            )

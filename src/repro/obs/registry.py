@@ -188,6 +188,24 @@ class Histogram:
             return percentile_from_buckets(self._buckets, q)
         return percentile_from_buckets(self._buckets, q, cap=self._max)
 
+    def merge_from(self, other: "Histogram") -> None:
+        """Fold ``other``'s distribution into this one.  Log2 buckets make
+        cross-shard merges exact at bucket granularity — the fleet rollup
+        (§5j) merges every ``shard.<i>`` histogram this way."""
+        if not other._count:
+            return
+        buckets = other._buckets
+        mine = self._buckets
+        for i in range(HISTOGRAM_BUCKETS):
+            if buckets[i]:
+                mine[i] += buckets[i]
+        self._count += other._count
+        self._sum += other._sum
+        if other._min < self._min:
+            self._min = other._min
+        if other._max > self._max:
+            self._max = other._max
+
 
 _Instrument = Counter | Gauge | Histogram
 

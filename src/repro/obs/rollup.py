@@ -1,0 +1,283 @@
+"""Fleet-wide rollups over per-shard metric registries.
+
+PR 9 left ``shard.<i>.*`` as N raw namespaced dumps: to know the fleet's
+buffer-pool hit rate an operator had to sum counters by hand, and no
+SLO rule could see cross-shard skew at all.  :class:`FleetRollup`
+closes that gap with two pieces:
+
+* :class:`FleetRegistryView` — a read-only *merged view* presenting the
+  facade registry's instruments plus every shard registry's under a
+  ``shard.<i>.`` prefix, duck-typed to the slice of the
+  ``MetricsRegistry`` surface the sampler and report consume
+  (``items``/``names``/``get``/``snapshot``).  Pointing one
+  :class:`~repro.obs.sampler.TelemetrySampler` at the view makes
+  wildcard selectors (``rate:shard.*.bufferpool.hit``) meaningful.
+
+* :meth:`FleetRollup.refresh` — materializes fleet-level aggregates as
+  real ``fleet.*`` instruments in the facade registry: counters summed
+  (delta-incremented, so they stay monotonic and sampler-diffable),
+  gauges summed, log2 histograms *merged bucket-wise* (exact at bucket
+  granularity), plus per-metric min/max/mean across shards and the
+  headline skew gauge ``fleet.imbalance.heat`` = hottest shard's page
+  traffic over the mean — hot-shard imbalance as a first-class signal
+  with its own SLO rule (:data:`FLEET_SLO_RULES`).
+
+``format_report`` groups rows by first name segment, so the
+materialized family shows up as its own ``fleet`` section for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator
+
+from repro.obs.health import SloRule
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+#: Counter names whose per-shard sum defines a shard's "heat" (page
+#: traffic: every hit or miss is one logical page touch).
+DEFAULT_HEAT_METRICS = ("bufferpool.hit", "bufferpool.miss")
+
+
+@dataclass(frozen=True)
+class FleetStat:
+    """Cross-shard summary of one metric (counters/gauges only)."""
+
+    name: str
+    total: float
+    per_shard: tuple[float, ...]
+
+    @property
+    def min(self) -> float:
+        return min(self.per_shard)
+
+    @property
+    def max(self) -> float:
+        return max(self.per_shard)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self.per_shard) if self.per_shard else 0.0
+
+    @property
+    def imbalance(self) -> float:
+        """max / mean — 1.0 is perfectly balanced, higher is skewed
+        (0.0 when the metric is everywhere zero)."""
+        mean = self.mean
+        return self.max / mean if mean > 0 else 0.0
+
+
+class FleetRegistryView:
+    """Read-only merged registry view: facade instruments as-is, shard
+    ``i``'s instruments as ``shard.<i>.<name>``.
+
+    Only the read surface is provided — the view is a lens, not a home;
+    instruments are created in their owning registries.
+    """
+
+    def __init__(
+        self,
+        parent: MetricsRegistry,
+        shard_registries: list[MetricsRegistry],
+    ) -> None:
+        self._parent = parent
+        self._shards = list(shard_registries)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    def items(self) -> Iterator[tuple[str, object]]:
+        for name, instrument in self._parent.items():
+            yield name, instrument
+        for i, reg in enumerate(self._shards):
+            prefix = f"shard.{i}."
+            for name, instrument in reg.items():
+                yield prefix + name, instrument
+
+    def names(self) -> list[str]:
+        return [name for name, _ in self.items()]
+
+    def get(self, name: str):
+        if name.startswith("shard."):
+            rest = name[len("shard."):]
+            head, _, leaf = rest.partition(".")
+            if head.isdigit() and leaf:
+                i = int(head)
+                if 0 <= i < len(self._shards):
+                    found = self._shards[i].get(leaf)
+                    if found is not None:
+                        return found
+        return self._parent.get(name)
+
+    def snapshot(self) -> dict:
+        root = self._parent.snapshot()
+        shard_node = root.setdefault("shard", {})
+        for i, reg in enumerate(self._shards):
+            shard_node[str(i)] = reg.snapshot()
+        return root
+
+
+class FleetRollup:
+    """Aggregates shard registries into ``fleet.*`` facade instruments.
+
+    ``source`` is anything with ``n_shards``, ``shard_registry(i)``, and
+    ``metrics`` (a :class:`~repro.shard.database.ShardedDatabase`), or
+    pass ``registries=[...]`` + ``target=`` explicitly.
+    """
+
+    def __init__(
+        self,
+        source=None,
+        registries: list[MetricsRegistry] | None = None,
+        target: MetricsRegistry | None = None,
+        heat_metrics: tuple[str, ...] = DEFAULT_HEAT_METRICS,
+    ) -> None:
+        if source is not None:
+            registries = [
+                source.shard_registry(i) for i in range(source.n_shards)
+            ]
+            target = source.metrics if target is None else target
+        if registries is None or target is None:
+            raise ValueError("FleetRollup needs a source or registries+target")
+        self._registries = registries
+        self._target = target
+        self._heat_metrics = heat_metrics
+        self._stats: dict[str, FleetStat] = {}
+        self._refreshes = target.counter("fleet.refreshes")
+        self._shards_gauge = target.gauge("fleet.shards")
+        self._imbalance = target.gauge("fleet.imbalance.heat")
+        self._hot_shard = target.gauge("fleet.imbalance.hot_shard")
+        self._shards_gauge.set(len(registries))
+
+    @property
+    def stats(self) -> dict[str, FleetStat]:
+        """Per-metric cross-shard stats from the last :meth:`refresh`."""
+        return self._stats
+
+    def view(self, parent: MetricsRegistry | None = None) -> FleetRegistryView:
+        return FleetRegistryView(
+            parent if parent is not None else self._target, self._registries
+        )
+
+    def refresh(self) -> dict[str, FleetStat]:
+        """Re-materialize every ``fleet.<name>`` aggregate.
+
+        Counters are brought up to the cross-shard sum by *delta*
+        increments (monotonic: per-shard counters only grow between
+        refreshes, and shard resets route through the facade's
+        ``reset_counters`` which resets the fleet family too).  Gauges
+        are set to the sum; histograms are reset and bucket-merged.
+        """
+        merged: dict[str, list] = {}
+        for reg in self._registries:
+            for name, instrument in reg.items():
+                merged.setdefault(name, []).append(instrument)
+        stats: dict[str, FleetStat] = {}
+        for name, instruments in merged.items():
+            kinds = {type(i) for i in instruments}
+            if len(kinds) != 1:  # pragma: no cover - shards are uniform
+                continue
+            first = instruments[0]
+            fleet_name = f"fleet.{name}"
+            if isinstance(first, Counter):
+                values = [i.value for i in instruments]
+                total = sum(values)
+                fleet = self._target.counter(fleet_name)
+                if total > fleet.value:
+                    fleet.inc(total - fleet.value)
+                stats[name] = FleetStat(name, total, tuple(values))
+            elif isinstance(first, Gauge):
+                values = [i.value for i in instruments]
+                total = sum(values)
+                self._target.gauge(fleet_name).set(total)
+                stats[name] = FleetStat(name, total, tuple(values))
+            elif isinstance(first, Histogram):
+                fleet = self._target.histogram(fleet_name)
+                fleet.reset()
+                for hist in instruments:
+                    fleet.merge_from(hist)
+        self._stats = stats
+        heat = [
+            sum(
+                reg.get(m).value if reg.get(m) is not None else 0
+                for m in self._heat_metrics
+            )
+            for reg in self._registries
+        ]
+        mean = sum(heat) / len(heat) if heat else 0.0
+        self._imbalance.set(max(heat) / mean if mean > 0 else 0.0)
+        self._hot_shard.set(heat.index(max(heat)) if heat else 0)
+        self._shards_gauge.set(len(self._registries))
+        self._refreshes.inc()
+        return stats
+
+    def top_skewed(self, n: int = 5) -> list[FleetStat]:
+        """The ``n`` most imbalanced nonzero metrics from the last refresh."""
+        ranked = sorted(
+            (s for s in self._stats.values() if s.total > 0),
+            key=lambda s: (-s.imbalance, s.name),
+        )
+        return ranked[:n]
+
+    def format(self, n: int = 8) -> str:
+        """Human summary: headline skew + the most skewed metrics."""
+        lines = [
+            f"fleet: {len(self._registries)} shards, "
+            f"heat imbalance {self._imbalance.value:.2f}x "
+            f"(hot shard {int(self._hot_shard.value)})"
+        ]
+        for stat in self.top_skewed(n):
+            lines.append(
+                f"  {stat.name:<40s} total={stat.total:<12g} "
+                f"min={stat.min:<10g} max={stat.max:<10g} "
+                f"skew={stat.imbalance:.2f}x"
+            )
+        return "\n".join(lines)
+
+
+_SELECTOR_KINDS = ("rate", "gauge", "derived", "p50", "p95", "p99")
+
+
+def fleet_selector(selector: str) -> str:
+    """Rewrite a single-engine selector to its fleet aggregate:
+    ``derived.bufferpool.hit_rate`` → ``derived.fleet.bufferpool.hit_rate``
+    (ratio selectors rewrite both sides)."""
+    if selector.startswith("ratio:"):
+        num, den = selector[len("ratio:"):].split("/", 1)
+        return f"ratio:{fleet_selector(num)}/{fleet_selector(den)}"
+    for kind in _SELECTOR_KINDS:
+        for sep in (".", ":"):
+            head = kind + sep
+            if selector.startswith(head):
+                return f"{head}fleet.{selector[len(head):]}"
+    return selector
+
+
+def fleet_rules(rules) -> tuple[SloRule, ...]:
+    """Per-engine SLO rules re-targeted at the materialized ``fleet.*``
+    aggregates (requires a :class:`FleetRollup` refreshing between
+    samples so the fleet instruments carry the window's traffic)."""
+    return tuple(
+        replace(rule, selector=fleet_selector(rule.selector))
+        for rule in rules
+    )
+
+
+#: Fleet-level SLO rules: evaluate against a sampler whose registry is
+#: the facade's (where ``fleet.*`` is materialized) or a
+#: :class:`FleetRegistryView`.
+FLEET_SLO_RULES = (
+    SloRule(
+        name="fleet_heat_balance",
+        selector="gauge.fleet.imbalance.heat",
+        op="<=",
+        threshold=2.5,
+        description="hottest shard carries <= 2.5x the mean page traffic",
+    ),
+)

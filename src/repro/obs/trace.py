@@ -1,0 +1,397 @@
+"""Distributed trace-context propagation for the sharded engine.
+
+The §5e :class:`~repro.obs.tracer.Tracer` answers "how long do
+operations of kind X take" — it folds every span into a log2 histogram
+and forgets the tree.  This module answers the question sharding (§5i)
+made urgent: *what did this one logical operation actually do, on which
+shards, in what order?*
+
+A :class:`TraceCollector` mints a :class:`TraceContext` (trace id +
+baggage: txn id, query fingerprint, shard hops) at the ``Database`` /
+``ShardedDatabase`` facade and threads it — by plain lexical nesting,
+the engine is single-threaded by construction — through scatter-gather
+fan-out, per-shard executors, session commit/abort, WAL group-commit
+flushes, and recovery.  Each logical op becomes one :class:`Trace`: a
+tree of :class:`TraceSpan` nodes where fan-out spans carry the shard id
+and registry-delta attributes (rows, pages, WAL bytes, cache/fragment
+hits).  Finished traces land in a bounded ring and export as plain JSON
+or as Chrome ``trace_event`` format (load the file in ``about:tracing``
+/ Perfetto: one "process" per shard, the facade as process 0).
+
+Clock discipline matches the rest of ``repro.obs``: spans *read*
+simulated clocks and registries, never advance them, so arming tracing
+cannot perturb a deterministic workload.  The off path is the usual
+contract — until a collector is attached, every hook site pays a single
+``is None`` test.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.obs.registry import MetricsRegistry, resolve_registry
+
+#: Default capacity of the finished-trace ring buffer.
+DEFAULT_TRACE_RING = 64
+
+Clock = Callable[[], float]
+
+
+def _zero_clock() -> float:
+    return 0.0
+
+
+def _resolve_clock(clock: Clock | object | None) -> Clock:
+    """Same duck-typing as :class:`~repro.obs.tracer.Tracer`: a callable,
+    an object with ``now_ns`` (a CostModel), or None for a zero clock."""
+    if clock is None:
+        return _zero_clock
+    if callable(clock):
+        return clock  # type: ignore[return-value]
+    return lambda: clock.now_ns  # type: ignore[attr-defined]
+
+
+@dataclass
+class TraceContext:
+    """Identity and baggage of one logical operation.
+
+    ``baggage`` carries the correlation keys the metrics families can't:
+    the owning txn id, the §5e query fingerprint, and the ordered list of
+    shard hops the router made while executing under this context.
+    """
+
+    trace_id: int
+    baggage: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def hops(self) -> list[int]:
+        return self.baggage.setdefault("hops", [])  # type: ignore[return-value]
+
+    def record_hop(self, shard: int) -> None:
+        self.hops.append(shard)
+
+    def as_dict(self) -> dict[str, object]:
+        return {"trace_id": self.trace_id, "baggage": dict(self.baggage)}
+
+
+class TraceSpan:
+    """One node of a span tree.  ``shard`` is None for facade-side work."""
+
+    __slots__ = (
+        "span_id", "parent_id", "name", "shard",
+        "start_ns", "end_ns", "attrs", "error", "children",
+    )
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: int | None,
+        name: str,
+        shard: int | None,
+        start_ns: float,
+        attrs: dict[str, object],
+    ) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.shard = shard
+        self.start_ns = start_ns
+        self.end_ns = start_ns
+        self.attrs = attrs
+        self.error = False
+        self.children: list[TraceSpan] = []
+
+    @property
+    def elapsed_ns(self) -> float:
+        return self.end_ns - self.start_ns
+
+    def as_dict(self) -> dict[str, object]:
+        out: dict[str, object] = {
+            "span_id": self.span_id,
+            "name": self.name,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+        }
+        if self.shard is not None:
+            out["shard"] = self.shard
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.error:
+            out["error"] = True
+        if self.children:
+            out["children"] = [c.as_dict() for c in self.children]
+        return out
+
+
+class Trace:
+    """One finished (or in-flight) span tree plus its context."""
+
+    __slots__ = ("context", "root", "spans")
+
+    def __init__(self, context: TraceContext, root: TraceSpan) -> None:
+        self.context = context
+        self.root = root
+        #: Flat list in start order — the root first.
+        self.spans: list[TraceSpan] = [root]
+
+    @property
+    def trace_id(self) -> int:
+        return self.context.trace_id
+
+    @property
+    def name(self) -> str:
+        return self.root.name
+
+    def shards_touched(self) -> list[int]:
+        """Sorted distinct shard ids any span in the tree ran on."""
+        return sorted({s.shard for s in self.spans if s.shard is not None})
+
+    def find(self, name: str) -> list[TraceSpan]:
+        return [s for s in self.spans if s.name == name]
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "trace_id": self.context.trace_id,
+            "name": self.root.name,
+            "baggage": dict(self.context.baggage),
+            "shards": self.shards_touched(),
+            "elapsed_ns": self.root.elapsed_ns,
+            "root": self.root.as_dict(),
+        }
+
+    def format(self, indent: str = "  ") -> str:
+        """A human span tree, one line per span."""
+        lines = [
+            f"trace {self.context.trace_id} {self.root.name} "
+            f"shards={self.shards_touched()} "
+            f"baggage={dict(self.context.baggage)}"
+        ]
+
+        def walk(span: TraceSpan, depth: int) -> None:
+            where = "facade" if span.shard is None else f"shard {span.shard}"
+            attrs = "".join(
+                f" {k}={v}" for k, v in sorted(span.attrs.items())
+            )
+            lines.append(
+                f"{indent * depth}{span.name} [{where}] "
+                f"{span.elapsed_ns:.0f}ns{attrs}"
+            )
+            for child in span.children:
+                walk(child, depth + 1)
+
+        walk(self.root, 1)
+        return "\n".join(lines)
+
+
+class TraceCollector:
+    """Mints, nests, and retains traces.  Single-threaded by design.
+
+    ``trace(name, **baggage)`` opens a *root* span and installs its
+    context; nested ``trace``/``span`` calls attach children.  ``span``
+    outside any active trace mints a fresh root (``auto_root=True``, the
+    single-engine facade behaviour) or no-ops.
+
+    Metrics (in ``registry``): ``trace.started`` / ``trace.finished`` /
+    ``trace.spans`` / ``trace.errors`` counters and a ``trace.fanout``
+    histogram of distinct shards per finished trace.
+    """
+
+    def __init__(
+        self,
+        clock: Clock | object | None = None,
+        registry: MetricsRegistry | None = None,
+        capacity: int = DEFAULT_TRACE_RING,
+        auto_root: bool = True,
+        shard_clocks: dict[int, Clock | object] | None = None,
+    ) -> None:
+        self._clock = _resolve_clock(clock)
+        #: Per-shard clocks: a span tagged ``shard=i`` is timed on shard
+        #: ``i``'s own simulated clock (machines have local time; the
+        #: Chrome export scopes each shard to its own pid/timeline).
+        #: Spans with ``shard=None`` use the facade clock.
+        self._shard_clocks: dict[int, Clock] = {
+            i: _resolve_clock(c) for i, c in (shard_clocks or {}).items()
+        }
+        self._registry = resolve_registry(registry)
+        self._ring: deque[Trace] = deque(maxlen=capacity)
+        self._active: Trace | None = None
+        self._stack: list[TraceSpan] = []
+        self._next_trace_id = 1
+        self._next_span_id = 1
+        self._auto_root = auto_root
+        self._started = self._registry.counter("trace.started")
+        self._finished = self._registry.counter("trace.finished")
+        self._span_count = self._registry.counter("trace.spans")
+        self._errors = self._registry.counter("trace.errors")
+        self._fanout = self._registry.histogram("trace.fanout")
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def active(self) -> Trace | None:
+        """The in-flight trace, if a root span is open."""
+        return self._active
+
+    @property
+    def current_span(self) -> TraceSpan | None:
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def context(self) -> TraceContext | None:
+        return self._active.context if self._active is not None else None
+
+    def traces(self, n: int | None = None) -> list[Trace]:
+        """The last ``n`` finished traces, oldest first (all if None)."""
+        out = list(self._ring)
+        return out if n is None else out[-n:]
+
+    def last(self) -> Trace | None:
+        return self._ring[-1] if self._ring else None
+
+    def clear(self) -> None:
+        self._ring.clear()
+
+    def _clock_for(self, shard: int | None) -> Clock:
+        if shard is None:
+            return self._clock
+        return self._shard_clocks.get(shard, self._clock)
+
+    # -- recording -----------------------------------------------------------
+
+    @contextmanager
+    def trace(
+        self, name: str, shard: int | None = None, **baggage: object
+    ) -> Iterator[Trace]:
+        """Open a root span (or, nested under an active trace, a child
+        span whose baggage merges into the active context)."""
+        if self._active is not None:
+            self._active.context.baggage.update(baggage)
+            with self.span(name, shard=shard):
+                yield self._active
+            return
+        context = TraceContext(self._next_trace_id, dict(baggage))
+        self._next_trace_id += 1
+        clock = self._clock_for(shard)
+        root = TraceSpan(
+            self._next_span_id, None, name, shard, clock(), {}
+        )
+        self._next_span_id += 1
+        trace = Trace(context, root)
+        self._active = trace
+        self._stack.append(root)
+        self._started.inc()
+        self._span_count.inc()
+        try:
+            yield trace
+        except BaseException:
+            root.error = True
+            self._errors.inc()
+            raise
+        finally:
+            self._stack.pop()
+            root.end_ns = clock()
+            self._active = None
+            self._ring.append(trace)
+            self._finished.inc()
+            self._fanout.record(len(trace.shards_touched()))
+
+    @contextmanager
+    def span(
+        self, name: str, shard: int | None = None, **attrs: object
+    ) -> Iterator[TraceSpan | None]:
+        """A child span of the active trace.  Outside any trace this
+        mints a one-span root (``auto_root``) or yields None."""
+        if self._active is None:
+            if self._auto_root:
+                with self.trace(name, shard=shard) as trace:
+                    trace.root.attrs.update(attrs)
+                    yield trace.root
+                return
+            yield None
+            return
+        parent = self._stack[-1]
+        clock = self._clock_for(shard)
+        span = TraceSpan(
+            self._next_span_id, parent.span_id, name, shard,
+            clock(), dict(attrs),
+        )
+        self._next_span_id += 1
+        parent.children.append(span)
+        self._active.spans.append(span)
+        self._stack.append(span)
+        self._span_count.inc()
+        try:
+            yield span
+        except BaseException:
+            span.error = True
+            self._errors.inc()
+            raise
+        finally:
+            self._stack.pop()
+            span.end_ns = clock()
+
+    def annotate(self, **attrs: object) -> None:
+        """Merge attributes into the innermost open span (no-op outside)."""
+        if self._stack:
+            self._stack[-1].attrs.update(attrs)
+
+    def set_baggage(self, **baggage: object) -> None:
+        """Merge baggage into the active context (no-op outside)."""
+        if self._active is not None:
+            self._active.context.baggage.update(baggage)
+
+    def record_hop(self, shard: int) -> None:
+        """Append a router hop to the active context's baggage."""
+        if self._active is not None:
+            self._active.context.record_hop(shard)
+
+    # -- export --------------------------------------------------------------
+
+    def as_dicts(self, n: int | None = None) -> list[dict[str, object]]:
+        return [t.as_dict() for t in self.traces(n)]
+
+    def to_chrome(self, n: int | None = None) -> dict[str, object]:
+        """Chrome ``trace_event`` JSON object format: ``ph="X"`` complete
+        events, one pid per shard (facade = pid 0), ts/dur in µs."""
+        events: list[dict[str, object]] = []
+        pids: set[int] = set()
+        for trace in self.traces(n):
+            for span in trace.spans:
+                pid = 0 if span.shard is None else span.shard + 1
+                pids.add(pid)
+                events.append(
+                    {
+                        "name": span.name,
+                        "cat": "repro",
+                        "ph": "X",
+                        "pid": pid,
+                        "tid": trace.trace_id,
+                        "ts": span.start_ns / 1000.0,
+                        "dur": span.elapsed_ns / 1000.0,
+                        "args": {
+                            "trace_id": trace.trace_id,
+                            "span_id": span.span_id,
+                            **span.attrs,
+                        },
+                    }
+                )
+        meta = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "args": {
+                    "name": "facade" if pid == 0 else f"shard {pid - 1}"
+                },
+            }
+            for pid in sorted(pids)
+        ]
+        return {"traceEvents": meta + events, "displayTimeUnit": "ns"}
+
+
+#: Shared helper: hook sites hold ``collector_or_none`` and do
+#: ``if trace is not None: ...`` — no null-object is provided on purpose,
+#: the is-None test *is* the off path.

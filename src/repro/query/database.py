@@ -153,6 +153,10 @@ class Database:
         self._adaptive = None
         self._txn_manager = None
         self._columnar = None
+        self._trace = None
+        self._trace_shard: int | None = None
+        self._journal = None
+        self._journal_shard: int | None = None
         #: Database-wide cache-fill admission fraction, pushed into every
         #: cached index (existing and future) by :meth:`set_cache_admission`.
         self._cache_admission = 1.0
@@ -218,6 +222,16 @@ class Database:
     def adaptive(self) -> "AdaptiveController | None":
         """The adaptive controller, once :meth:`enable_adaptive` has run."""
         return self._adaptive
+
+    @property
+    def trace(self) -> "TraceCollector | None":
+        """The §5j trace collector, once :meth:`enable_tracing` has run."""
+        return self._trace
+
+    @property
+    def journal(self) -> "EventJournal | None":
+        """The §5j event journal, once :meth:`enable_events` has run."""
+        return self._journal
 
     @property
     def pool_partition(self) -> float:
@@ -430,6 +444,91 @@ class Database:
             self.table(entry_name).ticker = self._adaptive
         return self._adaptive
 
+    def enable_tracing(self, capacity: int | None = None) -> "TraceCollector":
+        """Attach a §5j :class:`~repro.obs.trace.TraceCollector`.
+
+        Every table — existing and future — opens one trace per logical
+        operation (auto-rooted at this facade); the WAL's group-commit
+        flushes and session commit/abort nest inside whatever trace is
+        active.  Finished traces land in a bounded ring, exportable as
+        JSON or Chrome ``trace_event`` format.  Idempotent; strictly
+        opt-in — until this runs, the per-operation cost is a single
+        ``is None`` test per hook.
+        """
+        if self._trace is None:
+            from repro.obs.trace import DEFAULT_TRACE_RING, TraceCollector
+
+            self._trace = TraceCollector(
+                clock=self._cost,
+                registry=self._metrics,
+                capacity=capacity or DEFAULT_TRACE_RING,
+            )
+            if self._wal is not None:
+                self._wal.trace = self._trace
+            if self._journal is not None:
+                self._journal.trace_source = self._trace
+        for entry_name in self._catalog.table_names:
+            self.table(entry_name).trace = self._trace
+        return self._trace
+
+    def enable_events(self, capacity: int | None = None) -> "EventJournal":
+        """Attach a §5j :class:`~repro.obs.events.EventJournal`.
+
+        Checkpoints, fault heal transitions, recovery phases, tuning
+        actions, and SLO breach/clear transitions journal themselves as
+        causally-ordered typed events; with tracing also enabled each
+        event carries the active trace id.  Idempotent; strictly opt-in
+        (one ``is None`` test per emit site until this runs).
+        """
+        if self._journal is None:
+            from repro.obs.events import (
+                DEFAULT_JOURNAL_CAPACITY,
+                EventJournal,
+            )
+
+            self._journal = EventJournal(
+                clock=self._cost,
+                registry=self._metrics,
+                capacity=capacity or DEFAULT_JOURNAL_CAPACITY,
+                trace_source=self._trace,
+            )
+        if self._wal is not None:
+            self._wal.journal = self._journal
+        if self._recovery is not None:
+            self._recovery.journal = self._journal
+        if self._adaptive is not None:
+            self._adaptive.journal = self._journal
+        return self._journal
+
+    def attach_tracing(self, collector, shard: int | None = None) -> None:
+        """Adopt an externally owned trace collector (the sharded
+        facade's), tagging this engine's spans with ``shard``."""
+        self._trace = collector
+        self._trace_shard = shard
+        if self._wal is not None:
+            self._wal.trace = collector
+            self._wal.journal_shard = shard
+        if self._journal is not None:
+            self._journal.trace_source = collector
+        for entry_name in self._catalog.table_names:
+            table = self.table(entry_name)
+            table.trace = collector
+            table.trace_shard = shard
+
+    def attach_events(self, journal, shard: int | None = None) -> None:
+        """Adopt an externally owned event journal (the sharded
+        facade's), tagging this engine's events with ``shard``."""
+        self._journal = journal
+        self._journal_shard = shard
+        if self._wal is not None:
+            self._wal.journal = journal
+            self._wal.journal_shard = shard
+        if self._recovery is not None:
+            self._recovery.journal = journal
+            self._recovery.journal_shard = shard
+        if self._adaptive is not None:
+            self._adaptive.journal = journal
+
     def checkpoint(self) -> int:
         """Append a fuzzy checkpoint record (see
         :meth:`repro.wal.log.WalWriter.checkpoint`); returns its LSN."""
@@ -448,6 +547,9 @@ class Database:
             from repro.faults.recovery import RecoveryManager
 
             self._recovery = RecoveryManager(self, registry=self._metrics)
+            if self._journal is not None:
+                self._recovery.journal = self._journal
+                self._recovery.journal_shard = self._journal_shard
         return self._recovery
 
     def check(self) -> "CheckReport":
@@ -501,6 +603,9 @@ class Database:
             table.ticker = self._adaptive
         if self._columnar is not None:
             self._columnar.attach(table)
+        if self._trace is not None:
+            table.trace = self._trace
+            table.trace_shard = self._trace_shard
         if self._wal is not None:
             self._wal.log_create_table(table_meta(name, schema, heap))
         return table
@@ -608,6 +713,9 @@ class Database:
             table.ticker = self._adaptive
         if self._columnar is not None:
             self._columnar.attach(table)
+        if self._trace is not None:
+            table.trace = self._trace
+            table.trace_shard = self._trace_shard
         return table
 
     def restore_index(

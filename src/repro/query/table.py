@@ -210,6 +210,14 @@ class Table:
         #: delete — exactly the index fan-out contract.  When None, the
         #: hot path pays one attribute test.
         self._columnar = None
+        #: Optional repro.obs.trace.TraceCollector (duck-typed).  When
+        #: set, every operation opens a §5j trace span (a fresh root at
+        #: the facade, a child when nested inside a scatter-gather
+        #: trace); ``trace_shard`` tags the span with the engine's shard
+        #: id under a sharded facade.  When None, the hot path pays one
+        #: attribute test.
+        self._trace = None
+        self._trace_shard: int | None = None
 
     # -- properties ----------------------------------------------------------
 
@@ -300,6 +308,30 @@ class Table:
     def columnar(self, value) -> None:
         self._columnar = value
 
+    @property
+    def trace(self):
+        return self._trace
+
+    @trace.setter
+    def trace(self, value) -> None:
+        self._trace = value
+
+    @property
+    def trace_shard(self) -> int | None:
+        return self._trace_shard
+
+    @trace_shard.setter
+    def trace_shard(self, value: int | None) -> None:
+        self._trace_shard = value
+
+    def _trace_op(self, op: str, **attrs):
+        """The §5j trace bracket for one operation, or the shared no-op."""
+        if self._trace is None:
+            return _UNPROFILED
+        return self._trace.span(
+            op, shard=self._trace_shard, table=self._name, **attrs
+        )
+
     def _profile(
         self,
         op: str,
@@ -335,9 +367,9 @@ class Table:
         """
         if self._ticker is not None:
             self._ticker.tick()
-        with self._profile("insert"), self._tracer.span(
-            "query.insert", table=self._name
-        ):
+        with self._trace_op("query.insert"), self._profile(
+            "insert"
+        ), self._tracer.span("query.insert", table=self._name):
             record = pack_record_map(self._schema, row)
             rid = self._wal_insert(record, txn_id=txn_id)
             inserted: list[AnyIndex] = []
@@ -376,7 +408,7 @@ class Table:
                 raise QueryError(
                     f"cannot update index key columns {sorted(bad)}"
                 )
-        with self._profile(
+        with self._trace_op("query.update"), self._profile(
             "update", index_name=index_name, index=self.index(index_name)
         ), self._tracer.span("query.update", table=self._name):
             rid = self._find_rid(index_name, key_value)
@@ -408,7 +440,7 @@ class Table:
         """
         if self._ticker is not None:
             self._ticker.tick()
-        with self._profile(
+        with self._trace_op("query.delete"), self._profile(
             "delete", index_name=index_name, index=self.index(index_name)
         ), self._tracer.span("query.delete", table=self._name):
             rid = self._find_rid(index_name, key_value)
@@ -448,7 +480,7 @@ class Table:
         if self._ticker is not None:
             self._ticker.tick()
         index = self.index(index_name)
-        with self._profile(
+        with self._trace_op("query.lookup"), self._profile(
             "lookup", index_name=index_name, index=index, project=project
         ), self._tracer.span(
             "query.lookup", table=self._name, index=index_name
@@ -472,7 +504,9 @@ class Table:
         if self._ticker is not None:
             self._ticker.tick()
         index = self.index(index_name)
-        with self._profile(
+        with self._trace_op(
+            "query.lookup_many", batch=len(key_values)
+        ), self._profile(
             "lookup_many",
             index_name=index_name,
             index=index,
@@ -516,7 +550,12 @@ class Table:
             # falls through to the row path without a second bracket.
             kernel = self._columnar.plan_scan(predicate)
             if kernel is not None:
-                with self._profile("scan", project=project):
+                # The columnar path materializes inside the bracket, so
+                # it can be trace-spanned; the lazy row path cannot (a
+                # span over a half-drained iterator would dangle) — its
+                # spans come from the scatter-gather facade instead.
+                with self._trace_op("query.scan", columnar=True), \
+                        self._profile("scan", project=project):
                     return iter(self._columnar.scan(kernel, predicate, project))
         if self._profiler is None:
             return self._scan_rows(predicate, project)
@@ -552,11 +591,15 @@ class Table:
         if use_columnar and self._columnar is not None:
             kernel = self._columnar.plan_scan(predicate)
             if kernel is not None:
-                with self._profile("aggregate", project=labels):
+                with self._trace_op(
+                    "query.aggregate", columnar=True
+                ), self._profile("aggregate", project=labels):
                     return self._columnar.aggregate(
                         kernel, predicate, normalized
                     )
-        with self._profile("aggregate", project=labels):
+        with self._trace_op("query.aggregate"), self._profile(
+            "aggregate", project=labels
+        ):
             return aggregate_rows(
                 self._scan_rows(predicate, self._schema.names), normalized
             )

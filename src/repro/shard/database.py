@@ -133,13 +133,14 @@ class ShardedTable:
         router = self._sdb.router
         shard = router.shard_of(key)
         router.record_access(key)
+        self._sdb._note_hop(shard)
         return shard
 
     # -- writes --------------------------------------------------------------
 
     def insert(self, row: dict[str, object]):
         shard = self._route(self.key_of_row(row))
-        with self._sdb._charge([shard]):
+        with self._sdb._charge([shard], op="insert", table=self._name):
             return self._sdb._call(shard, self.shard_table(shard).insert, row)
 
     def update(
@@ -147,14 +148,16 @@ class ShardedTable:
     ) -> bool:
         if index_name == self.routing_index:
             shard = self._route(key_value)
-            with self._sdb._charge([shard]):
+            with self._sdb._charge([shard], op="update", table=self._name):
                 return self._sdb._call(
                     shard, self.shard_table(shard).update,
                     index_name, key_value, changes,
                 )
         # Non-routing (still unique) index: the owner is unknown, probe
         # shards in order until one applies the update.
-        with self._sdb._charge(list(range(self._sdb.n_shards))):
+        with self._sdb._charge(
+            list(range(self._sdb.n_shards)), op="update", table=self._name
+        ):
             for i in range(self._sdb.n_shards):
                 applied = self._sdb._call(
                     i, self.shard_table(i).update, index_name, key_value,
@@ -167,12 +170,14 @@ class ShardedTable:
     def delete(self, index_name: str, key_value: object) -> bool:
         if index_name == self.routing_index:
             shard = self._route(key_value)
-            with self._sdb._charge([shard]):
+            with self._sdb._charge([shard], op="delete", table=self._name):
                 return self._sdb._call(
                     shard, self.shard_table(shard).delete, index_name,
                     key_value,
                 )
-        with self._sdb._charge(list(range(self._sdb.n_shards))):
+        with self._sdb._charge(
+            list(range(self._sdb.n_shards)), op="delete", table=self._name
+        ):
             for i in range(self._sdb.n_shards):
                 applied = self._sdb._call(
                     i, self.shard_table(i).delete, index_name, key_value
@@ -191,13 +196,15 @@ class ShardedTable:
     ):
         if index_name == self.routing_index:
             shard = self._route(key_value)
-            with self._sdb._charge([shard]):
+            with self._sdb._charge([shard], op="lookup", table=self._name):
                 return self._sdb._call(
                     shard, self.shard_table(shard).lookup,
                     index_name, key_value, project,
                 )
         # Broadcast: a unique non-routing index has at most one owner.
-        with self._sdb._charge(list(range(self._sdb.n_shards))):
+        with self._sdb._charge(
+            list(range(self._sdb.n_shards)), op="lookup", table=self._name
+        ):
             miss = None
             for i in range(self._sdb.n_shards):
                 result = self._sdb._call(
@@ -228,7 +235,10 @@ class ShardedTable:
         for pos, key in enumerate(key_values):
             by_shard.setdefault(self._route(key), []).append(pos)
         results: list = [None] * len(key_values)
-        with self._sdb._charge(sorted(by_shard)):
+        with self._sdb._charge(
+            sorted(by_shard), op="lookup_many", table=self._name,
+            batch=len(key_values),
+        ):
             for i in sorted(by_shard):
                 positions = by_shard[i]
                 batch = [key_values[p] for p in positions]
@@ -265,7 +275,7 @@ class ShardedTable:
             return tuple(row[c] for c in cols)
 
         shards = list(range(self._sdb.n_shards))
-        with self._sdb._charge(shards):
+        with self._sdb._charge(shards, op="scan", table=self._name):
             streams = []
             for i in shards:
                 rows = self._sdb._call(
@@ -308,7 +318,7 @@ class ShardedTable:
                 partial.append((op, column))
         partial = list(dict.fromkeys(partial))
         shards = list(range(self._sdb.n_shards))
-        with self._sdb._charge(shards):
+        with self._sdb._charge(shards, op="aggregate", table=self._name):
             pieces = [
                 self._sdb._call(
                     i, self.shard_table(i).aggregate, partial, predicate,
@@ -390,6 +400,12 @@ class ShardedDatabase:
         self._sim_ns = 0.0
         self._migration_seq = 1
         self._tables: dict[str, ShardedTable] = {}
+        # §5j observability: None until enable_tracing / enable_events /
+        # enable_rollup arm them — every hook below is one is-None test.
+        self._trace = None
+        self._journal = None
+        self._rollup = None
+        self._pending_hops: list[int] = []
 
         if _adopt is not None:
             dbs, regs, router = _adopt
@@ -515,6 +531,21 @@ class ShardedDatabase:
         return self._sim_ns
 
     @property
+    def trace(self) -> "TraceCollector | None":
+        """The §5j trace collector, once :meth:`enable_tracing` has run."""
+        return self._trace
+
+    @property
+    def journal(self) -> "EventJournal | None":
+        """The §5j event journal, once :meth:`enable_events` has run."""
+        return self._journal
+
+    @property
+    def rollup(self) -> "FleetRollup | None":
+        """The §5j fleet rollup, once :meth:`enable_rollup` has run."""
+        return self._rollup
+
+    @property
     def table_names(self) -> list[str]:
         return list(self._tables)
 
@@ -524,29 +555,184 @@ class ShardedDatabase:
         except KeyError:
             raise QueryError(f"no sharded table {name!r}") from None
 
+    # -- observability (§5j) -------------------------------------------------
+
+    def enable_tracing(self, capacity: int | None = None):
+        """Arm §5j cross-shard tracing: one span tree per logical op.
+
+        The collector lives on the *parent* registry and times facade
+        root spans on :attr:`sim_now_ns`; spans tagged with a shard id
+        (the fan-out executors, per-shard table ops, WAL flushes) are
+        timed on that shard's own cost-model clock — machines have local
+        time, and the Chrome export scopes each shard to its own pid.
+        ``auto_root`` is off: direct access to a shard engine outside a
+        facade op records nothing rather than flooding the ring with
+        one-span trees.  Idempotent; strictly opt-in.
+        """
+        if self._trace is None:
+            from repro.obs.trace import DEFAULT_TRACE_RING, TraceCollector
+
+            self._trace = TraceCollector(
+                clock=lambda: self._sim_ns,
+                registry=self._metrics,
+                capacity=capacity or DEFAULT_TRACE_RING,
+                auto_root=False,
+                shard_clocks={
+                    i: db.cost_model for i, db in enumerate(self._dbs)
+                },
+            )
+            for i, db in enumerate(self._dbs):
+                db.attach_tracing(self._trace, shard=i)
+            if self._journal is not None:
+                self._journal.trace_source = self._trace
+        return self._trace
+
+    def enable_events(self, capacity: int | None = None):
+        """Arm the §5j causal event journal across the whole fleet.
+
+        One journal, shared by the facade (migration intent/commit,
+        rebalance begin/end) and every shard (checkpoints, fault heal
+        transitions, recovery phases), with per-shard monotonic
+        ``shard_seq`` on top of the global causal ``seq``.  Idempotent.
+        """
+        if self._journal is None:
+            from repro.obs.events import (
+                DEFAULT_JOURNAL_CAPACITY,
+                EventJournal,
+            )
+
+            self._journal = EventJournal(
+                clock=lambda: self._sim_ns,
+                registry=self._metrics,
+                capacity=capacity or DEFAULT_JOURNAL_CAPACITY,
+                trace_source=self._trace,
+            )
+            for i, db in enumerate(self._dbs):
+                db.attach_events(self._journal, shard=i)
+        return self._journal
+
+    def enable_rollup(self):
+        """Build (once) and return the §5j :class:`FleetRollup` merging
+        every ``shard.<i>.*`` registry into ``fleet.*`` on the parent."""
+        if self._rollup is None:
+            from repro.obs.rollup import FleetRollup
+
+            self._rollup = FleetRollup(self)
+        return self._rollup
+
+    def fleet_view(self):
+        """Read-only merged registry view — parent names plus
+        ``shard.<i>.*`` — for sampling without copying any counter."""
+        from repro.obs.rollup import FleetRegistryView
+
+        return FleetRegistryView(self._metrics, self._shard_metrics)
+
+    def _note_hop(self, shard: int) -> None:
+        """Router-hop bookkeeping for trace baggage (no-op untraced).
+
+        Routing happens *before* the op's root span is minted, so hops
+        land in a pending list that the next :meth:`_charge` drains into
+        the new context's baggage.
+        """
+        if self._trace is None:
+            return
+        if self._trace.active is not None:
+            self._trace.record_hop(shard)
+        else:
+            self._pending_hops.append(shard)
+
+    def _shard_work(self, i: int) -> dict[str, float]:
+        """Registry-derived work totals for shard ``i`` — two calls
+        bracketing a fan-out span yield its delta attributes."""
+        reg = self._shard_metrics[i]
+
+        def val(name: str) -> float:
+            instrument = reg.get(name)
+            return instrument.value if instrument is not None else 0.0
+
+        wal = self._dbs[i].wal
+        return {
+            "pages": val("bufferpool.hit") + val("bufferpool.miss"),
+            "pool_hits": val("bufferpool.hit"),
+            "wal_bytes": val("wal.bytes")
+            + (float(wal.pending_bytes) if wal is not None else 0.0),
+            "cache_hits": val("index_cache.hit"),
+            "fragment_hits": val("columnar.cache.hits"),
+        }
+
     # -- internals -----------------------------------------------------------
 
     def _call(self, i: int, fn, *args, **kwargs):
-        """Delegate one engine call to shard ``i``, healing if armed."""
-        if self._use_recovery:
-            return self._dbs[i].recovery.call(fn, *args, **kwargs)
-        return fn(*args, **kwargs)
+        """Delegate one engine call to shard ``i``, healing if armed.
+
+        Under an active trace the call runs inside a ``shard.exec``
+        fan-out span tagged with the shard id and the work it caused
+        there (pages touched, WAL bytes, cache/fragment hits, rows).
+        """
+        trace = self._trace
+        if trace is None or trace.active is None:
+            if self._use_recovery:
+                return self._dbs[i].recovery.call(fn, *args, **kwargs)
+            return fn(*args, **kwargs)
+        before = self._shard_work(i)
+        with trace.span("shard.exec", shard=i) as span:
+            if self._use_recovery:
+                result = self._dbs[i].recovery.call(fn, *args, **kwargs)
+            else:
+                result = fn(*args, **kwargs)
+            after = self._shard_work(i)
+            span.attrs.update(
+                {
+                    k: after[k] - before[k]
+                    for k in after
+                    if after[k] != before[k]
+                }
+            )
+            if isinstance(result, list):
+                span.attrs["rows"] = len(result)
+        return result
 
     @contextmanager
-    def _charge(self, shard_ids: list[int]):
-        """Advance the parallel sim clock by max over involved shards."""
+    def _charge(self, shard_ids: list[int], op: str | None = None, **baggage):
+        """Advance the parallel sim clock by max over involved shards.
+
+        With tracing armed and ``op`` given, the whole block runs under
+        a root span named ``shard.<op>`` whose context carries the
+        pending router hops and ``baggage``; the root is annotated with
+        the fan-out width on exit.
+        """
         ids = list(shard_ids)
-        starts = [self._dbs[i].cost_model.now_ns for i in ids]
-        try:
-            yield
-        finally:
-            deltas = [
-                self._dbs[i].cost_model.now_ns - s
-                for i, s in zip(ids, starts)
-            ]
-            self._sim_ns += max(deltas, default=0.0)
-            self._m_fanout_ops.inc()
-            self._m_fanout_shards.record(len(ids))
+        trace = self._trace
+        if trace is None or op is None:
+            # Off path: one test — no span, no allocation.
+            starts = [self._dbs[i].cost_model.now_ns for i in ids]
+            try:
+                yield
+            finally:
+                self._finish_charge(ids, starts)
+            return
+        hops = self._pending_hops
+        self._pending_hops = []
+        if hops and trace.active is not None:
+            for hop in hops:
+                trace.record_hop(hop)
+        elif hops:
+            baggage["hops"] = hops
+        with trace.trace(f"shard.{op}", **baggage):
+            starts = [self._dbs[i].cost_model.now_ns for i in ids]
+            try:
+                yield
+            finally:
+                self._finish_charge(ids, starts)
+                trace.annotate(fanout=len(ids))
+
+    def _finish_charge(self, ids: list[int], starts: list[float]) -> None:
+        deltas = [
+            self._dbs[i].cost_model.now_ns - s for i, s in zip(ids, starts)
+        ]
+        self._sim_ns += max(deltas, default=0.0)
+        self._m_fanout_ops.inc()
+        self._m_fanout_shards.record(len(ids))
 
     # -- DDL (fans out to every shard) ---------------------------------------
 
@@ -618,6 +804,8 @@ class ShardedDatabase:
         so co-partitioned tables stay aligned); decays the tracker one
         epoch afterwards so stale heat fades."""
         plan = self._router.plan_rebalance()
+        if self._journal is not None:
+            self._journal.emit("rebalance.begin", planned=len(plan))
         keys_moved = 0
         rows_moved = 0
         for key, src, dst in plan:
@@ -627,6 +815,10 @@ class ShardedDatabase:
         self._router.advance_epoch()
         self._m_rebalances.inc()
         self._m_keys_moved.inc(keys_moved)
+        if self._journal is not None:
+            self._journal.emit(
+                "rebalance.end", keys_moved=keys_moved, rows_moved=rows_moved
+            )
         return RebalanceReport(
             planned=len(plan), keys_moved=keys_moved, rows_moved=rows_moved
         )
@@ -649,7 +841,7 @@ class ShardedDatabase:
         self._migration_seq += 1
         src_db, dst_db = self._dbs[src], self._dbs[dst]
         moved = 0
-        with self._charge([src, dst]):
+        with self._charge([src, dst], op="migrate_key", src=src, dst=dst):
             for name, stable in self._tables.items():
                 if stable.routing_index is None:
                     continue
@@ -668,6 +860,11 @@ class ShardedDatabase:
                         "seq": seq,
                     })
                     self._m_intents.inc()
+                if self._journal is not None:
+                    self._journal.emit(
+                        "migration.intent", shard=dst, table=name,
+                        key=json_safe_key(key), src=src, dst=dst, seq=seq,
+                    )
                 self._call(dst, dst_db.table(name).insert, row)
                 if dst_db.wal is not None:
                     dst_db.wal.flush()
@@ -675,6 +872,11 @@ class ShardedDatabase:
                     src, src_db.table(name).delete, stable.routing_index, key
                 )
                 moved += 1
+                if self._journal is not None:
+                    self._journal.emit(
+                        "migration.commit", shard=dst, table=name,
+                        key=json_safe_key(key), src=src, dst=dst, seq=seq,
+                    )
         if moved:
             self._m_migrations.inc()
         return moved
@@ -688,7 +890,9 @@ class ShardedDatabase:
         ``shard.<i>.*`` namespace (pool, faults, WAL, and every
         registered reset hook — exactly what a single engine's
         ``data_pool.reset_counters(reset_obs=True)`` covers) *and* the
-        parent ``shard.*`` family, then re-syncs the level gauges.
+        parent ``shard.*``, ``trace.*``, ``events.*``, and ``fleet.*``
+        families — clearing the trace ring and event journal with them —
+        then re-syncs the level gauges.
         """
         for db in self._dbs:
             db.data_pool.reset_counters(reset_obs=reset_obs)
@@ -696,7 +900,9 @@ class ShardedDatabase:
                 db.index_pool.reset_counters(reset_obs=False)
         if reset_obs:
             for name in self._metrics.names():
-                if name == "shard" or name.startswith("shard."):
+                if name == "shard" or name.startswith(
+                    ("shard.", "trace.", "events.", "fleet.")
+                ):
                     instrument = self._metrics.get(name)
                     if instrument is not None:
                         instrument.reset()
@@ -704,6 +910,12 @@ class ShardedDatabase:
             self._metrics.gauge("shard.router.overrides").set(
                 float(len(self._router.overrides))
             )
+            if self._trace is not None:
+                self._trace.clear()
+            if self._journal is not None:
+                self._journal.clear()
+            if self._rollup is not None:
+                self._metrics.gauge("fleet.shards").set(float(len(self._dbs)))
 
     def snapshot(self) -> dict:
         """Parent snapshot with per-shard registries nested under

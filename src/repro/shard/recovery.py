@@ -62,6 +62,9 @@ class ShardRecoveryReport:
     #: Router overrides reinstalled from physical residency.
     overrides_rebuilt: int
     keys_checked: int = 0
+    #: §5j journal records emitted during this recovery (as dicts, in
+    #: causal order) when a journal was passed in; empty otherwise.
+    events: tuple = ()
 
 
 def _wal_bytes(wal) -> bytes:
@@ -89,6 +92,7 @@ def recover_sharded(
     hot_fraction: float = 0.05,
     tracker_decay: float = 0.5,
     recovery: bool = False,
+    journal=None,
 ) -> tuple[ShardedDatabase, ShardRecoveryReport]:
     """Restore a :class:`ShardedDatabase` from one WAL per shard.
 
@@ -108,6 +112,10 @@ def recover_sharded(
             placements to line up (the override map itself is *not*
             logged; it is rebuilt from residency).
         recovery: arm per-call heal-and-retry on the rebuilt facade.
+        journal: optional §5j :class:`~repro.obs.events.EventJournal` —
+            each shard's replay phases plus the facade-level
+            reconciliation journal themselves into it, the rebuilt
+            facade adopts it, and the report carries the new records.
 
     Returns:
         ``(sharded_database, report)`` with exactly one owner per key.
@@ -139,6 +147,11 @@ def recover_sharded(
                 intents.append(dict(rec.meta))
     max_seq = max((int(m["seq"]) for m in intents), default=0)
 
+    last = journal.last(1) if journal is not None else []
+    seq_watermark = last[0].seq if last else 0
+    if journal is not None:
+        journal.emit("recovery.begin", shards=n, intents=len(intents))
+
     # -- 1. per-shard replay -------------------------------------------------
     dbs, reports = [], []
     for i, wal in enumerate(wals):
@@ -152,6 +165,8 @@ def recover_sharded(
             metrics=shard_metrics[i],
             retry_policy=retry_policy,
             group_commit_records=group_commit_records,
+            journal=journal,
+            journal_shard=i,
         )
         dbs.append(db)
         reports.append(report)
@@ -247,6 +262,23 @@ def recover_sharded(
     m_dups.inc(duplicates)
     m_reloc.inc(relocations)
     m_overrides.inc(overrides)
+    events: tuple = ()
+    if journal is not None:
+        journal.emit(
+            "recovery.end",
+            shards=n,
+            duplicates_resolved=duplicates,
+            relocations=relocations,
+            overrides_rebuilt=overrides,
+            keys_checked=len(owners),
+        )
+        # The rebuilt facade keeps journaling into the same log.
+        sdb._journal = journal
+        for i, db in enumerate(dbs):
+            db.attach_events(journal, shard=i)
+        events = tuple(
+            e.as_dict() for e in journal if e.seq > seq_watermark
+        )
     return sdb, ShardRecoveryReport(
         per_shard=tuple(reports),
         intents_seen=len(intents),
@@ -254,4 +286,5 @@ def recover_sharded(
         relocations=relocations,
         overrides_rebuilt=overrides,
         keys_checked=len(owners),
+        events=events,
     )

@@ -342,6 +342,16 @@ class Session:
         rollback's slot-positional compensation sound.
         """
         txn_id = self._require_txn()
+        trace = getattr(self._mgr.database, "trace", None)
+        if trace is None:
+            return self._commit_inner(txn_id, flush)
+        # One span tree per logical commit: the deferred deletes and the
+        # group-commit WAL flush below nest inside it, tagged with the
+        # owning transaction via baggage.
+        with trace.trace("txn.commit", txn_id=txn_id, session=self._id):
+            return self._commit_inner(txn_id, flush)
+
+    def _commit_inner(self, txn_id: int, flush: bool) -> int:
         begin_csn = self._begin_csn
         if not self._writes:
             self._mgr._m_commits.inc()
@@ -379,7 +389,12 @@ class Session:
         recovery rollback re-derives and re-appends the compensation).
         """
         txn_id = self._require_txn()
-        self._rollback(txn_id)
+        trace = getattr(self._mgr.database, "trace", None)
+        if trace is not None:
+            with trace.trace("txn.abort", txn_id=txn_id, session=self._id):
+                self._rollback(txn_id)
+        else:
+            self._rollback(txn_id)
         self.stats.aborts += 1
         self._finish(txn_id, self._begin_csn)
 

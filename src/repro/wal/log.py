@@ -112,6 +112,13 @@ class WalWriter:
             raise WalError("group_commit_records must be >= 1")
         self._device = device if device is not None else WalDevice()
         self._group = group_commit_records
+        #: Optional §5j hooks, set by ``Database.enable_tracing`` /
+        #: ``enable_events`` (or the sharded facade, which also sets
+        #: ``journal_shard`` to this engine's shard id).  Off path: one
+        #: is-None test per flush/checkpoint.
+        self.trace = None
+        self.journal = None
+        self.journal_shard: int | None = None
         self._buffer: list[bytes] = []
         self._buffered_lsn = 0
         # Continue the LSN sequence of whatever the device already holds
@@ -286,6 +293,18 @@ class WalWriter:
         """Append every buffered frame to the device as one blob."""
         if not self._buffer:
             return
+        if self.trace is not None:
+            with self.trace.span(
+                "wal.flush",
+                shard=self.journal_shard,
+                records=len(self._buffer),
+                bytes=sum(len(b) for b in self._buffer),
+            ):
+                self._flush_locked()
+            return
+        self._flush_locked()
+
+    def _flush_locked(self) -> None:
         blob = b"".join(self._buffer)
         batch = len(self._buffer)
         # On a crash mid-append the buffer is conceptually lost with the
@@ -329,6 +348,13 @@ class WalWriter:
         self.flush()
         self._last_checkpoint_lsn = lsn
         self._m_checkpoints.inc()
+        if self.journal is not None:
+            self.journal.emit(
+                "wal.checkpoint",
+                shard=self.journal_shard,
+                lsn=lsn,
+                redo_from=meta["redo_from"],
+            )
         return lsn
 
     def all_bytes(self) -> bytes:

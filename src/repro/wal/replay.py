@@ -78,6 +78,9 @@ class RecoveryReport:
     txns_rolled_back: int = 0
     #: Compensation records appended for those rollbacks.
     undo_records: int = 0
+    #: §5j forensics: the ``recovery.*`` EngineEvents this recovery
+    #: emitted (as dicts), when a journal was passed to :func:`recover`.
+    events: tuple = ()
 
 
 def schema_from_meta(columns: list) -> Schema:
@@ -180,6 +183,8 @@ def recover(
     metrics: MetricsRegistry | None = None,
     retry_policy=None,
     group_commit_records: int = 8,
+    journal=None,
+    journal_shard: int | None = None,
 ):
     """Restore a Database from a WAL (+ optionally a survived disk).
 
@@ -197,6 +202,10 @@ def recover(
             instruments; defaults like ``Database`` (ambient or fresh).
         group_commit_records: group-commit size for the new writer,
             which continues the survived log device.
+        journal: optional :class:`~repro.obs.events.EventJournal`; the
+            recovery phases (``recovery.begin`` → ``recovery.redo`` →
+            ``recovery.end``) are journaled under ``journal_shard`` and
+            the emitted events ride back on ``report.events``.
 
     Returns:
         ``(database, report)`` — the database holds every committed
@@ -228,6 +237,20 @@ def recover(
         device.truncate_at(scan.valid_bytes)
         m_torn.inc()
     records = scan.records
+    journal_events = []
+
+    def _emit(kind: str, **payload) -> None:
+        if journal is not None:
+            journal_events.append(
+                journal.emit(kind, shard=journal_shard, **payload)
+            )
+
+    _emit(
+        "recovery.begin",
+        valid_bytes=scan.valid_bytes,
+        torn_tail=scan.torn,
+        records=len(records),
+    )
 
     # -- catalog definitions -------------------------------------------------
     # CREATE records from the (never truncated) full history, overlaid
@@ -308,6 +331,12 @@ def recover(
         if changed:
             applied += 1
             m_applied.inc()
+    _emit(
+        "recovery.redo",
+        redo_from=redo_from,
+        applied=applied,
+        page_rebuilds=page_rebuilds,
+    )
 
     # -- heap page validation ------------------------------------------------
     # Restoring a table walks its heap pages and rebuilding an index
@@ -368,6 +397,15 @@ def recover(
 
     elapsed = time.perf_counter_ns() - started
     m_replay_ns.record(elapsed)
+    _emit(
+        "recovery.end",
+        tables=len(tables),
+        txns_rolled_back=txns_rolled_back,
+        max_lsn=scan.max_lsn,
+    )
+    if journal is not None:
+        # The rebuilt engine keeps journaling into the same log.
+        db.attach_events(journal, shard=journal_shard)
     report = RecoveryReport(
         valid_bytes=scan.valid_bytes,
         torn_tail=scan.torn,
@@ -382,6 +420,7 @@ def recover(
         replay_ns=elapsed,
         txns_rolled_back=txns_rolled_back,
         undo_records=undo_records,
+        events=tuple(e.as_dict() for e in journal_events),
     )
     return db, report
 

@@ -137,6 +137,87 @@ def test_run_observed_workload_is_deterministic():
     assert a.health.as_dict() == b.health.as_dict()
 
 
+def test_trace_subcommand(capsys):
+    assert main(["trace", "-n", "2", *TINY]) == 0
+    out = capsys.readouterr().out
+    assert "span tree(s)" in out
+    assert "trace " in out and "[facade]" in out
+    assert "query.lookup" in out or "query.insert" in out
+
+
+def test_trace_chrome_export(tmp_path, capsys):
+    chrome = tmp_path / "trace.json"
+    assert main(["trace", "--chrome", str(chrome), *TINY]) == 0
+    doc = json.loads(chrome.read_text())
+    events = doc["traceEvents"]
+    assert any(e["ph"] == "M" and e["args"]["name"] == "facade"
+               for e in events)
+    assert any(e["ph"] == "X" for e in events)
+
+
+def test_events_subcommand(capsys):
+    assert main(["events", *TINY]) == 0
+    out = capsys.readouterr().out
+    assert "event journal:" in out
+    assert "wal.checkpoint" in out  # the mid-run checkpoint journals
+
+
+def test_events_kind_filter(capsys):
+    assert main(["events", "--kind", "wal.*", *TINY]) == 0
+    out = capsys.readouterr().out
+    assert "wal.checkpoint" in out
+
+
+def test_sharded_report_and_trace(capsys):
+    # Satellite 1: every subcommand accepts --shards N.
+    assert main(["report", "--shards", "2", *TINY]) == 0
+    out = capsys.readouterr().out
+    assert "engine health:" in out and "fleet" in out
+    assert main(["trace", "--shards", "2", "-n", "2", *TINY]) == 0
+    out = capsys.readouterr().out
+    assert "shard.lookup" in out or "shard.scan" in out
+    assert "[shard 0]" in out or "[shard 1]" in out
+
+
+def test_sharded_events_journal_migrations(capsys):
+    assert main(["events", "--shards", "3", "--kind", "migration.*",
+                 *TINY]) == 0
+    out = capsys.readouterr().out
+    assert "migration.intent" in out
+    assert "migration.commit" in out
+
+
+def test_fleet_subcommand(capsys):
+    assert main(["fleet", *TINY]) == 0
+    out = capsys.readouterr().out
+    assert "fleet:" in out and "heat imbalance" in out
+    assert "engine health:" in out
+    # The per-engine rules evaluate against the fleet.* aggregates.
+    assert "derived.fleet.bufferpool.hit_rate" in out
+    assert "fleet_heat_balance" in out
+
+
+def test_tune_rejects_shards(capsys):
+    assert main(["tune", "--shards", "2", *TINY]) == 2
+    assert "single-engine" in capsys.readouterr().err
+
+
+def test_sharded_workload_is_deterministic():
+    a = run_observed_workload(
+        n_rows=60, n_ops=300, samples=4, pool_pages=16, shards=2,
+        observe=True,
+    )
+    b = run_observed_workload(
+        n_rows=60, n_ops=300, samples=4, pool_pages=16, shards=2,
+        observe=True,
+    )
+    assert a.replayed_ops == b.replayed_ops == 300
+    assert a.elapsed_ns == b.elapsed_ns
+    assert a.registry.snapshot() == b.registry.snapshot()
+    assert a.journal.as_dicts() == b.journal.as_dicts()
+    assert a.trace.as_dicts() == b.trace.as_dicts()
+
+
 def test_sparkline_rendering():
     assert sparkline([]) == "(no data)"
     assert sparkline([5.0, 5.0, 5.0]) == "===" or len(sparkline([5.0] * 3)) == 3

@@ -66,7 +66,8 @@ def _runtime_names():
     names.update(_flatten(report.metrics))
     # Sharded mode registers the §5i facade family (router, fanout,
     # rebalance, migration) plus every per-engine name under its
-    # ``shard.<i>.`` prefix.
+    # ``shard.<i>.`` prefix; the sharded drill also arms §5j, so the
+    # ``trace.*`` / ``events.*`` / ``fleet.*`` families register too.
     report = run_fault_drill(n_pages=60, n_ops=300, seed=1, shards=2)
     names.update(_flatten(report.metrics))
     return names
@@ -86,6 +87,11 @@ def test_table_parses():
     assert "shard.fanout.ops" in patterns
     assert "shard.recovery.*" in patterns
     assert "shard.*.*" in patterns
+    assert "trace.fanout" in patterns
+    assert "trace.spans" in patterns
+    assert "events.emitted" in patterns
+    assert "fleet.imbalance.heat" in patterns
+    assert "fleet.*" in patterns
 
 
 def test_every_runtime_metric_name_is_documented():

@@ -1,0 +1,404 @@
+"""§5j distributed tracing: collector mechanics, per-shard clocks,
+engine integration at both facades, and the sharded-drill acceptance."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.trace import DEFAULT_TRACE_RING, TraceCollector, TraceContext
+from repro.schema import UINT32, UINT64, Schema
+
+pytestmark = pytest.mark.trace
+
+
+def _collector(**kwargs):
+    clock = {"t": 0.0}
+    collector = TraceCollector(
+        clock=lambda: clock["t"], registry=MetricsRegistry(), **kwargs
+    )
+    return collector, clock
+
+
+def _schema():
+    return Schema.of(("k", UINT64), ("v", UINT32))
+
+
+def _sharded(n=3, **kwargs):
+    from repro.shard.database import ShardedDatabase
+
+    sdb = ShardedDatabase(n, mode="hash", seed=1, **kwargs)
+    t = sdb.create_table("t", _schema())
+    sdb.create_index("t", "pk", ("k",))
+    return sdb, t
+
+
+# -- collector mechanics ------------------------------------------------------
+
+
+def test_trace_builds_a_span_tree():
+    collector, clock = _collector()
+    with collector.trace("op", fingerprint="f1") as trace:
+        assert collector.active is trace
+        clock["t"] = 10.0
+        with collector.span("child", shard=1, rows=3) as child:
+            assert collector.current_span is child
+            clock["t"] = 25.0
+        with collector.span("child", shard=2):
+            clock["t"] = 40.0
+    assert collector.active is None
+    done = collector.last()
+    assert done.name == "op"
+    assert done.context.baggage["fingerprint"] == "f1"
+    assert [s.name for s in done.spans] == ["op", "child", "child"]
+    assert done.root.children[0].attrs == {"rows": 3}
+    assert done.root.elapsed_ns == 40.0
+    assert done.shards_touched() == [1, 2]
+    assert len(done.find("child")) == 2
+
+
+def test_nested_trace_merges_baggage_and_becomes_child_span():
+    collector, _clock = _collector()
+    with collector.trace("outer", a=1) as outer:
+        with collector.trace("inner", b=2) as inner:
+            assert inner is outer  # no second root minted
+    done = collector.last()
+    assert done.context.baggage == {"a": 1, "b": 2}
+    assert [s.name for s in done.spans] == ["outer", "inner"]
+
+
+def test_span_outside_trace_auto_roots_or_noops():
+    rooted, _clock = _collector(auto_root=True)
+    with rooted.span("lone", rows=1) as span:
+        assert span is not None and span.attrs == {"rows": 1}
+    assert rooted.last().name == "lone"
+
+    silent, _clock = _collector(auto_root=False)
+    with silent.span("lone") as span:
+        assert span is None
+    assert silent.last() is None
+    assert silent.traces() == []
+
+
+def test_error_in_span_marks_and_propagates():
+    collector, _clock = _collector()
+    with pytest.raises(ValueError):
+        with collector.trace("op"):
+            with collector.span("child"):
+                raise ValueError("boom")
+    done = collector.last()
+    assert done.root.error and done.find("child")[0].error
+    reg = collector._registry
+    assert reg.counter("trace.errors").value == 2
+    assert collector.active is None  # stack unwound cleanly
+
+
+def test_ring_is_bounded_and_keeps_newest():
+    collector, _clock = _collector(capacity=3)
+    for i in range(7):
+        with collector.trace(f"op{i}"):
+            pass
+    assert len(collector.traces()) == 3
+    assert [t.name for t in collector.traces()] == ["op4", "op5", "op6"]
+    assert [t.name for t in collector.traces(2)] == ["op5", "op6"]
+    reg = collector._registry
+    assert reg.counter("trace.started").value == 7
+    assert reg.counter("trace.finished").value == 7
+    collector.clear()
+    assert collector.last() is None
+    assert DEFAULT_TRACE_RING == 64
+
+
+def test_annotate_set_baggage_and_hops():
+    collector, _clock = _collector()
+    collector.annotate(ignored=True)     # no-op outside any trace
+    collector.set_baggage(ignored=True)
+    collector.record_hop(9)
+    with collector.trace("op"):
+        collector.record_hop(2)
+        collector.record_hop(0)
+        collector.set_baggage(txn_id=7)
+        with collector.span("child"):
+            collector.annotate(pages=4)  # innermost open span
+    done = collector.last()
+    assert done.context.hops == [2, 0]
+    assert done.context.baggage["txn_id"] == 7
+    assert done.find("child")[0].attrs == {"pages": 4}
+
+
+def test_context_round_trips():
+    ctx = TraceContext(5, {"txn_id": 1})
+    ctx.record_hop(3)
+    assert ctx.as_dict() == {
+        "trace_id": 5, "baggage": {"txn_id": 1, "hops": [3]}
+    }
+
+
+def test_per_shard_clocks_time_shard_spans_locally():
+    facade = {"t": 0.0}
+    shard0 = {"t": 1000.0}
+    collector = TraceCollector(
+        clock=lambda: facade["t"],
+        registry=MetricsRegistry(),
+        shard_clocks={0: lambda: shard0["t"]},
+    )
+    with collector.trace("op"):
+        facade["t"] = 50.0
+        with collector.span("exec", shard=0) as span:
+            shard0["t"] = 1030.0  # shard 0's machine-local time
+        # Unknown shard falls back to the facade clock.
+        with collector.span("exec", shard=7) as other:
+            facade["t"] = 60.0
+    done = collector.last()
+    exec0, exec7 = done.find("exec")
+    assert (exec0.start_ns, exec0.end_ns) == (1000.0, 1030.0)
+    assert exec0.elapsed_ns == 30.0
+    assert (exec7.start_ns, exec7.end_ns) == (50.0, 60.0)
+    assert done.root.end_ns == 60.0  # root stays on the facade clock
+
+
+def test_chrome_export_scopes_pids_per_shard():
+    collector, clock = _collector()
+    with collector.trace("op"):
+        clock["t"] = 2000.0
+        with collector.span("exec", shard=1, rows=2):
+            clock["t"] = 4000.0
+    doc = collector.to_chrome()
+    meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+    spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert {m["pid"]: m["args"]["name"] for m in meta} == {
+        0: "facade", 2: "shard 1"
+    }
+    by_name = {e["name"]: e for e in spans}
+    assert by_name["op"]["pid"] == 0
+    assert by_name["exec"]["pid"] == 2  # shard i -> pid i + 1
+    assert by_name["exec"]["ts"] == 2.0 and by_name["exec"]["dur"] == 2.0
+    assert by_name["exec"]["args"]["rows"] == 2
+    assert by_name["exec"]["tid"] == by_name["op"]["tid"]
+
+
+# -- single-engine facade -----------------------------------------------------
+
+
+def test_database_tracing_brackets_ops_and_wal_flush():
+    from repro.query.database import Database
+
+    db = Database(seed=3, wal=True)
+    t = db.create_table("t", _schema())
+    db.create_index("t", "pk", ("k",))
+    assert db.trace is None  # off path: strictly opt-in
+    collector = db.enable_tracing()
+    assert db.enable_tracing() is collector  # idempotent
+    t.insert({"k": 1, "v": 2})
+    db.wal.flush()
+    names = [trace.name for trace in collector.traces()]
+    assert "query.insert" in names
+    flush = next(t for t in collector.traces() if t.name == "wal.flush")
+    assert flush.root.attrs["records"] >= 1
+    t.lookup("pk", 1)
+    assert collector.last().name == "query.lookup"
+
+
+def test_session_commit_traces_nested_wal_flush():
+    from repro.query.database import Database
+
+    db = Database(seed=3, wal=True)
+    db.create_table("t", _schema())
+    db.create_index("t", "pk", ("k",))
+    collector = db.enable_tracing()
+    session = db.session()
+    session.begin()
+    session.insert("t", {"k": 9, "v": 9})
+    session.commit(flush=True)
+    commits = [t for t in collector.traces() if t.name == "txn.commit"]
+    assert len(commits) == 1
+    commit = commits[0]
+    assert "txn_id" in commit.context.baggage
+    # The group-commit flush nests inside the commit's trace, and the
+    # insert ran under the session too.
+    assert commit.find("wal.flush")
+
+
+# -- sharded facade -----------------------------------------------------------
+
+
+def test_sharded_ops_build_cross_shard_trees_with_hops():
+    sdb, t = _sharded(3)
+    collector = sdb.enable_tracing()
+    for i in range(30):
+        t.insert({"k": i, "v": i})
+    insert = collector.last()
+    assert insert.name == "shard.insert"
+    assert insert.context.baggage["table"] == "t"
+    assert len(insert.context.hops) == 1  # routed once, before the mint
+    assert insert.root.attrs["fanout"] == 1
+
+    rows = list(t.scan(project=("k", "v")))
+    assert len(rows) == 30
+    scan = collector.last()
+    assert scan.name == "shard.scan"
+    assert scan.shards_touched() == [0, 1, 2]
+    execs = scan.find("shard.exec")
+    assert [s.shard for s in execs] == [0, 1, 2]
+    assert sum(s.attrs["rows"] for s in execs) == 30
+    assert all(s.attrs.get("pages", 0) >= 1 for s in execs)
+    assert scan.root.attrs["fanout"] == 3
+
+
+def test_sharded_collector_does_not_auto_root():
+    sdb, t = _sharded(2)
+    collector = sdb.enable_tracing()
+    t.insert({"k": 1, "v": 1})
+    before = len(collector.traces())
+    # Direct shard-engine access outside any facade op records nothing —
+    # the fan-out hooks no-op rather than flooding the ring.
+    list(sdb.shard(0).table("t").scan())
+    assert len(collector.traces()) == before
+
+
+def test_sharded_spans_read_shard_local_clocks():
+    sdb, t = _sharded(2)
+    collector = sdb.enable_tracing()
+    for i in range(12):
+        t.insert({"k": i, "v": i})
+    list(t.scan(project=("k",)))
+    scan = collector.last()
+    for span in scan.find("shard.exec"):
+        shard_now = sdb.shard(span.shard).cost_model.now_ns
+        assert span.end_ns == shard_now  # timed on that machine's clock
+        assert span.start_ns <= span.end_ns
+
+
+def test_arming_tracing_never_moves_the_sim_clock():
+    def run(armed):
+        sdb, t = _sharded(2)
+        if armed:
+            sdb.enable_tracing()
+        for i in range(25):
+            t.insert({"k": i, "v": i})
+        list(t.scan(project=("k", "v")))
+        totals = t.aggregate([("count", None), ("sum", "v")])
+        return sdb.sim_now_ns, totals
+
+    assert run(False) == run(True)
+
+
+def test_reset_counters_clears_obs_families():
+    sdb, t = _sharded(2)
+    collector = sdb.enable_tracing()
+    journal = sdb.enable_events()
+    rollup = sdb.enable_rollup()
+    for i in range(10):
+        t.insert({"k": i, "v": i})
+    rollup.refresh()
+    journal.emit("wal.checkpoint", shard=0)
+    assert collector.last() is not None and len(journal) == 1
+    assert sdb.metrics.counter("trace.finished").value > 0
+
+    sdb.reset_counters(reset_obs=True)
+    assert collector.last() is None
+    assert len(journal) == 0
+    assert sdb.metrics.counter("trace.finished").value == 0
+    assert sdb.metrics.counter("events.emitted").value == 0
+    assert sdb.metrics.counter("fleet.refreshes").value == 0
+    # Structural gauges re-sync rather than zero.
+    assert sdb.metrics.gauge("fleet.shards").value == 2
+    # The pipeline is still armed and keeps recording.
+    t.lookup("pk", 1)
+    assert collector.last().name == "shard.lookup"
+
+
+# -- acceptance: the sharded drill exports the §5j exhibits -------------------
+
+
+@pytest.fixture(scope="module")
+def drill_report():
+    from repro.faults.harness import run_fault_drill
+
+    return run_fault_drill(n_pages=240, n_ops=1_500, seed=0, shards=4)
+
+
+def test_drill_trace_covers_every_shard(drill_report):
+    report = drill_report
+    assert report.check_ok and report.wrong_results == 0
+    assert report.traces, "sharded drill must export span trees"
+    full = [t for t in report.traces if t["shards"] == [0, 1, 2, 3]]
+    assert full, "no exported trace covers all four shards"
+    exhibit = full[-1]  # the post-disarm full-fanout aggregate
+    assert exhibit["name"] == "shard.aggregate"
+    children = exhibit["root"]["children"]
+    assert {c["shard"] for c in children} == {0, 1, 2, 3}
+    assert all(c["name"] == "shard.exec" for c in children)
+
+
+def test_drill_journal_replays_causal_order(drill_report):
+    events = drill_report.events
+    assert events, "sharded drill must journal its transitions"
+    by_kind = {}
+    for e in events:
+        by_kind.setdefault(e["kind"], []).append(e)
+    # Seq is strictly increasing — the journal IS the causal order.
+    seqs = [e["seq"] for e in events]
+    assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+    # Each shard's local history is gap-free and monotonic.
+    per_shard = {}
+    for e in events:
+        per_shard.setdefault(e["shard"], []).append(e["shard_seq"])
+    for local in per_shard.values():
+        assert local == list(range(local[0], local[0] + len(local)))
+    # Faults heal in order: every recovery follows its detection.
+    detected = [e["seq"] for e in by_kind.get("fault.detected", ())]
+    recovered = [e["seq"] for e in by_kind.get("fault.recovered", ())]
+    assert detected and recovered
+    assert min(detected) < min(recovered)
+    # Migrations commit after their intent, matching WAL-derived order:
+    # the shared ``seq`` payload *is* the SHARD_MIGRATE record's seq, and
+    # both event streams must be ordered by it.
+    intents = by_kind.get("migration.intent", ())
+    commits = by_kind.get("migration.commit", ())
+    assert intents and commits
+    intent_at = {e["payload"]["seq"]: e["seq"] for e in intents}
+    for commit in commits:
+        wal_seq = commit["payload"]["seq"]
+        assert wal_seq in intent_at
+        assert intent_at[wal_seq] < commit["seq"]
+    # Rebalance brackets the migrations it planned.
+    begins = by_kind.get("rebalance.begin", ())
+    ends = by_kind.get("rebalance.end", ())
+    assert len(begins) == len(ends) == 2  # fired at 1/3 and 2/3
+    assert begins[0]["seq"] < intents[0]["seq"] < ends[-1]["seq"]
+
+
+def test_migration_journal_matches_wal_record_order():
+    """WAL-derived verification: the journal's intent ordering must agree
+    with the durable SHARD_MIGRATE records' ordering in the logs."""
+    from repro.wal.record import RecordType, scan_wal
+
+    sdb, t = _sharded(3, wal=True)
+    journal = sdb.enable_events()
+    for i in range(60):
+        t.insert({"k": i, "v": i})
+    # Route every 5th key somewhere else: forced migrations, all logged.
+    moved = 0
+    for i in range(0, 60, 5):
+        src = sdb.router.placement(i)
+        dst = (src + 1) % 3
+        moved += sdb._migrate_key(i, src, dst)
+        sdb.router.apply_move(i, dst)
+    assert moved > 0
+    sdb.flush_wals()
+
+    wal_seqs = []
+    for i in range(3):
+        for rec in scan_wal(sdb.shard(i).wal.device.data).records:
+            if rec.rtype is RecordType.SHARD_MIGRATE:
+                wal_seqs.append(int(rec.meta["seq"]))
+    intents = journal.query(kind="migration.intent")
+    commits = journal.query(kind="migration.commit")
+    assert sorted(e.get("seq") for e in intents) == sorted(wal_seqs)
+    # Journal append order == WAL seq order (migrations are sequential).
+    assert [e.get("seq") for e in intents] == sorted(wal_seqs)
+    assert len(commits) == len(intents)
+    for intent, commit in zip(intents, commits):
+        assert intent.get("seq") == commit.get("seq")
+        assert intent.seq < commit.seq
+        assert intent.get("src") == commit.get("src")
+        assert intent.shard == commit.shard == intent.get("dst")
